@@ -1,0 +1,91 @@
+//! Criterion benchmarks for the individual substrates: Monte Carlo
+//! sampling, circuit evaluation, cache accesses, trace generation,
+//! pipeline simulation and scheme application.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use yac_cache::{AccessKind, CacheConfig, HierarchyConfig, MemoryHierarchy, SetAssocCache};
+use yac_circuit::CacheCircuitModel;
+use yac_core::{ConstraintSpec, Hybrid, Population, PowerDownKind, Scheme, YieldConstraints};
+use yac_pipeline::{Pipeline, PipelineConfig};
+use yac_variation::{MonteCarlo, VariationConfig};
+use yac_workload::{spec2000, TraceGenerator};
+
+fn bench_variation(c: &mut Criterion) {
+    let mc = MonteCarlo::new(VariationConfig::default());
+    c.bench_function("variation/sample_one_die", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(mc.sample_one(42, i))
+        });
+    });
+}
+
+fn bench_circuit(c: &mut Criterion) {
+    let mc = MonteCarlo::new(VariationConfig::default());
+    let die = mc.sample_one(42, 0);
+    let model = CacheCircuitModel::regular();
+    c.bench_function("circuit/evaluate_die", |b| {
+        b.iter(|| black_box(model.evaluate(black_box(&die))));
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/l1d_access", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::l1d_paper()).expect("valid config");
+        let mut x = 0x1234_5678u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(cache.access((x >> 16) % (64 * 1024), AccessKind::Read))
+        });
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    c.bench_function("workload/generate_1k_uops", |b| {
+        let mut generator =
+            TraceGenerator::new(spec2000::profile("gcc").expect("known benchmark"), 7);
+        b.iter(|| black_box(generator.generate(1_000)));
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("pipeline/run_10k_uops_gzip", |b| {
+        b.iter_batched(
+            || {
+                let mem = MemoryHierarchy::new(HierarchyConfig::paper()).expect("valid hierarchy");
+                let cpu = Pipeline::new(PipelineConfig::paper(), mem).expect("valid pipeline");
+                let trace =
+                    TraceGenerator::new(spec2000::profile("gzip").expect("known benchmark"), 7);
+                (cpu, trace)
+            },
+            |(mut cpu, trace)| black_box(cpu.run(trace, 0, 10_000)),
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let population = Population::generate(64, 2006);
+    let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+    let hybrid = Hybrid::new(PowerDownKind::Vertical);
+    c.bench_function("schemes/hybrid_apply_population", |b| {
+        b.iter(|| {
+            for chip in &population.chips {
+                black_box(hybrid.apply(chip, &constraints, population.calibration()));
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_variation,
+    bench_circuit,
+    bench_cache,
+    bench_workload,
+    bench_pipeline,
+    bench_schemes
+);
+criterion_main!(benches);

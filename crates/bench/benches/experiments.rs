@@ -1,0 +1,138 @@
+//! Criterion benchmarks that regenerate scaled versions of every table and
+//! figure of the paper — one bench per experiment, so `cargo bench`
+//! exercises the complete evaluation pipeline end to end.
+//!
+//! The full-size experiments live in the `yac-bench` binaries (`fig8`,
+//! `table2`, ..., see DESIGN.md); these benches use smaller populations
+//! and shorter simulations so the whole suite finishes in minutes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yac_core::perf::{canonical_l1d, suite_degradation, table6, PerfOptions};
+use yac_core::{
+    constraint_sweep, fig8_scatter, table2, table3, ConstraintSpec, Population, PowerDownKind,
+    WayCycleCensus, YieldConstraints,
+};
+
+const BENCH_CHIPS: usize = 150;
+
+fn pop() -> (Population, YieldConstraints) {
+    let population = Population::generate(BENCH_CHIPS, 2006);
+    let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+    (population, constraints)
+}
+
+fn tiny_perf() -> PerfOptions {
+    PerfOptions {
+        warmup_uops: 1_000,
+        measure_uops: 4_000,
+        trace_seed: 2006,
+    }
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let (population, _) = pop();
+    c.bench_function("experiments/fig8_scatter", |b| {
+        b.iter(|| black_box(fig8_scatter(&population)));
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let (population, constraints) = pop();
+    c.bench_function("experiments/table2", |b| {
+        b.iter(|| black_box(table2(&population, &constraints)));
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let (population, constraints) = pop();
+    c.bench_function("experiments/table3", |b| {
+        b.iter(|| black_box(table3(&population, &constraints)));
+    });
+}
+
+fn bench_table4_5(c: &mut Criterion) {
+    let (population, _) = pop();
+    let specs = [ConstraintSpec::RELAXED, ConstraintSpec::STRICT];
+    c.bench_function("experiments/table4_5_sweep", |b| {
+        b.iter(|| {
+            black_box(constraint_sweep(
+                &population,
+                PowerDownKind::Vertical,
+                &specs,
+            ));
+            black_box(constraint_sweep(
+                &population,
+                PowerDownKind::Horizontal,
+                &specs,
+            ));
+        });
+    });
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let (population, constraints) = pop();
+    let opts = tiny_perf();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.bench_function("table6_scaled", |b| {
+        b.iter(|| black_box(table6(&population, &constraints, &opts)));
+    });
+    group.finish();
+}
+
+fn bench_fig9_fig10(c: &mut Criterion) {
+    let opts = tiny_perf();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.bench_function("fig9_3_1_0_vaca", |b| {
+        let census = WayCycleCensus {
+            ways_4: 3,
+            ways_5: 1,
+            ways_6_plus: 0,
+        };
+        let l1d = canonical_l1d(census, false);
+        b.iter(|| black_box(suite_degradation(&l1d, &opts)));
+    });
+    group.bench_function("fig10_2_2_0_vaca", |b| {
+        let census = WayCycleCensus {
+            ways_4: 2,
+            ways_5: 2,
+            ways_6_plus: 0,
+        };
+        let l1d = canonical_l1d(census, false);
+        b.iter(|| black_box(suite_degradation(&l1d, &opts)));
+    });
+    group.finish();
+}
+
+fn bench_naive_binning(c: &mut Criterion) {
+    let opts = tiny_perf();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.bench_function("naive_binning_5cycle", |b| {
+        let census = WayCycleCensus {
+            ways_4: 0,
+            ways_5: 4,
+            ways_6_plus: 0,
+        };
+        let l1d = canonical_l1d(census, false);
+        b.iter(|| black_box(suite_degradation(&l1d, &opts)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig8,
+    bench_table2,
+    bench_table3,
+    bench_table4_5,
+    bench_table6,
+    bench_fig9_fig10,
+    bench_naive_binning
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Wafer map: sample a full wafer with the radial inter-die systematic,
+//! classify every die, and draw where the losses cluster and what the
+//! Hybrid scheme recovers.
+//!
+//! Usage: `cargo run -p yac-bench --release --bin wafer_map [seed] [radial_sigma]`
+
+use yac_circuit::CacheCircuitModel;
+use yac_core::{
+    classify, ChipSample, ConstraintSpec, Hybrid, Population, PowerDownKind, Scheme,
+    YieldConstraints,
+};
+use yac_variation::wafer::{Wafer, WaferConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2006);
+    let radial: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+
+    let cfg = WaferConfig {
+        radial_sigma: radial,
+        ..WaferConfig::default()
+    };
+    let wafer = Wafer::sample(&cfg, seed);
+    eprintln!("sampled {} dies (radial drift {radial} sigma)", wafer.dies.len());
+
+    // Evaluate every die through both cache organisations.
+    let regular = CacheCircuitModel::regular();
+    let horizontal = CacheCircuitModel::horizontal();
+    let chips: Vec<ChipSample> = wafer
+        .dies
+        .iter()
+        .enumerate()
+        .map(|(i, die)| ChipSample {
+            index: i as u64,
+            regular: regular.evaluate(&die.variation),
+            horizontal: horizontal.evaluate(&die.variation),
+        })
+        .collect();
+
+    // Constraints from a reference iid population (the spec is set by the
+    // product, not by this wafer).
+    let reference = Population::generate(2000, seed);
+    let constraints = YieldConstraints::derive(&reference, ConstraintSpec::NOMINAL);
+    let hybrid = Hybrid::new(PowerDownKind::Vertical);
+    let cal = reference.calibration();
+
+    let n = cfg.diameter_dies;
+    let mut grid = vec![vec![' '; n]; n];
+    let mut pass = 0;
+    let mut saved = 0;
+    let mut lost = 0;
+    let mut ring_stats = [(0u32, 0u32); 4]; // (shipped, total) per ring
+    for (die, chip) in wafer.dies.iter().zip(&chips) {
+        let ring = ((die.radius * 4.0) as usize).min(3);
+        ring_stats[ring].1 += 1;
+        let symbol = if classify(&chip.regular, &constraints).is_none() {
+            pass += 1;
+            ring_stats[ring].0 += 1;
+            '.'
+        } else if hybrid.apply(chip, &constraints, cal).ships() {
+            saved += 1;
+            ring_stats[ring].0 += 1;
+            'o'
+        } else {
+            lost += 1;
+            'X'
+        };
+        grid[die.row][die.col] = symbol;
+    }
+
+    println!("== wafer map ('.' pass, 'o' saved by Hybrid, 'X' lost) ==\n");
+    for row in &grid {
+        println!("  {}", row.iter().collect::<String>());
+    }
+    let total = wafer.dies.len();
+    println!(
+        "\n{total} dies: {pass} pass, {saved} saved by Hybrid, {lost} lost \
+         ({:.1}% -> {:.1}% yield)",
+        100.0 * pass as f64 / total as f64,
+        100.0 * (pass + saved) as f64 / total as f64,
+    );
+    println!("\nyield by ring (centre -> edge):");
+    for (i, (shipped, total)) in ring_stats.iter().enumerate() {
+        println!(
+            "  ring {i}: {:>5.1}%  ({shipped}/{total})",
+            100.0 * f64::from(*shipped) / f64::from(*total)
+        );
+    }
+    println!(
+        "\nthe radial drift clusters failures in rings (with the default sign the\nfast, low-V_t centre loses chips to the leakage limit while the slow edge\nbarely notices the delay limit) — spatial structure the paper's iid\nsampling abstracts away; flip the drift sign via the second argument to\nput the losses at the edge instead"
+    );
+}

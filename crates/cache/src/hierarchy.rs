@@ -1,0 +1,358 @@
+//! The memory hierarchy of the paper's simulated processor (§5.2):
+//! split 16 KB L1 caches, a unified 512 KB L2 and a 350-cycle memory.
+//! All caches are lock-up free — miss overlap is the pipeline's job; the
+//! hierarchy reports per-access latencies and keeps the contents coherent
+//! (writebacks flow downward).
+
+use crate::cache::{AccessKind, SetAssocCache};
+use crate::config::CacheConfig;
+
+/// Configuration of the full hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use yac_cache::HierarchyConfig;
+///
+/// let cfg = HierarchyConfig::paper();
+/// assert_eq!(cfg.memory_latency, 350);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified second-level cache.
+    pub l2: CacheConfig,
+    /// Main-memory access latency in cycles.
+    pub memory_latency: u32,
+    /// Enable an ideal next-line prefetcher on the L1 data cache: every
+    /// demand miss also pulls the sequentially next block. Off by default
+    /// (the paper's machine has no prefetcher).
+    pub l1d_next_line_prefetch: bool,
+}
+
+impl HierarchyConfig {
+    /// The paper's §5.2 hierarchy.
+    #[must_use]
+    pub fn paper() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig::l1i_paper(),
+            l1d: CacheConfig::l1d_paper(),
+            l2: CacheConfig::l2_paper(),
+            memory_latency: 350,
+            l1d_next_line_prefetch: false,
+        }
+    }
+
+    /// Validates every level.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing level's message.
+    pub fn validate(&self) -> Result<(), String> {
+        self.l1i.validate()?;
+        self.l1d.validate()?;
+        self.l2.validate()?;
+        if self.memory_latency == 0 {
+            return Err("memory latency must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Outcome of a data access through the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataAccess {
+    /// Whether the L1 data cache hit.
+    pub l1_hit: bool,
+    /// The L1D way involved (hit way, or the fill way on a miss).
+    pub way: usize,
+    /// End-to-end latency in cycles, including L2/memory on a miss.
+    pub latency: u32,
+}
+
+/// The assembled memory hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use yac_cache::{AccessKind, HierarchyConfig, MemoryHierarchy};
+///
+/// let mut mem = MemoryHierarchy::new(HierarchyConfig::paper()).unwrap();
+/// let cold = mem.data_access(0x8000, AccessKind::Read);
+/// assert!(!cold.l1_hit);
+/// let warm = mem.data_access(0x8000, AccessKind::Read);
+/// assert!(warm.l1_hit);
+/// assert_eq!(warm.latency, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1i: SetAssocCache,
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+    memory_latency: u32,
+    l1d_next_line_prefetch: bool,
+    prefetches: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds an empty hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing cache's validation message.
+    pub fn new(config: HierarchyConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(MemoryHierarchy {
+            l1i: SetAssocCache::new(config.l1i)?,
+            l1d: SetAssocCache::new(config.l1d)?,
+            l2: SetAssocCache::new(config.l2)?,
+            memory_latency: config.memory_latency,
+            l1d_next_line_prefetch: config.l1d_next_line_prefetch,
+            prefetches: 0,
+        })
+    }
+
+    /// Instruction fetch: returns the fetch latency in cycles.
+    pub fn fetch(&mut self, addr: u64) -> u32 {
+        let l1 = self.l1i.access(addr, AccessKind::Read);
+        if l1.hit {
+            return l1.latency;
+        }
+        l1.latency + self.l2_fill(addr, AccessKind::Read)
+    }
+
+    /// Data access: returns hit status, way and end-to-end latency.
+    pub fn data_access(&mut self, addr: u64, kind: AccessKind) -> DataAccess {
+        let l1 = self.l1d.access(addr, kind);
+        if let Some(victim) = l1.writeback {
+            // Dirty L1 victims are written into L2 (write buffer absorbs
+            // the latency).
+            let wb = self.l2.access(victim, AccessKind::Write);
+            let _ = wb;
+        }
+        if l1.hit {
+            return DataAccess {
+                l1_hit: true,
+                way: l1.way,
+                latency: l1.latency,
+            };
+        }
+        let below = self.l2_fill(addr, AccessKind::Read);
+        if self.l1d_next_line_prefetch {
+            let next = (addr & !(self.l1d.config().block_bytes as u64 - 1))
+                + self.l1d.config().block_bytes as u64;
+            if !self.l1d.probe(next) {
+                self.prefetches += 1;
+                // The prefetch brings the line through L2 (quietly filling
+                // it) and into L1D; a dirty victim goes back to L2.
+                let _ = self.l2.access(next, AccessKind::Read);
+                if let Some(victim) = self.l1d.prefetch_fill(next) {
+                    let _ = self.l2.access(victim, AccessKind::Write);
+                }
+            }
+        }
+        DataAccess {
+            l1_hit: false,
+            way: l1.way,
+            latency: l1.latency + below,
+        }
+    }
+
+    /// L2 lookup for a line being filled upward; returns the added latency.
+    fn l2_fill(&mut self, addr: u64, kind: AccessKind) -> u32 {
+        let l2 = self.l2.access(addr, kind);
+        if l2.hit {
+            l2.latency
+        } else {
+            l2.latency + self.memory_latency
+        }
+    }
+
+    /// The L1 instruction cache's statistics.
+    #[must_use]
+    pub fn l1i_stats(&self) -> &crate::stats::CacheStats {
+        self.l1i.stats()
+    }
+
+    /// The L1 data cache's statistics.
+    #[must_use]
+    pub fn l1d_stats(&self) -> &crate::stats::CacheStats {
+        self.l1d.stats()
+    }
+
+    /// The L2 cache's statistics.
+    #[must_use]
+    pub fn l2_stats(&self) -> &crate::stats::CacheStats {
+        self.l2.stats()
+    }
+
+    /// The L1 data cache's configuration.
+    #[must_use]
+    pub fn l1d_config(&self) -> &CacheConfig {
+        self.l1d.config()
+    }
+
+    /// Number of next-line prefetches issued so far.
+    #[must_use]
+    pub fn prefetch_count(&self) -> u64 {
+        self.prefetches
+    }
+
+    /// Resets all statistics (keeps contents — used after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+        self.prefetches = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::paper()).unwrap()
+    }
+
+    #[test]
+    fn cold_data_access_pays_memory_latency() {
+        let mut mem = hierarchy();
+        let out = mem.data_access(0x10_0000, AccessKind::Read);
+        assert!(!out.l1_hit);
+        assert_eq!(out.latency, 4 + 25 + 350);
+    }
+
+    #[test]
+    fn l2_resident_line_costs_l1_plus_l2() {
+        let mut mem = hierarchy();
+        mem.data_access(0x10_0000, AccessKind::Read);
+        // Evict from tiny L1D with conflicting lines, keeping L2 warm.
+        let l1_stride = (128 * 32) as u64;
+        for i in 1..=4u64 {
+            mem.data_access(0x10_0000 + i * l1_stride, AccessKind::Read);
+        }
+        let out = mem.data_access(0x10_0000, AccessKind::Read);
+        assert!(!out.l1_hit);
+        assert_eq!(out.latency, 4 + 25, "L2 should still hold the line");
+    }
+
+    #[test]
+    fn fetch_latencies_follow_the_levels() {
+        let mut mem = hierarchy();
+        assert_eq!(mem.fetch(0x4000), 2 + 25 + 350);
+        assert_eq!(mem.fetch(0x4000), 2);
+        // Same 64-byte I-block:
+        assert_eq!(mem.fetch(0x403f), 2);
+    }
+
+    #[test]
+    fn instruction_fill_warms_l2_for_data_side_too() {
+        // Unified L2: an I-side fill makes the D-side miss cost only L2.
+        let mut mem = hierarchy();
+        mem.fetch(0x9000);
+        let out = mem.data_access(0x9000, AccessKind::Read);
+        assert!(!out.l1_hit);
+        assert_eq!(out.latency, 4 + 25);
+    }
+
+    #[test]
+    fn dirty_l1_victims_land_in_l2() {
+        let mut mem = hierarchy();
+        mem.data_access(0x20_0000, AccessKind::Write);
+        let l1_stride = (128 * 32) as u64;
+        for i in 1..=4u64 {
+            mem.data_access(0x20_0000 + i * l1_stride, AccessKind::Read);
+        }
+        // The dirty line was written back to L2; reading it again costs L2
+        // latency only.
+        let out = mem.data_access(0x20_0000, AccessKind::Read);
+        assert_eq!(out.latency, 4 + 25);
+        assert!(mem.l2_stats().writes >= 1);
+    }
+
+    #[test]
+    fn vaca_way_latency_propagates_through_hierarchy() {
+        let mut cfg = HierarchyConfig::paper();
+        cfg.l1d.way_latency = vec![4, 5, 5, 4];
+        let mut mem = MemoryHierarchy::new(cfg).unwrap();
+        mem.data_access(0x30_0000, AccessKind::Read);
+        let out = mem.data_access(0x30_0000, AccessKind::Read);
+        assert!(out.l1_hit);
+        assert_eq!(out.latency, mem.l1d_config().way_latency[out.way]);
+    }
+
+    #[test]
+    fn yapd_disable_raises_l1_miss_rate() {
+        let run = |disable: bool| {
+            let mut cfg = HierarchyConfig::paper();
+            if disable {
+                cfg.l1d.way_enabled[0] = false;
+            }
+            let mut mem = MemoryHierarchy::new(cfg).unwrap();
+            let mut x = 0xabcdef_u64;
+            for _ in 0..50_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                // A working set slightly exceeding 16 KB keeps the L1D under
+                // pressure so capacity matters.
+                let addr = (x >> 13) % (24 * 1024);
+                mem.data_access(addr, AccessKind::Read);
+            }
+            mem.l1d_stats().miss_rate()
+        };
+        let base = run(false);
+        let reduced = run(true);
+        assert!(
+            reduced > base,
+            "3-way cache must miss more ({reduced} vs {base})"
+        );
+    }
+
+    #[test]
+    fn reset_stats_preserves_contents() {
+        let mut mem = hierarchy();
+        mem.data_access(0x40_0000, AccessKind::Read);
+        mem.reset_stats();
+        assert_eq!(mem.l1d_stats().accesses(), 0);
+        let out = mem.data_access(0x40_0000, AccessKind::Read);
+        assert!(out.l1_hit, "contents survive a stats reset");
+    }
+
+    #[test]
+    fn next_line_prefetch_turns_streaming_misses_into_hits() {
+        let run = |prefetch: bool| {
+            let mut cfg = HierarchyConfig::paper();
+            cfg.l1d_next_line_prefetch = prefetch;
+            let mut mem = MemoryHierarchy::new(cfg).unwrap();
+            // A pure streaming walk.
+            for i in 0..20_000u64 {
+                mem.data_access(0x100_0000 + i * 8, AccessKind::Read);
+            }
+            (mem.l1d_stats().miss_rate(), mem.prefetch_count())
+        };
+        let (base_miss, base_pf) = run(false);
+        let (pf_miss, pf_count) = run(true);
+        assert_eq!(base_pf, 0);
+        assert!(pf_count > 0);
+        assert!(
+            pf_miss < base_miss / 1.8,
+            "prefetch must roughly halve streaming misses: {pf_miss} vs {base_miss}"
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = HierarchyConfig::paper();
+        cfg.memory_latency = 0;
+        assert!(MemoryHierarchy::new(cfg).is_err());
+    }
+}

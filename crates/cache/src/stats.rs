@@ -1,0 +1,109 @@
+//! Access statistics shared by all cache levels.
+
+use crate::cache::AccessKind;
+use std::fmt;
+
+/// Hit/miss/writeback counters for one cache.
+///
+/// # Examples
+///
+/// ```
+/// use yac_cache::CacheStats;
+///
+/// let stats = CacheStats::default();
+/// assert_eq!(stats.accesses(), 0);
+/// assert_eq!(stats.miss_rate(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Read (load/fetch) accesses.
+    pub reads: u64,
+    /// Write (store) accesses.
+    pub writes: u64,
+    /// Read hits.
+    pub read_hits: u64,
+    /// Write hits.
+    pub write_hits: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    pub(crate) fn record_access(&mut self, kind: AccessKind) {
+        match kind {
+            AccessKind::Read => self.reads += 1,
+            AccessKind::Write => self.writes += 1,
+        }
+    }
+
+    pub(crate) fn record_hit(&mut self, kind: AccessKind) {
+        match kind {
+            AccessKind::Read => self.read_hits += 1,
+            AccessKind::Write => self.write_hits += 1,
+        }
+    }
+
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total hits.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.accesses() - self.hits()
+    }
+
+    /// Miss rate over all accesses (0 when idle).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses() as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses={} hits={} misses={} ({:.2}% miss) writebacks={}",
+            self.accesses(),
+            self.hits(),
+            self.misses(),
+            100.0 * self.miss_rate(),
+            self.writebacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_up() {
+        let mut s = CacheStats::default();
+        s.record_access(AccessKind::Read);
+        s.record_hit(AccessKind::Read);
+        s.record_access(AccessKind::Write);
+        assert_eq!(s.accesses(), 2);
+        assert_eq!(s.hits(), 1);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.miss_rate(), 0.5);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!CacheStats::default().to_string().is_empty());
+    }
+}

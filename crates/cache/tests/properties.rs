@@ -1,0 +1,99 @@
+//! Property-based tests for the cache substrate.
+
+use proptest::prelude::*;
+use yac_cache::{AccessKind, CacheConfig, SetAssocCache};
+
+fn arb_kind() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![Just(AccessKind::Read), Just(AccessKind::Write)]
+}
+
+proptest! {
+    #[test]
+    fn hit_immediately_after_any_access(
+        addrs in prop::collection::vec((0u64..1u64 << 20, arb_kind()), 1..200),
+    ) {
+        let mut cache = SetAssocCache::new(CacheConfig::l1d_paper()).unwrap();
+        for (addr, kind) in addrs {
+            cache.access(addr, kind);
+            prop_assert!(cache.probe(addr), "block must be resident right after access");
+        }
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_available_capacity(
+        addrs in prop::collection::vec(0u64..1u64 << 22, 1..500),
+        disabled_way in prop::option::of(0usize..4),
+    ) {
+        let mut cfg = CacheConfig::l1d_paper();
+        if let Some(w) = disabled_way {
+            cfg.way_enabled[w] = false;
+        }
+        let ways = cfg.way_enabled.iter().filter(|&&e| e).count();
+        let capacity = cfg.sets * ways;
+        let mut cache = SetAssocCache::new(cfg).unwrap();
+        for addr in addrs {
+            cache.access(addr, AccessKind::Read);
+            prop_assert!(cache.occupancy() <= capacity);
+        }
+    }
+
+    #[test]
+    fn stats_hits_plus_misses_equals_accesses(
+        addrs in prop::collection::vec((0u64..1u64 << 16, arb_kind()), 0..300),
+    ) {
+        let mut cache = SetAssocCache::new(CacheConfig::l1d_paper()).unwrap();
+        let n = addrs.len() as u64;
+        for (addr, kind) in addrs {
+            cache.access(addr, kind);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses(), n);
+        prop_assert_eq!(stats.hits() + stats.misses(), n);
+    }
+
+    #[test]
+    fn hyapd_never_uses_the_blocked_way(
+        addrs in prop::collection::vec(0u64..1u64 << 20, 1..300),
+        h in 0usize..4,
+    ) {
+        let mut cfg = CacheConfig::l1d_paper();
+        cfg.disabled_h_region = Some(h);
+        let check = cfg.clone();
+        let mut cache = SetAssocCache::new(cfg).unwrap();
+        for addr in addrs {
+            let set = check.set_of(addr);
+            let out = cache.access(addr, AccessKind::Read);
+            prop_assert!(check.way_available(set, out.way));
+        }
+    }
+
+    #[test]
+    fn writebacks_only_for_previously_written_blocks(
+        ops in prop::collection::vec((0u64..1u64 << 18, arb_kind()), 1..400),
+    ) {
+        let mut cache = SetAssocCache::new(CacheConfig::l1d_paper()).unwrap();
+        let mut written: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let block = |a: u64| a & !31;
+        for (addr, kind) in ops {
+            let out = cache.access(addr, kind);
+            if let Some(victim) = out.writeback {
+                prop_assert!(written.contains(&block(victim)),
+                    "writeback of a never-written block");
+            }
+            if kind == AccessKind::Write {
+                written.insert(block(addr));
+            }
+        }
+    }
+
+    #[test]
+    fn lru_is_deterministic(
+        addrs in prop::collection::vec(0u64..1u64 << 20, 1..200),
+    ) {
+        let run = || {
+            let mut cache = SetAssocCache::new(CacheConfig::l1d_paper()).unwrap();
+            addrs.iter().map(|&a| cache.access(a, AccessKind::Read).hit).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

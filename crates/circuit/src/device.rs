@@ -1,0 +1,162 @@
+//! First-order MOS device models: alpha-power-law drive strength and
+//! subthreshold/gate leakage as functions of the varied parameters.
+
+use crate::tech::Technology;
+use yac_variation::{Parameter, ParameterSet};
+
+/// Drive-strength factor of a device relative to nominal, from the
+/// alpha-power law `I_on ∝ (V - V_t)^α / L`.
+///
+/// `v_swing` is the gate overdrive supply seen by the stack (full `V_dd`
+/// for logic, the reduced [`Technology::cell_read_v`] for the SRAM cell
+/// read path). Values above 1.0 mean a *stronger* (faster) device.
+///
+/// # Examples
+///
+/// ```
+/// use yac_circuit::{device::drive_factor, Technology};
+/// use yac_variation::ParameterSet;
+///
+/// let tech = Technology::ptm45();
+/// let nominal = drive_factor(&tech, &ParameterSet::nominal(), tech.vdd_v);
+/// assert!((nominal - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn drive_factor(tech: &Technology, params: &ParameterSet, v_swing: f64) -> f64 {
+    let vt = params.v_t_mv * 1e-3;
+    let vt_nom = Parameter::ThresholdVoltage.nominal() * 1e-3;
+    let overdrive = (v_swing - vt).max(0.02);
+    let overdrive_nom = (v_swing - vt_nom).max(0.02);
+    let l_ratio = Parameter::GateLength.nominal() / params.l_gate_nm.max(1e-3);
+    (overdrive / overdrive_nom).powf(tech.alpha) * l_ratio
+}
+
+/// Effective switching-resistance factor relative to nominal: the inverse
+/// of [`drive_factor`]. Values above 1.0 mean a slower device.
+#[must_use]
+pub fn resistance_factor(tech: &Technology, params: &ParameterSet, v_swing: f64) -> f64 {
+    1.0 / drive_factor(tech, params, v_swing)
+}
+
+/// Subthreshold leakage of a device relative to nominal:
+/// `I_sub ∝ exp(-V_t / n·v_T) · exp(-(L - L_nom)/l_char) · (L_nom / L)`.
+///
+/// The exponential V_t dependence produces the paper's 5–10× leakage
+/// spread; the channel-length term produces the ~3× spread for a 10 %
+/// `L_eff` excursion.
+///
+/// # Examples
+///
+/// ```
+/// use yac_circuit::{device::subthreshold_factor, Technology};
+/// use yac_variation::{Parameter, ParameterSet};
+///
+/// let tech = Technology::ptm45();
+/// let low_vt = ParameterSet::nominal().with_offset_sigmas(Parameter::ThresholdVoltage, -3.0);
+/// assert!(subthreshold_factor(&tech, &low_vt) > 2.0);
+/// ```
+#[must_use]
+pub fn subthreshold_factor(tech: &Technology, params: &ParameterSet) -> f64 {
+    let vt = params.v_t_mv * 1e-3;
+    let vt_nom = Parameter::ThresholdVoltage.nominal() * 1e-3;
+    let dl = params.l_gate_nm - Parameter::GateLength.nominal();
+    let vt_term = (-(vt - vt_nom) / tech.n_vt_v).exp();
+    let l_term = (-dl / tech.l_char_nm).exp();
+    let width_term = Parameter::GateLength.nominal() / params.l_gate_nm.max(1e-3);
+    vt_term * l_term * width_term
+}
+
+/// Total static leakage factor of a device: subthreshold plus the weakly
+/// varying gate-leakage floor, normalised to 1.0 at nominal.
+#[must_use]
+pub fn leakage_factor(tech: &Technology, params: &ParameterSet) -> f64 {
+    let sub = subthreshold_factor(tech, params);
+    // Gate leakage scales mildly with gate area (W fixed, L varies).
+    let gate = params.l_gate_nm / Parameter::GateLength.nominal();
+    (1.0 - tech.gate_leak_fraction) * sub + tech.gate_leak_fraction * gate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::ptm45()
+    }
+
+    #[test]
+    fn nominal_factors_are_unity() {
+        let p = ParameterSet::nominal();
+        assert!((drive_factor(&tech(), &p, 1.0) - 1.0).abs() < 1e-12);
+        assert!((resistance_factor(&tech(), &p, 1.0) - 1.0).abs() < 1e-12);
+        assert!((subthreshold_factor(&tech(), &p) - 1.0).abs() < 1e-12);
+        assert!((leakage_factor(&tech(), &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_vt_means_slower_and_less_leaky() {
+        let hi = ParameterSet::nominal().with_offset_sigmas(Parameter::ThresholdVoltage, 2.0);
+        let t = tech();
+        assert!(drive_factor(&t, &hi, t.vdd_v) < 1.0);
+        assert!(leakage_factor(&t, &hi) < 1.0);
+    }
+
+    #[test]
+    fn lower_vt_means_faster_and_leakier() {
+        let lo = ParameterSet::nominal().with_offset_sigmas(Parameter::ThresholdVoltage, -2.0);
+        let t = tech();
+        assert!(drive_factor(&t, &lo, t.vdd_v) > 1.0);
+        assert!(leakage_factor(&t, &lo) > 1.0);
+    }
+
+    #[test]
+    fn longer_channel_slower_and_less_leaky() {
+        let long = ParameterSet::nominal().with_offset_sigmas(Parameter::GateLength, 3.0);
+        let t = tech();
+        assert!(drive_factor(&t, &long, t.vdd_v) < 1.0);
+        assert!(subthreshold_factor(&t, &long) < 1.0);
+    }
+
+    #[test]
+    fn vt_sensitivity_amplified_at_reduced_swing() {
+        let t = tech();
+        let hi = ParameterSet::nominal().with_offset_sigmas(Parameter::ThresholdVoltage, 3.0);
+        let full = resistance_factor(&t, &hi, t.vdd_v);
+        let cell = resistance_factor(&t, &hi, t.cell_read_v);
+        assert!(
+            cell > full * 1.05,
+            "cell path must amplify Vt sensitivity (full {full}, cell {cell})"
+        );
+    }
+
+    #[test]
+    fn ten_percent_leff_gives_about_3x_subthreshold() {
+        let t = tech();
+        let short = {
+            let mut p = ParameterSet::nominal();
+            p.l_gate_nm *= 0.9;
+            p
+        };
+        let ratio = subthreshold_factor(&t, &short);
+        assert!((2.5..4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn overdrive_floor_prevents_divergence() {
+        let mut p = ParameterSet::nominal();
+        p.v_t_mv = 990.0; // far above any supply
+        let t = tech();
+        let r = resistance_factor(&t, &p, t.cell_read_v);
+        assert!(r.is_finite() && r > 1.0);
+    }
+
+    #[test]
+    fn interconnect_parameters_do_not_affect_devices() {
+        let t = tech();
+        let p = ParameterSet::nominal()
+            .with_offset_sigmas(Parameter::MetalWidth, 3.0)
+            .with_offset_sigmas(Parameter::IldThickness, -3.0);
+        assert_eq!(drive_factor(&t, &p, t.vdd_v), 1.0);
+        assert_eq!(leakage_factor(&t, &p), 1.0);
+    }
+}

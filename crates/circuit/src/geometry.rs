@@ -1,0 +1,154 @@
+//! Physical organisation of the modeled cache (§3 / Figure 3 of the
+//! paper): 16 KB, 4-way set-associative, each way split into 4 banks of
+//! 64 × 128 bits with bitlines partitioned in two — the Amrutur–Horowitz
+//! style organisation the paper's HSPICE deck implements.
+
+/// Physical organisation of one cache.
+///
+/// # Examples
+///
+/// ```
+/// use yac_circuit::CacheGeometry;
+///
+/// let g = CacheGeometry::paper_16kb();
+/// assert_eq!(g.capacity_bytes(), 16 * 1024);
+/// assert_eq!(g.ways, 4);
+/// assert_eq!(g.regions(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Associativity.
+    pub ways: usize,
+    /// Banks per way; one bank is one horizontal region for H-YAPD.
+    pub banks_per_way: usize,
+    /// Word-line rows per bank.
+    pub rows_per_bank: usize,
+    /// Bit columns per bank.
+    pub cols_per_bank: usize,
+    /// Number of segments each bitline is partitioned into.
+    pub bitline_segments: usize,
+    /// Cache block (line) size in bytes.
+    pub block_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// The paper's 16 KB, 4-way data cache: 4 banks/way, 64×128-bit banks,
+    /// split bitlines, 32-byte blocks.
+    #[must_use]
+    pub fn paper_16kb() -> Self {
+        CacheGeometry {
+            ways: 4,
+            banks_per_way: 4,
+            rows_per_bank: 64,
+            cols_per_bank: 128,
+            bitline_segments: 2,
+            block_bytes: 32,
+        }
+    }
+
+    /// Storage bits in one way.
+    #[must_use]
+    pub fn bits_per_way(&self) -> usize {
+        self.banks_per_way * self.rows_per_bank * self.cols_per_bank
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.ways * self.bits_per_way() / 8
+    }
+
+    /// Number of sets (capacity / (ways × block size)).
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.capacity_bytes() / (self.ways * self.block_bytes)
+    }
+
+    /// Number of horizontal power-down regions (one per bank).
+    #[must_use]
+    pub fn regions(&self) -> usize {
+        self.banks_per_way
+    }
+
+    /// Rows in a bitline segment.
+    #[must_use]
+    pub fn rows_per_segment(&self) -> usize {
+        self.rows_per_bank / self.bitline_segments
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ways == 0
+            || self.banks_per_way == 0
+            || self.rows_per_bank == 0
+            || self.cols_per_bank == 0
+            || self.block_bytes == 0
+        {
+            return Err("all geometry dimensions must be nonzero".into());
+        }
+        if self.bitline_segments == 0 || !self.rows_per_bank.is_multiple_of(self.bitline_segments) {
+            return Err("bitline segments must evenly divide the rows of a bank".into());
+        }
+        if !self.bits_per_way().is_multiple_of(8) {
+            return Err("a way must hold a whole number of bytes".into());
+        }
+        if !self.capacity_bytes().is_multiple_of(self.ways * self.block_bytes) {
+            return Err("blocks must tile the capacity exactly".into());
+        }
+        if !self.sets().is_power_of_two() {
+            return Err("set count must be a power of two for simple indexing".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CacheGeometry {
+    fn default() -> Self {
+        Self::paper_16kb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_adds_up_to_16kb() {
+        let g = CacheGeometry::paper_16kb();
+        assert_eq!(g.bits_per_way(), 4 * 64 * 128);
+        assert_eq!(g.capacity_bytes(), 16384);
+        assert_eq!(g.sets(), 128);
+        assert_eq!(g.rows_per_segment(), 32);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_zero_dimensions() {
+        let mut g = CacheGeometry::paper_16kb();
+        g.rows_per_bank = 0;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_uneven_segments() {
+        let mut g = CacheGeometry::paper_16kb();
+        g.bitline_segments = 3;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_non_power_of_two_sets() {
+        let mut g = CacheGeometry::paper_16kb();
+        g.banks_per_way = 3; // 96 sets
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_paper_geometry() {
+        assert_eq!(CacheGeometry::default(), CacheGeometry::paper_16kb());
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-stage delay factors of the cache read path.
+//!
+//! Each function returns a dimensionless factor, 1.0 at nominal
+//! parameters, multiplying that stage's share of the nominal critical
+//! path. The stages follow Figure 3 of the paper: address drivers and
+//! decoder → global/local wordline → cell + bitline → sense amplifier →
+//! output driver.
+
+use crate::device::resistance_factor;
+use crate::tech::Technology;
+use crate::wire::elmore_factor;
+use yac_variation::{ParameterSet, StructureParams};
+
+/// Delay factor of the static-logic portion of the path (decoder chain,
+/// sense-amplifier enable, output driver), weighted by each structure's
+/// nominal contribution.
+#[must_use]
+pub fn logic_delay_factor(tech: &Technology, s: &StructureParams) -> f64 {
+    const DECODER_W: f64 = 0.5;
+    const SENSE_W: f64 = 0.3;
+    const DRIVER_W: f64 = 0.2;
+    DECODER_W * resistance_factor(tech, &s.decoder, tech.vdd_v)
+        + SENSE_W * resistance_factor(tech, &s.sense_amp, tech.vdd_v)
+        + DRIVER_W * resistance_factor(tech, &s.output_driver, tech.vdd_v)
+}
+
+/// Delay factor of the interconnect portion: the address/predecode route
+/// (decoder-local wiring) plus the global wordline and bitline wiring of
+/// the accessed region.
+///
+/// `region_interconnect` carries the region-refined W/T/H values; the
+/// wordline driver sits in the decoder, so its strength uses the decoder's
+/// device parameters.
+#[must_use]
+pub fn wire_delay_factor(
+    tech: &Technology,
+    s: &StructureParams,
+    region_interconnect: &ParameterSet,
+) -> f64 {
+    const ROUTE_W: f64 = 0.35;
+    const ARRAY_W: f64 = 0.65;
+    let route_driver = resistance_factor(tech, &s.decoder, tech.vdd_v);
+    let array_driver = resistance_factor(tech, &s.decoder, tech.vdd_v);
+    ROUTE_W * elmore_factor(tech, &s.decoder, 1.0, route_driver)
+        + ARRAY_W * elmore_factor(tech, region_interconnect, 1.0, array_driver)
+}
+
+/// Delay factor of the cell read / bitline discharge, the
+/// variation-amplified component: the cell stack operates at the reduced
+/// [`Technology::cell_read_v`] swing and the region's worst cell carries a
+/// deterministic V_t boost (`worst_cell_vt_boost_mv`).
+#[must_use]
+pub fn cell_delay_factor(
+    tech: &Technology,
+    region_cells: &ParameterSet,
+    worst_cell_vt_boost_mv: f64,
+) -> f64 {
+    let boosted = |p: &ParameterSet| {
+        let mut q = *p;
+        q.v_t_mv += worst_cell_vt_boost_mv;
+        q
+    };
+    let varied = resistance_factor(tech, &boosted(region_cells), tech.cell_read_v);
+    let nominal = resistance_factor(tech, &boosted(&ParameterSet::nominal()), tech.cell_read_v);
+    varied / nominal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yac_variation::Parameter;
+
+    fn tech() -> Technology {
+        Technology::ptm45()
+    }
+
+    fn nominal_structures() -> StructureParams {
+        StructureParams::uniform(ParameterSet::nominal())
+    }
+
+    #[test]
+    fn all_factors_are_unity_at_nominal() {
+        let t = tech();
+        let s = nominal_structures();
+        let p = ParameterSet::nominal();
+        assert!((logic_delay_factor(&t, &s) - 1.0).abs() < 1e-9);
+        assert!((wire_delay_factor(&t, &s, &p) - 1.0).abs() < 1e-9);
+        assert!((cell_delay_factor(&t, &p, 30.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_decoder_slows_logic_and_wire_stages() {
+        let t = tech();
+        let mut s = nominal_structures();
+        s.decoder = s.decoder.with_offset_sigmas(Parameter::ThresholdVoltage, 3.0);
+        assert!(logic_delay_factor(&t, &s) > 1.0);
+        assert!(wire_delay_factor(&t, &s, &ParameterSet::nominal()) > 1.0);
+    }
+
+    #[test]
+    fn coupling_corner_slows_wire_stage_only() {
+        // Wide lines shrink the space (coupling up) and a thin dielectric
+        // raises area capacitance: the slow interconnect corner.
+        let t = tech();
+        let s = nominal_structures();
+        let wires = ParameterSet::nominal()
+            .with_offset_sigmas(Parameter::MetalWidth, 3.0)
+            .with_offset_sigmas(Parameter::IldThickness, -3.0);
+        assert!(wire_delay_factor(&t, &s, &wires) > 1.15);
+        assert!((logic_delay_factor(&t, &s) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_stage_is_more_vt_sensitive_than_logic_stage() {
+        let t = tech();
+        let hi = ParameterSet::nominal().with_offset_sigmas(Parameter::ThresholdVoltage, 3.0);
+        let mut s = nominal_structures();
+        s.decoder = hi;
+        s.sense_amp = hi;
+        s.output_driver = hi;
+        let logic = logic_delay_factor(&t, &s);
+        let cell = cell_delay_factor(&t, &hi, 30.0);
+        assert!(
+            cell > logic * 1.05,
+            "cell stage ({cell}) must amplify Vt relative to logic ({logic})"
+        );
+    }
+
+    #[test]
+    fn worst_cell_boost_increases_sensitivity_not_nominal() {
+        let t = tech();
+        let hi = ParameterSet::nominal().with_offset_sigmas(Parameter::ThresholdVoltage, 2.0);
+        let without = cell_delay_factor(&t, &hi, 0.0);
+        let with = cell_delay_factor(&t, &hi, 60.0);
+        assert!(with > without, "boost must amplify the same Vt excursion");
+        assert!((cell_delay_factor(&t, &ParameterSet::nominal(), 60.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factors_are_finite_at_extreme_corners() {
+        let t = tech();
+        let mut extreme = ParameterSet::nominal();
+        for p in Parameter::ALL {
+            extreme = extreme.with_offset_sigmas(p, 3.0);
+        }
+        let s = StructureParams::uniform(extreme);
+        assert!(logic_delay_factor(&t, &s).is_finite());
+        assert!(wire_delay_factor(&t, &s, &extreme).is_finite());
+        assert!(cell_delay_factor(&t, &extreme, 30.0).is_finite());
+    }
+}

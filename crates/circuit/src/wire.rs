@@ -1,0 +1,161 @@
+//! Interconnect electrical models: geometry → R and C per unit length,
+//! plus Elmore delay of driver + distributed RC ladder loads.
+//!
+//! Following §2 / Figure 2 of the paper, a line's resistance depends on its
+//! width `W` and thickness `T`, its ground capacitance on `W` and the ILD
+//! thickness `H`, and its coupling capacitance on `T` and the line space
+//! `S = pitch − W` (line space is not an independent parameter).
+
+use crate::tech::Technology;
+use yac_variation::{Parameter, ParameterSet};
+
+/// Resistance factor per unit length relative to nominal: `R ∝ 1/(W·T)`.
+///
+/// # Examples
+///
+/// ```
+/// use yac_circuit::wire::resistance_per_um_factor;
+/// use yac_variation::ParameterSet;
+///
+/// let r = resistance_per_um_factor(&ParameterSet::nominal());
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn resistance_per_um_factor(params: &ParameterSet) -> f64 {
+    let w_nom = Parameter::MetalWidth.nominal();
+    let t_nom = Parameter::MetalThickness.nominal();
+    (w_nom / params.metal_width_um.max(1e-6)) * (t_nom / params.metal_thickness_um.max(1e-6))
+}
+
+/// Capacitance factor per unit length relative to nominal, combining the
+/// area term `∝ W/H` and the coupling term `∝ T/S` with the technology's
+/// weighting coefficients.
+#[must_use]
+pub fn capacitance_per_um_factor(tech: &Technology, params: &ParameterSet) -> f64 {
+    let w_nom = Parameter::MetalWidth.nominal();
+    let t_nom = Parameter::MetalThickness.nominal();
+    let h_nom = Parameter::IldThickness.nominal();
+    let s_nom = (tech.wire_pitch_um - w_nom).max(1e-6);
+    let s = (tech.wire_pitch_um - params.metal_width_um).max(0.05 * s_nom);
+
+    let area_nom = tech.cap_area_coeff * w_nom / h_nom;
+    let coup_nom = tech.cap_coupling_coeff * t_nom / s_nom;
+    let area = tech.cap_area_coeff * params.metal_width_um / params.ild_thickness_um.max(1e-6);
+    let coup = tech.cap_coupling_coeff * params.metal_thickness_um / s;
+    (area + coup) / (area_nom + coup_nom)
+}
+
+/// Elmore delay factor of a distributed RC line of relative length
+/// `length` (1.0 = the nominal reference length) driven by a driver with
+/// relative output resistance `driver_r`.
+///
+/// The three contributions are the classic `R_drv·C_wire + R_wire·C_wire/2`
+/// ladder terms plus the driver driving the far-end load; all normalised so
+/// that nominal parameters at unit length give 1.0.
+///
+/// # Examples
+///
+/// ```
+/// use yac_circuit::{wire::elmore_factor, Technology};
+/// use yac_variation::ParameterSet;
+///
+/// let tech = Technology::ptm45();
+/// let nominal = elmore_factor(&tech, &ParameterSet::nominal(), 1.0, 1.0);
+/// assert!((nominal - 1.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn elmore_factor(
+    tech: &Technology,
+    params: &ParameterSet,
+    length: f64,
+    driver_r: f64,
+) -> f64 {
+    let r = resistance_per_um_factor(params);
+    let c = capacitance_per_um_factor(tech, params);
+    // Weights of driver-limited vs wire-limited components at nominal.
+    // Local cache wires are short enough that the driver term dominates,
+    // but the quadratic wire term grows with both variation and length.
+    const DRIVER_WEIGHT: f64 = 0.6;
+    const WIRE_WEIGHT: f64 = 0.4;
+    (DRIVER_WEIGHT * driver_r * c * length + WIRE_WEIGHT * r * c * length * length)
+        / (DRIVER_WEIGHT + WIRE_WEIGHT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::ptm45()
+    }
+
+    #[test]
+    fn nominal_factors_are_unity() {
+        let p = ParameterSet::nominal();
+        assert!((resistance_per_um_factor(&p) - 1.0).abs() < 1e-12);
+        assert!((capacitance_per_um_factor(&tech(), &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrow_thin_wire_has_high_resistance() {
+        let p = ParameterSet::nominal()
+            .with_offset_sigmas(Parameter::MetalWidth, -3.0)
+            .with_offset_sigmas(Parameter::MetalThickness, -3.0);
+        let r = resistance_per_um_factor(&p);
+        // W and T each shrink by 33%: R rises by ~1/(0.67^2) ~ 2.2x.
+        assert!((1.8..2.6).contains(&r), "r = {r}");
+    }
+
+    #[test]
+    fn wide_lines_couple_more_strongly() {
+        // Wider W shrinks the space S, raising coupling capacitance.
+        let wide = ParameterSet::nominal().with_offset_sigmas(Parameter::MetalWidth, 3.0);
+        let narrow = ParameterSet::nominal().with_offset_sigmas(Parameter::MetalWidth, -3.0);
+        let t = tech();
+        assert!(
+            capacitance_per_um_factor(&t, &wide) > capacitance_per_um_factor(&t, &narrow)
+        );
+    }
+
+    #[test]
+    fn thin_dielectric_raises_area_capacitance() {
+        let thin = ParameterSet::nominal().with_offset_sigmas(Parameter::IldThickness, -3.0);
+        assert!(capacitance_per_um_factor(&tech(), &thin) > 1.0);
+    }
+
+    #[test]
+    fn elmore_grows_superlinearly_with_length() {
+        let p = ParameterSet::nominal();
+        let t = tech();
+        let d1 = elmore_factor(&t, &p, 1.0, 1.0);
+        let d2 = elmore_factor(&t, &p, 2.0, 1.0);
+        assert!(d2 > 2.0 * d1, "distributed term must be superlinear");
+        assert!(d2 < 4.0 * d1, "but not fully quadratic at short lengths");
+    }
+
+    #[test]
+    fn elmore_scales_with_driver_resistance() {
+        let p = ParameterSet::nominal();
+        let t = tech();
+        let weak = elmore_factor(&t, &p, 1.0, 2.0);
+        let strong = elmore_factor(&t, &p, 1.0, 0.5);
+        assert!(weak > strong);
+    }
+
+    #[test]
+    fn degenerate_geometry_stays_finite() {
+        let mut p = ParameterSet::nominal();
+        p.metal_width_um = tech().wire_pitch_um; // zero space
+        let c = capacitance_per_um_factor(&tech(), &p);
+        assert!(c.is_finite() && c > 0.0);
+    }
+
+    #[test]
+    fn device_parameters_do_not_affect_wires() {
+        let p = ParameterSet::nominal()
+            .with_offset_sigmas(Parameter::GateLength, 3.0)
+            .with_offset_sigmas(Parameter::ThresholdVoltage, -3.0);
+        assert_eq!(resistance_per_um_factor(&p), 1.0);
+        assert_eq!(capacitance_per_um_factor(&tech(), &p), 1.0);
+    }
+}

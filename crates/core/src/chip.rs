@@ -1,0 +1,225 @@
+//! Chip samples and populations: the bridge from Monte Carlo variation
+//! sampling through the circuit model to the yield analysis.
+//!
+//! The paper simulates every die twice — once with the regular cache
+//! organisation and once with the H-YAPD organisation, applying "the same
+//! process variation parameters used in the previous simulations" (§5.1).
+//! [`ChipSample`] therefore carries both circuit evaluations of one die.
+
+use yac_circuit::{CacheCircuitModel, CacheCircuitResult, CacheVariant, Calibration};
+use yac_variation::{MonteCarlo, VariationConfig};
+
+/// One manufactured chip: the same die evaluated under both cache
+/// organisations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSample {
+    /// Index of the chip in its population's Monte Carlo stream.
+    pub index: u64,
+    /// Circuit evaluation with the regular (vertical power-down) layout.
+    pub regular: CacheCircuitResult,
+    /// Circuit evaluation with the H-YAPD (horizontal power-down) layout.
+    pub horizontal: CacheCircuitResult,
+}
+
+impl ChipSample {
+    /// The evaluation for the requested organisation.
+    #[must_use]
+    pub fn result(&self, variant: CacheVariant) -> &CacheCircuitResult {
+        match variant {
+            CacheVariant::Regular => &self.regular,
+            CacheVariant::Horizontal => &self.horizontal,
+        }
+    }
+
+    /// Number of ways on the die.
+    #[must_use]
+    pub fn way_count(&self) -> usize {
+        self.regular.ways.len()
+    }
+}
+
+/// Configuration of a population study.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Number of chips to simulate (the paper uses 2000).
+    pub chips: usize,
+    /// Monte Carlo seed; the population is fully reproducible from it.
+    pub seed: u64,
+    /// Variation-sampling configuration.
+    pub variation: VariationConfig,
+    /// Circuit model for the regular organisation.
+    pub regular_model: CacheCircuitModel,
+    /// Circuit model for the H-YAPD organisation.
+    pub horizontal_model: CacheCircuitModel,
+}
+
+impl PopulationConfig {
+    /// The paper's study shape: 2000 chips, calibrated models.
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        PopulationConfig {
+            chips: 2000,
+            seed,
+            variation: VariationConfig::default(),
+            regular_model: CacheCircuitModel::regular(),
+            horizontal_model: CacheCircuitModel::horizontal(),
+        }
+    }
+}
+
+/// A simulated population of chips.
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::Population;
+/// use yac_circuit::CacheVariant;
+///
+/// let pop = Population::generate(50, 7);
+/// assert_eq!(pop.chips.len(), 50);
+/// let delays = pop.delays(CacheVariant::Regular);
+/// assert_eq!(delays.len(), 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// All simulated chips, in Monte Carlo stream order.
+    pub chips: Vec<ChipSample>,
+    calibration: Calibration,
+    seed: u64,
+}
+
+impl Population {
+    /// Generates a population with the paper's default configuration but a
+    /// custom size and seed.
+    #[must_use]
+    pub fn generate(chips: usize, seed: u64) -> Self {
+        let mut cfg = PopulationConfig::paper(seed);
+        cfg.chips = chips;
+        Self::generate_with(&cfg)
+    }
+
+    /// Generates a population from an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variation configuration is invalid.
+    #[must_use]
+    pub fn generate_with(config: &PopulationConfig) -> Self {
+        let mc = MonteCarlo::new(config.variation);
+        let dies = mc.generate(config.chips, config.seed);
+        let chips = dies
+            .iter()
+            .enumerate()
+            .map(|(i, die)| ChipSample {
+                index: i as u64,
+                regular: config.regular_model.evaluate(die),
+                horizontal: config.horizontal_model.evaluate(die),
+            })
+            .collect();
+        Population {
+            chips,
+            calibration: *config.regular_model.calibration(),
+            seed: config.seed,
+        }
+    }
+
+    /// The calibration shared by the population's circuit models (needed by
+    /// schemes to recompute self-heating after a power-down).
+    #[must_use]
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// The Monte Carlo seed the population was generated from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of chips.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Whether the population is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chips.is_empty()
+    }
+
+    /// Cache access delays of every chip under one organisation.
+    #[must_use]
+    pub fn delays(&self, variant: CacheVariant) -> Vec<f64> {
+        self.chips.iter().map(|c| c.result(variant).delay).collect()
+    }
+
+    /// Settled leakage of every chip under one organisation.
+    #[must_use]
+    pub fn leakages(&self, variant: CacheVariant) -> Vec<f64> {
+        self.chips
+            .iter()
+            .map(|c| c.result(variant).leakage)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = Population::generate(20, 3);
+        let b = Population::generate(20, 3);
+        assert_eq!(a.chips, b.chips);
+        assert_eq!(a.seed(), 3);
+    }
+
+    #[test]
+    fn horizontal_variant_is_slower_on_every_chip() {
+        let pop = Population::generate(50, 5);
+        for chip in &pop.chips {
+            assert!(
+                chip.horizontal.delay > chip.regular.delay,
+                "chip {} horizontal not slower",
+                chip.index
+            );
+        }
+    }
+
+    #[test]
+    fn variants_share_leakage_distribution() {
+        // The H-YAPD reorganisation changes timing, not devices: leakage of
+        // the two variants is identical per chip.
+        let pop = Population::generate(30, 9);
+        for chip in &pop.chips {
+            assert!((chip.regular.leakage - chip.horizontal.leakage).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn result_accessor_selects_variant() {
+        let pop = Population::generate(2, 1);
+        let c = &pop.chips[0];
+        assert_eq!(c.result(CacheVariant::Regular), &c.regular);
+        assert_eq!(c.result(CacheVariant::Horizontal), &c.horizontal);
+        assert_eq!(c.way_count(), 4);
+    }
+
+    #[test]
+    fn empty_population_is_supported() {
+        let pop = Population::generate(0, 1);
+        assert!(pop.is_empty());
+        assert_eq!(pop.len(), 0);
+        assert!(pop.delays(CacheVariant::Regular).is_empty());
+    }
+
+    #[test]
+    fn indices_are_sequential() {
+        let pop = Population::generate(10, 2);
+        for (i, chip) in pop.chips.iter().enumerate() {
+            assert_eq!(chip.index, i as u64);
+        }
+    }
+}

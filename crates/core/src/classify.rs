@@ -1,0 +1,214 @@
+//! Base-case loss classification: why would a chip be discarded?
+//!
+//! Mirrors the row structure of the paper's Tables 2–3: a chip is lost to
+//! its delay constraint (bucketed by how many ways violate it) or, if its
+//! timing is fine, to its leakage constraint.
+
+use crate::constraints::YieldConstraints;
+use std::fmt;
+use yac_circuit::CacheCircuitResult;
+
+/// The reason a chip fails parametric testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LossReason {
+    /// Total settled leakage exceeds the power limit (timing is fine).
+    Leakage,
+    /// `violating_ways` of the cache's ways exceed the delay limit.
+    Delay {
+        /// How many ways are too slow (1..=associativity).
+        violating_ways: usize,
+    },
+}
+
+impl fmt::Display for LossReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LossReason::Leakage => f.write_str("leakage constraint"),
+            LossReason::Delay { violating_ways } => {
+                write!(f, "delay constraint ({violating_ways} way)")
+            }
+        }
+    }
+}
+
+/// Classifies one circuit result against the constraints.
+///
+/// Returns `None` when the chip meets both limits. Chips violating both
+/// constraints are reported under their delay bucket (the leakage row of
+/// the paper's tables holds timing-clean chips); in the calibrated model
+/// the two violations are nearly disjoint anyway — fast chips are the
+/// leaky ones.
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::{classify, ConstraintSpec, LossReason, Population, YieldConstraints};
+/// use yac_circuit::CacheVariant;
+///
+/// let pop = Population::generate(200, 1);
+/// let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+/// let losses = pop
+///     .chips
+///     .iter()
+///     .filter(|chip| classify(chip.result(CacheVariant::Regular), &c).is_some())
+///     .count();
+/// assert!(losses < pop.len());
+/// ```
+#[must_use]
+pub fn classify(result: &CacheCircuitResult, c: &YieldConstraints) -> Option<LossReason> {
+    let violating_ways = result.ways_violating_delay(c.delay_limit);
+    if violating_ways > 0 {
+        return Some(LossReason::Delay { violating_ways });
+    }
+    if !c.meets_leakage(result.leakage) {
+        return Some(LossReason::Leakage);
+    }
+    None
+}
+
+/// The pre-repair way-latency census of a chip: how many ways need 4, 5,
+/// and 6-or-more cycles. This is the "cache configuration" axis of the
+/// paper's Table 6 (e.g. `3-1-0`).
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::WayCycleCensus;
+///
+/// let census = WayCycleCensus { ways_4: 3, ways_5: 1, ways_6_plus: 0 };
+/// assert_eq!(census.to_string(), "3-1-0");
+/// assert_eq!(census.total(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WayCycleCensus {
+    /// Ways meeting the 4-cycle (base) latency.
+    pub ways_4: u8,
+    /// Ways needing exactly 5 cycles.
+    pub ways_5: u8,
+    /// Ways needing 6 or more cycles.
+    pub ways_6_plus: u8,
+}
+
+impl WayCycleCensus {
+    /// Computes the census of a circuit result.
+    #[must_use]
+    pub fn of(result: &CacheCircuitResult, c: &YieldConstraints) -> Self {
+        let mut census = WayCycleCensus {
+            ways_4: 0,
+            ways_5: 0,
+            ways_6_plus: 0,
+        };
+        for way in &result.ways {
+            match c.cycles_for(way.delay) {
+                4 => census.ways_4 += 1,
+                5 => census.ways_5 += 1,
+                _ => census.ways_6_plus += 1,
+            }
+        }
+        census
+    }
+
+    /// Total ways counted.
+    #[must_use]
+    pub fn total(&self) -> u8 {
+        self.ways_4 + self.ways_5 + self.ways_6_plus
+    }
+
+    /// Whether every way meets the base latency (a `4-0-0` chip).
+    #[must_use]
+    pub fn all_fast(&self) -> bool {
+        self.ways_5 == 0 && self.ways_6_plus == 0
+    }
+}
+
+impl fmt::Display for WayCycleCensus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}-{}", self.ways_4, self.ways_5, self.ways_6_plus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::ConstraintSpec;
+    use crate::Population;
+    use yac_circuit::CacheVariant;
+
+    fn sample() -> (Population, YieldConstraints) {
+        let pop = Population::generate(300, 4);
+        let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+        (pop, c)
+    }
+
+    #[test]
+    fn classification_rows_partition_the_losses() {
+        let (pop, c) = sample();
+        let mut none = 0;
+        let mut leak = 0;
+        let mut delay = 0;
+        for chip in &pop.chips {
+            match classify(chip.result(CacheVariant::Regular), &c) {
+                None => none += 1,
+                Some(LossReason::Leakage) => leak += 1,
+                Some(LossReason::Delay { violating_ways }) => {
+                    assert!((1..=4).contains(&violating_ways));
+                    delay += 1;
+                }
+            }
+        }
+        assert_eq!(none + leak + delay, pop.len());
+        assert!(none > pop.len() / 2, "most chips should pass");
+        assert!(leak > 0, "some chips should fail leakage");
+        assert!(delay > 0, "some chips should fail delay");
+    }
+
+    #[test]
+    fn delay_priority_over_leakage() {
+        let (pop, _) = sample();
+        // Force limits so that everything violates both; classification must
+        // pick the delay bucket.
+        let c = YieldConstraints::from_stats(1e-3, 0.0, 1e-3, ConstraintSpec::NOMINAL);
+        for chip in pop.chips.iter().take(10) {
+            match classify(chip.result(CacheVariant::Regular), &c) {
+                Some(LossReason::Delay { violating_ways }) => assert_eq!(violating_ways, 4),
+                other => panic!("expected 4-way delay loss, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn census_counts_sum_to_way_count() {
+        let (pop, c) = sample();
+        for chip in &pop.chips {
+            let census = WayCycleCensus::of(chip.result(CacheVariant::Regular), &c);
+            assert_eq!(census.total(), 4);
+        }
+    }
+
+    #[test]
+    fn census_consistent_with_classification() {
+        let (pop, c) = sample();
+        for chip in &pop.chips {
+            let result = chip.result(CacheVariant::Regular);
+            let census = WayCycleCensus::of(result, &c);
+            match classify(result, &c) {
+                Some(LossReason::Delay { violating_ways }) => {
+                    assert_eq!(
+                        usize::from(census.ways_5 + census.ways_6_plus),
+                        violating_ways
+                    );
+                }
+                _ => assert!(census.all_fast()),
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(LossReason::Leakage.to_string(), "leakage constraint");
+        assert_eq!(
+            LossReason::Delay { violating_ways: 2 }.to_string(),
+            "delay constraint (2 way)"
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Parametric yield constraints (§5.1 of the paper).
+//!
+//! The paper follows Rao et al.: the delay limit is `mean + k·σ` of the
+//! simulated cache-latency distribution and the leakage limit is `m×` the
+//! average leakage. The nominal setting is `k = 1, m = 3`; the relaxed
+//! setting `k = 1.5, m = 4`; the strict setting `k = 0.5, m = 2`.
+//!
+//! Both limits are derived **once**, from the regular-architecture
+//! population, and then applied to every organisation — a chip's spec does
+//! not change because its cache was laid out differently, which is why the
+//! H-YAPD architecture (2.5 % slower on average) loses more chips in its
+//! base case (18.1 % vs 16.9 % in the paper).
+
+use crate::chip::Population;
+use std::fmt;
+use yac_circuit::CacheVariant;
+use yac_variation::stats::Summary;
+
+/// A named constraint recipe: how far out the limits sit.
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::ConstraintSpec;
+///
+/// assert_eq!(ConstraintSpec::NOMINAL.delay_sigma_factor, 1.0);
+/// assert_eq!(ConstraintSpec::STRICT.leakage_mean_factor, 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstraintSpec {
+    /// Human-readable name ("nominal", "relaxed", "strict").
+    pub name: &'static str,
+    /// `k` in `delay_limit = mean + k·σ`.
+    pub delay_sigma_factor: f64,
+    /// `m` in `leakage_limit = m × mean`.
+    pub leakage_mean_factor: f64,
+}
+
+impl ConstraintSpec {
+    /// The paper's primary setting: `mean + σ`, `3 × mean`.
+    pub const NOMINAL: ConstraintSpec = ConstraintSpec {
+        name: "nominal",
+        delay_sigma_factor: 1.0,
+        leakage_mean_factor: 3.0,
+    };
+    /// The relaxed setting of Tables 4–5: `mean + 1.5σ`, `4 × mean`.
+    pub const RELAXED: ConstraintSpec = ConstraintSpec {
+        name: "relaxed",
+        delay_sigma_factor: 1.5,
+        leakage_mean_factor: 4.0,
+    };
+    /// The strict setting of Tables 4–5: `mean + 0.5σ`, `2 × mean`.
+    pub const STRICT: ConstraintSpec = ConstraintSpec {
+        name: "strict",
+        delay_sigma_factor: 0.5,
+        leakage_mean_factor: 2.0,
+    };
+}
+
+impl fmt::Display for ConstraintSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (delay <= mean+{}sigma, leakage <= {}x mean)",
+            self.name, self.delay_sigma_factor, self.leakage_mean_factor
+        )
+    }
+}
+
+/// Concrete limits derived from a population, plus the cycle quantisation
+/// used by the variable-latency schemes.
+///
+/// The clock is set so that a cache exactly at the delay limit completes in
+/// [`YieldConstraints::base_cycles`] (4) cycles; a way needs
+/// `ceil(delay / cycle_time)` cycles, never fewer than the base.
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::{ConstraintSpec, Population, YieldConstraints};
+///
+/// let pop = Population::generate(200, 42);
+/// let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+/// assert_eq!(c.cycles_for(c.delay_limit), 4);
+/// assert_eq!(c.cycles_for(c.delay_limit * 1.2), 5);
+/// assert_eq!(c.cycles_for(c.delay_limit * 1.3), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldConstraints {
+    /// The recipe the limits were derived with.
+    pub spec: ConstraintSpec,
+    /// Maximum acceptable cache access delay (normalised units).
+    pub delay_limit: f64,
+    /// Maximum acceptable settled leakage (normalised units).
+    pub leakage_limit: f64,
+    /// Cycles a limit-delay access takes (the paper's L1D hit latency: 4).
+    pub base_cycles: u32,
+    /// Duration of one clock cycle in delay units: `delay_limit / base_cycles`.
+    pub cycle_time: f64,
+}
+
+impl YieldConstraints {
+    /// Derives limits from the **regular-architecture** distribution of a
+    /// population, per §5.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is empty or contains non-finite values.
+    #[must_use]
+    pub fn derive(population: &Population, spec: ConstraintSpec) -> Self {
+        let delays = population.delays(CacheVariant::Regular);
+        let leaks = population.leakages(CacheVariant::Regular);
+        let d = Summary::from_slice(&delays).expect("population delays must be non-empty/finite");
+        let l = Summary::from_slice(&leaks).expect("population leakage must be non-empty/finite");
+        Self::from_stats(d.mean, d.std_dev, l.mean, spec)
+    }
+
+    /// Builds limits from explicit distribution statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the statistics are not finite and positive.
+    #[must_use]
+    pub fn from_stats(
+        delay_mean: f64,
+        delay_std: f64,
+        leakage_mean: f64,
+        spec: ConstraintSpec,
+    ) -> Self {
+        assert!(
+            delay_mean > 0.0 && delay_std >= 0.0 && leakage_mean > 0.0,
+            "distribution statistics must be positive"
+        );
+        let delay_limit = delay_mean + spec.delay_sigma_factor * delay_std;
+        let base_cycles = 4;
+        YieldConstraints {
+            spec,
+            delay_limit,
+            leakage_limit: spec.leakage_mean_factor * leakage_mean,
+            base_cycles,
+            cycle_time: delay_limit / f64::from(base_cycles),
+        }
+    }
+
+    /// Whether a delay meets the limit.
+    #[must_use]
+    pub fn meets_delay(&self, delay: f64) -> bool {
+        delay <= self.delay_limit
+    }
+
+    /// Whether a settled leakage meets the limit.
+    #[must_use]
+    pub fn meets_leakage(&self, leakage: f64) -> bool {
+        leakage <= self.leakage_limit
+    }
+
+    /// Clock cycles an access of the given delay needs, floored at the base
+    /// pipeline latency.
+    #[must_use]
+    pub fn cycles_for(&self, delay: f64) -> u32 {
+        // The tiny epsilon keeps boundary delays (exactly k cycles) from
+        // rounding up through floating-point noise.
+        let cycles = (delay / self.cycle_time - 1e-9).ceil();
+        if cycles <= f64::from(self.base_cycles) {
+            self.base_cycles
+        } else if cycles >= f64::from(u32::MAX) {
+            u32::MAX
+        } else {
+            cycles as u32
+        }
+    }
+
+    /// The largest delay that still fits in `cycles` cycles.
+    #[must_use]
+    pub fn delay_budget(&self, cycles: u32) -> f64 {
+        f64::from(cycles) * self.cycle_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constraints() -> YieldConstraints {
+        YieldConstraints::from_stats(1.0, 0.2, 5.0, ConstraintSpec::NOMINAL)
+    }
+
+    #[test]
+    fn nominal_limits_follow_spec() {
+        let c = constraints();
+        assert!((c.delay_limit - 1.2).abs() < 1e-12);
+        assert!((c.leakage_limit - 15.0).abs() < 1e-12);
+        assert!((c.cycle_time - 0.3).abs() < 1e-12);
+        assert_eq!(c.base_cycles, 4);
+    }
+
+    #[test]
+    fn relaxed_and_strict_bracket_nominal() {
+        let n = YieldConstraints::from_stats(1.0, 0.2, 5.0, ConstraintSpec::NOMINAL);
+        let r = YieldConstraints::from_stats(1.0, 0.2, 5.0, ConstraintSpec::RELAXED);
+        let s = YieldConstraints::from_stats(1.0, 0.2, 5.0, ConstraintSpec::STRICT);
+        assert!(s.delay_limit < n.delay_limit && n.delay_limit < r.delay_limit);
+        assert!(s.leakage_limit < n.leakage_limit && n.leakage_limit < r.leakage_limit);
+    }
+
+    #[test]
+    fn cycles_quantisation_boundaries() {
+        let c = constraints(); // cycle_time 0.3, limit 1.2
+        assert_eq!(c.cycles_for(0.1), 4); // faster than limit still takes 4
+        assert_eq!(c.cycles_for(1.2), 4);
+        assert_eq!(c.cycles_for(1.2000001), 5);
+        assert_eq!(c.cycles_for(1.5), 5);
+        assert_eq!(c.cycles_for(1.5000301), 6);
+        assert_eq!(c.cycles_for(3.0), 10);
+    }
+
+    #[test]
+    fn delay_budget_inverts_cycles_for() {
+        let c = constraints();
+        for cycles in 4..12 {
+            let budget = c.delay_budget(cycles);
+            assert_eq!(c.cycles_for(budget), cycles);
+            assert_eq!(c.cycles_for(budget + 1e-6), cycles + 1);
+        }
+    }
+
+    #[test]
+    fn meets_predicates() {
+        let c = constraints();
+        assert!(c.meets_delay(1.2));
+        assert!(!c.meets_delay(1.21));
+        assert!(c.meets_leakage(15.0));
+        assert!(!c.meets_leakage(15.1));
+    }
+
+    #[test]
+    fn derive_uses_regular_variant() {
+        let pop = Population::generate(100, 11);
+        let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+        let d = Summary::from_slice(&pop.delays(CacheVariant::Regular)).unwrap();
+        assert!((c.delay_limit - (d.mean + d.std_dev)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn from_stats_rejects_nonpositive_mean() {
+        let _ = YieldConstraints::from_stats(0.0, 0.1, 1.0, ConstraintSpec::NOMINAL);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(ConstraintSpec::NOMINAL.to_string().contains("nominal"));
+    }
+}

@@ -1,0 +1,296 @@
+//! The manufacturer's view: revenue impact of the yield-aware schemes.
+//!
+//! The paper motivates the work economically — "Every discarded chip
+//! increases the cost of those chips that survive the fabrication
+//! process" (§1) — but stops at yield percentages. This module combines
+//! the yield side (how many chips each scheme ships) with the performance
+//! side (the CPI discount the repaired chips must be sold at, as in
+//! speed-binned price ladders) into revenue per wafer-equivalent batch.
+
+use crate::analysis::LossTable;
+use crate::perf::Table6;
+use std::fmt;
+
+/// Pricing assumptions.
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::economics::PriceModel;
+///
+/// let price = PriceModel::default();
+/// assert!(price.full_price > 0.0);
+/// assert!((0.0..1.0).contains(&price.degradation_discount_per_pct));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriceModel {
+    /// Sale price of a healthy full-speed chip (arbitrary currency).
+    pub full_price: f64,
+    /// Fractional price discount per percent of CPI degradation — the
+    /// slope of the speed-binning price ladder. 0.03 means a chip 2 %
+    /// slower sells for 94 % of full price.
+    pub degradation_discount_per_pct: f64,
+}
+
+impl Default for PriceModel {
+    /// A 2006-flavoured ladder: $100 parts, 3 % price per 1 % performance.
+    fn default() -> Self {
+        PriceModel {
+            full_price: 100.0,
+            degradation_discount_per_pct: 0.03,
+        }
+    }
+}
+
+impl PriceModel {
+    /// Price of a chip sold with the given CPI degradation.
+    #[must_use]
+    pub fn repaired_price(&self, degradation_pct: f64) -> f64 {
+        (self.full_price * (1.0 - self.degradation_discount_per_pct * degradation_pct)).max(0.0)
+    }
+
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.full_price.is_finite() && self.full_price > 0.0) {
+            return Err("full price must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.degradation_discount_per_pct) {
+            return Err("discount slope must lie in [0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Revenue of one shipping policy over the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeRevenue {
+    /// Policy name ("base", "YAPD", ...).
+    pub name: String,
+    /// Chips shipped at full price (never violated a constraint).
+    pub full_price_chips: usize,
+    /// Chips shipped after repair, at the degraded price.
+    pub repaired_chips: usize,
+    /// Weighted CPI degradation of the repaired chips, percent.
+    pub avg_degradation_pct: f64,
+    /// Total revenue for the batch.
+    pub revenue: f64,
+}
+
+impl SchemeRevenue {
+    /// Revenue uplift over a reference (usually the base case), percent.
+    #[must_use]
+    pub fn uplift_pct(&self, base: &SchemeRevenue) -> f64 {
+        100.0 * (self.revenue / base.revenue - 1.0)
+    }
+}
+
+/// Revenue comparison across the base case and the schemes of a loss
+/// table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RevenueReport {
+    /// Batch size (chips).
+    pub total_chips: usize,
+    /// Base case first, then one entry per scheme column.
+    pub policies: Vec<SchemeRevenue>,
+}
+
+impl RevenueReport {
+    /// The base (no-repair) policy.
+    #[must_use]
+    pub fn base(&self) -> &SchemeRevenue {
+        &self.policies[0]
+    }
+}
+
+impl fmt::Display for RevenueReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<10}{:>10}{:>10}{:>10}{:>12}{:>10}",
+            "policy", "full", "repaired", "deg%", "revenue", "uplift"
+        )?;
+        let base = self.base().clone();
+        for p in &self.policies {
+            writeln!(
+                f,
+                "{:<10}{:>10}{:>10}{:>9.2}%{:>12.0}{:>9.1}%",
+                p.name,
+                p.full_price_chips,
+                p.repaired_chips,
+                p.avg_degradation_pct,
+                p.revenue,
+                p.uplift_pct(&base),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the revenue comparison from a loss table (yield side) and the
+/// Table 6 weighted degradations (performance side).
+///
+/// The loss table's scheme columns are matched positionally to the
+/// weighted degradations `(YAPD, VACA, Hybrid)`.
+///
+/// # Panics
+///
+/// Panics if the price model is invalid or the loss table has no schemes.
+#[must_use]
+pub fn revenue_report(
+    losses: &LossTable,
+    perf: &Table6,
+    price: &PriceModel,
+) -> RevenueReport {
+    price.validate().expect("valid price model");
+    assert!(!losses.schemes.is_empty(), "loss table carries no schemes");
+
+    let total = losses.total_chips;
+    let healthy = total - losses.base.total();
+    let base_policy = SchemeRevenue {
+        name: "base".to_owned(),
+        full_price_chips: healthy,
+        repaired_chips: 0,
+        avg_degradation_pct: 0.0,
+        revenue: healthy as f64 * price.full_price,
+    };
+
+    let weighted = [perf.weighted.0, perf.weighted.1, perf.weighted.2];
+    let mut policies = vec![base_policy];
+    for (i, scheme) in losses.schemes.iter().enumerate() {
+        let saved = losses.base.total() - scheme.losses.total();
+        let degradation = weighted.get(i).copied().unwrap_or(0.0);
+        let revenue = healthy as f64 * price.full_price
+            + saved as f64 * price.repaired_price(degradation);
+        policies.push(SchemeRevenue {
+            name: scheme.name.clone(),
+            full_price_chips: healthy,
+            repaired_chips: saved,
+            avg_degradation_pct: degradation,
+            revenue,
+        });
+    }
+
+    RevenueReport {
+        total_chips: total,
+        policies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::table2;
+    use crate::perf::{table6, PerfOptions};
+    use crate::{ConstraintSpec, Population, YieldConstraints};
+
+    fn quick_inputs() -> (LossTable, Table6) {
+        let population = Population::generate(300, 2006);
+        let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+        let perf = PerfOptions {
+            warmup_uops: 1_000,
+            measure_uops: 4_000,
+            trace_seed: 1,
+        };
+        (
+            table2(&population, &constraints),
+            table6(&population, &constraints, &perf),
+        )
+    }
+
+    #[test]
+    fn every_scheme_beats_the_base_revenue() {
+        let (losses, perf) = quick_inputs();
+        let report = revenue_report(&losses, &perf, &PriceModel::default());
+        let base = report.base().clone();
+        assert_eq!(report.policies.len(), 4);
+        for p in &report.policies[1..] {
+            assert!(
+                p.revenue > base.revenue,
+                "{}: {} vs {}",
+                p.name,
+                p.revenue,
+                base.revenue
+            );
+            assert!(p.uplift_pct(&base) > 0.0);
+        }
+    }
+
+    #[test]
+    fn hybrid_revenue_tops_the_table_despite_its_degradation() {
+        let (losses, perf) = quick_inputs();
+        let report = revenue_report(&losses, &perf, &PriceModel::default());
+        let revenue = |name: &str| {
+            report
+                .policies
+                .iter()
+                .find(|p| p.name == name)
+                .map(|p| p.revenue)
+                .unwrap_or_else(|| panic!("{name}"))
+        };
+        // The Hybrid ships the most chips; a mild price ladder cannot
+        // overturn that.
+        assert!(revenue("Hybrid") >= revenue("YAPD"));
+        assert!(revenue("Hybrid") >= revenue("VACA"));
+    }
+
+    #[test]
+    fn steep_price_ladders_reduce_but_do_not_erase_the_uplift() {
+        let (losses, perf) = quick_inputs();
+        let mild = revenue_report(
+            &losses,
+            &perf,
+            &PriceModel {
+                full_price: 100.0,
+                degradation_discount_per_pct: 0.01,
+            },
+        );
+        let steep = revenue_report(
+            &losses,
+            &perf,
+            &PriceModel {
+                full_price: 100.0,
+                degradation_discount_per_pct: 0.3,
+            },
+        );
+        let up = |r: &RevenueReport| r.policies[3].uplift_pct(r.base());
+        assert!(up(&mild) > up(&steep));
+        assert!(up(&steep) > 0.0, "repaired chips are still worth selling");
+    }
+
+    #[test]
+    fn repaired_price_floors_at_zero() {
+        let price = PriceModel {
+            full_price: 100.0,
+            degradation_discount_per_pct: 0.5,
+        };
+        assert_eq!(price.repaired_price(0.0), 100.0);
+        assert_eq!(price.repaired_price(400.0), 0.0);
+    }
+
+    #[test]
+    fn report_is_displayable() {
+        let (losses, perf) = quick_inputs();
+        let report = revenue_report(&losses, &perf, &PriceModel::default());
+        let text = report.to_string();
+        assert!(text.contains("Hybrid"));
+        assert!(text.contains("uplift"));
+    }
+
+    #[test]
+    #[should_panic(expected = "full price")]
+    fn invalid_price_model_rejected() {
+        let (losses, perf) = quick_inputs();
+        let _ = revenue_report(
+            &losses,
+            &perf,
+            &PriceModel {
+                full_price: 0.0,
+                degradation_discount_per_pct: 0.01,
+            },
+        );
+    }
+}

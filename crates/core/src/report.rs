@@ -1,0 +1,126 @@
+//! Plain-text rendering of the study results, matching the layout of the
+//! paper's tables so side-by-side comparison is easy.
+
+use crate::analysis::LossTable;
+use std::fmt::Write as _;
+
+/// Renders a [`LossTable`] in the layout of the paper's Tables 2–3.
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::{render_loss_table, table2, ConstraintSpec, Population, YieldConstraints};
+///
+/// let pop = Population::generate(100, 7);
+/// let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+/// let text = render_loss_table(&table2(&pop, &c));
+/// assert!(text.contains("Leakage Constraint"));
+/// ```
+#[must_use]
+pub fn render_loss_table(table: &LossTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Sources of yield loss ({:?} architecture, {} constraints, {} chips)",
+        table.base_variant, table.spec_name, table.total_chips
+    );
+    let _ = write!(out, "{:<28}{:>8}", "Reason of Loss", "# Chips");
+    for s in &table.schemes {
+        let _ = write!(out, "{:>10}", s.name);
+    }
+    out.push('\n');
+    let _ = write!(out, "{:<28}{:>8}", "Leakage Constraint", table.base.leakage);
+    for s in &table.schemes {
+        let _ = write!(out, "{:>10}", s.losses.leakage);
+    }
+    out.push('\n');
+    for (i, &count) in table.base.delay.iter().enumerate() {
+        let label = format!("Delay Constraint ({} Way)", i + 1);
+        let _ = write!(out, "{label:<28}{count:>8}");
+        for s in &table.schemes {
+            let _ = write!(out, "{:>10}", s.losses.delay.get(i).copied().unwrap_or(0));
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "{:<28}{:>8}", "Total", table.base.total());
+    for s in &table.schemes {
+        let _ = write!(out, "{:>10}", s.losses.total());
+    }
+    out.push('\n');
+    let _ = write!(out, "{:<28}{:>8}", "Yield [%]", "");
+    for (i, _) in table.schemes.iter().enumerate() {
+        let _ = write!(out, "{:>10.1}", 100.0 * table.yield_fraction(Some(i)));
+    }
+    out.push('\n');
+    let _ = write!(out, "{:<28}{:>8}", "Loss reduction [%]", "");
+    for (i, _) in table.schemes.iter().enumerate() {
+        let _ = write!(out, "{:>10.1}", 100.0 * table.loss_reduction(i));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders several tables as the totals-only sweep of the paper's Tables
+/// 4–5 (one row per constraint setting).
+#[must_use]
+pub fn render_constraint_sweep(tables: &[LossTable]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<12}{:>8}", "Constraints", "# Chips");
+    if let Some(first) = tables.first() {
+        for s in &first.schemes {
+            let _ = write!(out, "{:>10}", s.name);
+        }
+    }
+    out.push('\n');
+    for t in tables {
+        let _ = write!(out, "{:<12}{:>8}", t.spec_name, t.base.total());
+        for s in &t.schemes {
+            let _ = write!(out, "{:>10}", s.losses.total());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{constraint_sweep, table2};
+    use crate::schemes::PowerDownKind;
+    use crate::{ConstraintSpec, Population, YieldConstraints};
+
+    #[test]
+    fn loss_table_renders_all_rows() {
+        let pop = Population::generate(300, 5);
+        let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+        let text = render_loss_table(&table2(&pop, &c));
+        assert!(text.contains("Leakage Constraint"));
+        assert!(text.contains("Delay Constraint (1 Way)"));
+        assert!(text.contains("Delay Constraint (4 Way)"));
+        assert!(text.contains("Total"));
+        assert!(text.contains("YAPD"));
+        assert!(text.contains("VACA"));
+        assert!(text.contains("Hybrid"));
+        assert!(text.contains("Yield [%]"));
+    }
+
+    #[test]
+    fn sweep_renders_one_row_per_spec() {
+        let pop = Population::generate(300, 5);
+        let tables = constraint_sweep(
+            &pop,
+            PowerDownKind::Vertical,
+            &[ConstraintSpec::RELAXED, ConstraintSpec::STRICT],
+        );
+        let text = render_constraint_sweep(&tables);
+        assert!(text.contains("relaxed"));
+        assert!(text.contains("strict"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_sweep_renders_header_only() {
+        let text = render_constraint_sweep(&[]);
+        assert_eq!(text.lines().count(), 1);
+    }
+}

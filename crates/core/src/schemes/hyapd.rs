@@ -1,0 +1,228 @@
+//! Horizontal Yield-Aware Power-Down (§4.2): disable one horizontal
+//! region of the cache instead of a vertical way.
+
+use super::{leakage_after_region_disable, RepairedCache, Scheme, SchemeOutcome};
+use crate::chip::ChipSample;
+use crate::classify::classify;
+use crate::constraints::YieldConstraints;
+use crate::schemes::DisabledUnit;
+use yac_circuit::Calibration;
+
+/// The H-YAPD scheme.
+///
+/// Thanks to the modified post-decoders (Figure 5 of the paper), turning
+/// off horizontal region `r` removes one — different — vertical way from
+/// every address region, so every set keeps `ways − 1` candidates. Because
+/// process variation is spatially correlated, the slow rows tend to sit in
+/// the *same* region of every way, so one horizontal disable can fix
+/// delay violations in several ways at once — the advantage over
+/// [`super::Yapd`].
+///
+/// The scheme evaluates the H-YAPD cache organisation (≈2.5 % slower on
+/// average), tries each region, and keeps the chip if some single region
+/// disable satisfies both constraints.
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::{ConstraintSpec, HYapd, Population, Scheme, YieldConstraints};
+///
+/// let pop = Population::generate(200, 7);
+/// let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+/// let saved = pop
+///     .chips
+///     .iter()
+///     .filter(|chip| HYapd.apply(chip, &c, pop.calibration()).ships())
+///     .count();
+/// assert!(saved > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HYapd;
+
+impl HYapd {
+    /// The best single-region disable for `chip`, if any satisfies both
+    /// constraints: returns `(region, settled_leakage)` minimising the
+    /// post-repair cache delay.
+    fn best_region(
+        chip: &ChipSample,
+        constraints: &YieldConstraints,
+        calibration: &Calibration,
+    ) -> Option<(usize, f64)> {
+        let result = &chip.horizontal;
+        let regions = result.ways.first()?.region_delay.len();
+        let mut best: Option<(usize, f64, f64)> = None; // (region, delay, leak)
+        for r in 0..regions {
+            let delay = result
+                .ways
+                .iter()
+                .flat_map(|w| {
+                    w.region_delay
+                        .iter()
+                        .enumerate()
+                        .filter(move |(i, _)| *i != r)
+                        .map(|(_, d)| *d)
+                })
+                .fold(f64::MIN, f64::max);
+            if !constraints.meets_delay(delay) {
+                continue;
+            }
+            let settled = leakage_after_region_disable(result, r, calibration);
+            if !constraints.meets_leakage(settled) {
+                continue;
+            }
+            if best.is_none_or(|(_, d, _)| delay < d) {
+                best = Some((r, delay, settled));
+            }
+        }
+        best.map(|(r, _, leak)| (r, leak))
+    }
+}
+
+impl Scheme for HYapd {
+    fn name(&self) -> &str {
+        "H-YAPD"
+    }
+
+    fn apply(
+        &self,
+        chip: &ChipSample,
+        constraints: &YieldConstraints,
+        calibration: &Calibration,
+    ) -> SchemeOutcome {
+        let result = &chip.horizontal;
+        let Some(reason) = classify(result, constraints) else {
+            return SchemeOutcome::MeetsAsIs;
+        };
+
+        match Self::best_region(chip, constraints, calibration) {
+            Some((region, _)) => {
+                let way_cycles = vec![Some(constraints.base_cycles); result.ways.len()];
+                SchemeOutcome::Saved(RepairedCache {
+                    disabled: Some(DisabledUnit::HorizontalRegion(region)),
+                    way_cycles,
+                })
+            }
+            None => SchemeOutcome::Lost(reason),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::LossReason;
+    use crate::schemes::Yapd;
+    use crate::{ConstraintSpec, Population};
+
+    fn setup() -> (Population, YieldConstraints) {
+        let pop = Population::generate(800, 21);
+        // Constraints always derive from the regular architecture.
+        let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+        (pop, c)
+    }
+
+    #[test]
+    fn passing_chips_are_untouched() {
+        let (pop, c) = setup();
+        let mut passing = 0;
+        for chip in &pop.chips {
+            if classify(&chip.horizontal, &c).is_none() {
+                passing += 1;
+                assert_eq!(
+                    HYapd.apply(chip, &c, pop.calibration()),
+                    SchemeOutcome::MeetsAsIs
+                );
+            }
+        }
+        assert!(passing > 0);
+    }
+
+    #[test]
+    fn h_architecture_base_losses_exceed_regular() {
+        // Paper: 362 vs 339 (the +2.5% latency costs chips).
+        let (pop, c) = setup();
+        let lost = |reg: bool| {
+            pop.chips
+                .iter()
+                .filter(|chip| {
+                    classify(if reg { &chip.regular } else { &chip.horizontal }, &c).is_some()
+                })
+                .count()
+        };
+        assert!(lost(false) > lost(true));
+    }
+
+    #[test]
+    fn saved_chips_use_a_single_region_disable() {
+        let (pop, c) = setup();
+        for chip in &pop.chips {
+            if let SchemeOutcome::Saved(r) = HYapd.apply(chip, &c, pop.calibration()) {
+                match r.disabled {
+                    Some(DisabledUnit::HorizontalRegion(region)) => assert!(region < 4),
+                    other => panic!("H-YAPD must disable a region, got {other:?}"),
+                }
+                assert_eq!(r.effective_associativity(), 3);
+                assert_eq!(r.slowest_cycles(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_actually_fixes_the_delay() {
+        let (pop, c) = setup();
+        for chip in &pop.chips {
+            if let SchemeOutcome::Saved(r) = HYapd.apply(chip, &c, pop.calibration()) {
+                let Some(DisabledUnit::HorizontalRegion(region)) = r.disabled else {
+                    unreachable!()
+                };
+                for way in &chip.horizontal.ways {
+                    for (i, d) in way.region_delay.iter().enumerate() {
+                        if i != region {
+                            assert!(c.meets_delay(*d));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saves_some_multi_way_violators_that_yapd_loses() {
+        // The paper's motivation: H-YAPD recovers chips whose slow rows sit
+        // in one horizontal region across several ways (Table 3 rows 3-4).
+        let (pop, c) = setup();
+        let cal = pop.calibration();
+        let mut rescued_beyond_yapd = 0;
+        for chip in &pop.chips {
+            if let Some(LossReason::Delay { violating_ways }) = classify(&chip.horizontal, &c) {
+                if violating_ways >= 2
+                    && HYapd.apply(chip, &c, cal).ships()
+                    && !Yapd.apply(chip, &c, cal).ships()
+                {
+                    rescued_beyond_yapd += 1;
+                }
+            }
+        }
+        assert!(
+            rescued_beyond_yapd > 0,
+            "H-YAPD must rescue some multi-way violators YAPD cannot"
+        );
+    }
+
+    #[test]
+    fn leakage_repair_saves_a_majority() {
+        let (pop, c) = setup();
+        let mut saved = 0;
+        let mut lost = 0;
+        for chip in &pop.chips {
+            if classify(&chip.horizontal, &c) == Some(LossReason::Leakage) {
+                if HYapd.apply(chip, &c, pop.calibration()).ships() {
+                    saved += 1;
+                } else {
+                    lost += 1;
+                }
+            }
+        }
+        assert!(saved > lost, "H-YAPD should save most leakage chips ({saved} vs {lost})");
+    }
+}

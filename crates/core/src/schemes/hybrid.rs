@@ -1,0 +1,477 @@
+//! The Hybrid scheme (§4.4): VACA plus at-most-one power-down.
+
+use super::{
+    leakage_after_region_disable, leakage_after_way_disable, leakiest_way, RepairedCache, Scheme,
+    SchemeOutcome,
+};
+use crate::chip::ChipSample;
+use crate::classify::{classify, LossReason};
+use crate::constraints::YieldConstraints;
+use crate::schemes::DisabledUnit;
+use yac_circuit::{CacheVariant, Calibration};
+
+/// Which power-down mechanism a [`Hybrid`] instance combines with VACA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerDownKind {
+    /// YAPD-style: disable one vertical way (evaluates the regular layout).
+    Vertical,
+    /// H-YAPD-style: disable one horizontal region (evaluates the
+    /// horizontal layout).
+    Horizontal,
+}
+
+/// How the Hybrid decides between keeping a 5-cycle way on (VACA-style)
+/// and disabling it (YAPD-style) when *both* would save the chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HybridPolicy {
+    /// The paper's fixed policy (§4.4): keep ways on as long as possible;
+    /// disable only for a 6-plus-cycle way or a leakage violation.
+    KeepWaysOn,
+    /// The paper's discussed-but-not-evaluated alternative: pick per the
+    /// target workload. A memory-intensive application suffers more from
+    /// the lost capacity than from a 5-cycle way, so above the threshold
+    /// the way stays on; a compute-intensive application prefers the
+    /// disable. Applies only when exactly one way needs 5 cycles and
+    /// nothing else forces the choice.
+    Adaptive {
+        /// Memory intensity of the target workload in `[0, 1]`
+        /// (see [`yac_workload`]-derived helpers or profiling data).
+        memory_intensity: f64,
+        /// Intensity at or above which the slow way is kept enabled.
+        threshold: f64,
+    },
+}
+
+/// The Hybrid scheme: a variable-latency cache that can additionally power
+/// down one way (or one horizontal region).
+///
+/// Per the paper's fixed policy, the Hybrid "keeps the ways on as long as
+/// possible": it powers down only when a way needs more than 5 cycles or
+/// the leakage limit is violated, and it powers down at most one unit.
+/// Remaining ways run at their measured 4- or 5-cycle latencies.
+/// [`Hybrid::adaptive`] instead picks the cheaper repair for a known
+/// target workload (§4.4's discussion).
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::{ConstraintSpec, Hybrid, Population, PowerDownKind, Scheme, YieldConstraints};
+///
+/// let pop = Population::generate(300, 7);
+/// let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+/// let hybrid = Hybrid::new(PowerDownKind::Vertical);
+/// let lost = pop
+///     .chips
+///     .iter()
+///     .filter(|chip| !hybrid.apply(chip, &c, pop.calibration()).ships())
+///     .count();
+/// assert!(lost < pop.len() / 10, "the Hybrid saves almost everything");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hybrid {
+    kind: PowerDownKind,
+    policy: HybridPolicy,
+}
+
+impl Hybrid {
+    /// Creates a Hybrid with the chosen power-down mechanism and the
+    /// paper's fixed keep-ways-on policy.
+    #[must_use]
+    pub fn new(kind: PowerDownKind) -> Self {
+        Hybrid {
+            kind,
+            policy: HybridPolicy::KeepWaysOn,
+        }
+    }
+
+    /// Creates an adaptive Hybrid for a workload of the given memory
+    /// intensity (threshold 0.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_intensity` lies outside `[0, 1]`.
+    #[must_use]
+    pub fn adaptive(kind: PowerDownKind, memory_intensity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&memory_intensity),
+            "memory intensity must lie in [0, 1]"
+        );
+        Hybrid {
+            kind,
+            policy: HybridPolicy::Adaptive {
+                memory_intensity,
+                threshold: 0.5,
+            },
+        }
+    }
+
+    /// The power-down mechanism in use.
+    #[must_use]
+    pub fn kind(&self) -> PowerDownKind {
+        self.kind
+    }
+
+    /// The keep-on/disable policy in use.
+    #[must_use]
+    pub fn policy(&self) -> HybridPolicy {
+        self.policy
+    }
+
+    /// Whether the policy prefers disabling a lone 5-cycle way.
+    fn prefers_disable(&self) -> bool {
+        match self.policy {
+            HybridPolicy::KeepWaysOn => false,
+            HybridPolicy::Adaptive {
+                memory_intensity,
+                threshold,
+            } => memory_intensity < threshold,
+        }
+    }
+
+    fn variant(&self) -> CacheVariant {
+        match self.kind {
+            PowerDownKind::Vertical => CacheVariant::Regular,
+            PowerDownKind::Horizontal => CacheVariant::Horizontal,
+        }
+    }
+
+    fn apply_vertical(
+        &self,
+        chip: &ChipSample,
+        c: &YieldConstraints,
+        cal: &Calibration,
+        reason: LossReason,
+    ) -> SchemeOutcome {
+        let result = &chip.regular;
+        let max_ok = c.base_cycles + 1;
+        let cycles: Vec<u32> = result
+            .ways
+            .iter()
+            .map(|w| c.cycles_for(w.delay))
+            .collect();
+        let over: Vec<usize> = (0..cycles.len()).filter(|&w| cycles[w] > max_ok).collect();
+        if over.len() > 1 {
+            return SchemeOutcome::Lost(reason);
+        }
+
+        let leaky = !c.meets_leakage(result.leakage);
+        // Power down when necessary (a 6+-cycle way or excess leakage) —
+        // or when the adaptive policy says a compute-bound workload would
+        // rather lose the capacity than take 5-cycle hits, provided the
+        // chip has exactly one slow way to point at.
+        let slow5: Vec<usize> = (0..cycles.len())
+            .filter(|&w| cycles[w] == max_ok)
+            .collect();
+        let victim = if let Some(&w) = over.first() {
+            Some(w)
+        } else if leaky {
+            Some(leakiest_way(result))
+        } else if self.prefers_disable() && slow5.len() == 1 {
+            Some(slow5[0])
+        } else {
+            None
+        };
+
+        if let Some(w) = victim {
+            let settled = leakage_after_way_disable(result, w, cal);
+            if !c.meets_leakage(settled) {
+                return SchemeOutcome::Lost(LossReason::Leakage);
+            }
+            let way_cycles = (0..cycles.len())
+                .map(|i| (i != w).then_some(cycles[i]))
+                .collect();
+            SchemeOutcome::Saved(RepairedCache {
+                disabled: Some(DisabledUnit::Way(w)),
+                way_cycles,
+            })
+        } else {
+            // Pure VACA operation on the 5-cycle ways.
+            SchemeOutcome::Saved(RepairedCache {
+                disabled: None,
+                way_cycles: cycles.into_iter().map(Some).collect(),
+            })
+        }
+    }
+
+    fn apply_horizontal(
+        &self,
+        chip: &ChipSample,
+        c: &YieldConstraints,
+        cal: &Calibration,
+        reason: LossReason,
+    ) -> SchemeOutcome {
+        let result = &chip.horizontal;
+        let max_ok = c.base_cycles + 1;
+        let budget = c.delay_budget(max_ok);
+        let way_cycles_full: Vec<u32> = result
+            .ways
+            .iter()
+            .map(|w| c.cycles_for(w.delay))
+            .collect();
+        let leaky = !c.meets_leakage(result.leakage);
+        let needs_disable = leaky || way_cycles_full.iter().any(|&cyc| cyc > max_ok);
+
+        if !needs_disable {
+            return SchemeOutcome::Saved(RepairedCache {
+                disabled: None,
+                way_cycles: way_cycles_full.into_iter().map(Some).collect(),
+            });
+        }
+
+        // Try each region: after disabling it every way must fit in 5
+        // cycles and the settled leakage must meet the limit.
+        let regions = result
+            .ways
+            .first()
+            .map_or(0, |w| w.region_delay.len());
+        let mut best: Option<(usize, Vec<u32>, f64)> = None;
+        for r in 0..regions {
+            let mut ok = true;
+            let mut cycles = Vec::with_capacity(result.ways.len());
+            for way in &result.ways {
+                let delay = way
+                    .region_delay
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != r)
+                    .map(|(_, d)| *d)
+                    .fold(f64::MIN, f64::max);
+                if delay > budget {
+                    ok = false;
+                    break;
+                }
+                cycles.push(c.cycles_for(delay));
+            }
+            if !ok {
+                continue;
+            }
+            let settled = leakage_after_region_disable(result, r, cal);
+            if !c.meets_leakage(settled) {
+                continue;
+            }
+            let worst = cycles.iter().copied().max().unwrap_or(c.base_cycles);
+            if best
+                .as_ref()
+                .is_none_or(|(_, bc, _)| worst < bc.iter().copied().max().unwrap_or(u32::MAX))
+            {
+                best = Some((r, cycles, settled));
+            }
+        }
+
+        match best {
+            Some((r, cycles, _)) => SchemeOutcome::Saved(RepairedCache {
+                disabled: Some(DisabledUnit::HorizontalRegion(r)),
+                way_cycles: cycles.into_iter().map(Some).collect(),
+            }),
+            None => SchemeOutcome::Lost(reason),
+        }
+    }
+}
+
+impl Scheme for Hybrid {
+    fn name(&self) -> &str {
+        match self.kind {
+            PowerDownKind::Vertical => "Hybrid",
+            PowerDownKind::Horizontal => "Hybrid-H",
+        }
+    }
+
+    fn apply(
+        &self,
+        chip: &ChipSample,
+        constraints: &YieldConstraints,
+        calibration: &Calibration,
+    ) -> SchemeOutcome {
+        let result = chip.result(self.variant());
+        let Some(reason) = classify(result, constraints) else {
+            return SchemeOutcome::MeetsAsIs;
+        };
+        match self.kind {
+            PowerDownKind::Vertical => self.apply_vertical(chip, constraints, calibration, reason),
+            PowerDownKind::Horizontal => {
+                self.apply_horizontal(chip, constraints, calibration, reason)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{Vaca, Yapd};
+    use crate::{ConstraintSpec, Population};
+
+    fn setup() -> (Population, YieldConstraints) {
+        let pop = Population::generate(800, 21);
+        let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+        (pop, c)
+    }
+
+    #[test]
+    fn hybrid_dominates_yapd_and_vaca() {
+        // The whole point of §4.4: the Hybrid saves a superset of chips.
+        let (pop, c) = setup();
+        let cal = pop.calibration();
+        let hybrid = Hybrid::new(PowerDownKind::Vertical);
+        let vaca = Vaca::default();
+        for chip in &pop.chips {
+            let h = hybrid.apply(chip, &c, cal).ships();
+            if Yapd.apply(chip, &c, cal).ships() {
+                assert!(h, "chip {} saved by YAPD but not Hybrid", chip.index);
+            }
+            if vaca.apply(chip, &c, cal).ships() {
+                assert!(h, "chip {} saved by VACA but not Hybrid", chip.index);
+            }
+        }
+    }
+
+    #[test]
+    fn keeps_ways_on_when_vaca_suffices() {
+        // Paper §5.2: for 3-1-0 chips the fixed Hybrid policy behaves like
+        // VACA (no disable).
+        let (pop, c) = setup();
+        let hybrid = Hybrid::new(PowerDownKind::Vertical);
+        let mut checked = 0;
+        for chip in &pop.chips {
+            let cycles: Vec<u32> = chip
+                .regular
+                .ways
+                .iter()
+                .map(|w| c.cycles_for(w.delay))
+                .collect();
+            let leaky = !c.meets_leakage(chip.regular.leakage);
+            let fives = cycles.iter().filter(|&&x| x == 5).count();
+            let sixes = cycles.iter().filter(|&&x| x >= 6).count();
+            if fives >= 1 && sixes == 0 && !leaky {
+                if let SchemeOutcome::Saved(r) = hybrid.apply(chip, &c, pop.calibration()) {
+                    assert!(r.disabled.is_none(), "no disable needed for chip {}", chip.index);
+                    assert_eq!(r.ways_at(5), fives);
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn disables_exactly_the_six_cycle_way() {
+        let (pop, c) = setup();
+        let hybrid = Hybrid::new(PowerDownKind::Vertical);
+        let mut checked = 0;
+        for chip in &pop.chips {
+            let cycles: Vec<u32> = chip
+                .regular
+                .ways
+                .iter()
+                .map(|w| c.cycles_for(w.delay))
+                .collect();
+            let sixes: Vec<usize> = (0..4).filter(|&w| cycles[w] >= 6).collect();
+            if sixes.len() == 1 {
+                if let SchemeOutcome::Saved(r) = hybrid.apply(chip, &c, pop.calibration()) {
+                    assert_eq!(r.disabled, Some(DisabledUnit::Way(sixes[0])));
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn loses_chips_with_two_six_cycle_ways() {
+        let (pop, c) = setup();
+        let hybrid = Hybrid::new(PowerDownKind::Vertical);
+        for chip in &pop.chips {
+            let sixes = chip
+                .regular
+                .ways
+                .iter()
+                .filter(|w| c.cycles_for(w.delay) >= 6)
+                .count();
+            if sixes >= 2 {
+                assert!(!hybrid.apply(chip, &c, pop.calibration()).ships());
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_hybrid_dominates_hyapd() {
+        use crate::schemes::HYapd;
+        let (pop, c) = setup();
+        let cal = pop.calibration();
+        let hybrid = Hybrid::new(PowerDownKind::Horizontal);
+        for chip in &pop.chips {
+            if HYapd.apply(chip, &c, cal).ships() {
+                assert!(
+                    hybrid.apply(chip, &c, cal).ships(),
+                    "chip {} saved by H-YAPD but not Hybrid-H",
+                    chip.index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_compute_bound_disables_the_lone_slow_way() {
+        let (pop, c) = setup();
+        let keep = Hybrid::new(PowerDownKind::Vertical);
+        let compute_bound = Hybrid::adaptive(PowerDownKind::Vertical, 0.1);
+        let memory_bound = Hybrid::adaptive(PowerDownKind::Vertical, 0.9);
+        let mut diverged = 0;
+        for chip in &pop.chips {
+            let cycles: Vec<u32> = chip
+                .regular
+                .ways
+                .iter()
+                .map(|w| c.cycles_for(w.delay))
+                .collect();
+            let fives: Vec<usize> = (0..4).filter(|&w| cycles[w] == 5).collect();
+            let sixes = cycles.iter().filter(|&&x| x >= 6).count();
+            let leaky = !c.meets_leakage(chip.regular.leakage);
+            if fives.len() == 1 && sixes == 0 && !leaky {
+                let k = keep.apply(chip, &c, pop.calibration());
+                let cb = compute_bound.apply(chip, &c, pop.calibration());
+                let mb = memory_bound.apply(chip, &c, pop.calibration());
+                // Memory-bound adaptive behaves like the paper's policy.
+                assert_eq!(k, mb);
+                if let (SchemeOutcome::Saved(rk), SchemeOutcome::Saved(rc)) = (&k, &cb) {
+                    assert!(rk.disabled.is_none());
+                    assert_eq!(rc.disabled, Some(DisabledUnit::Way(fives[0])));
+                    diverged += 1;
+                }
+            }
+        }
+        assert!(diverged > 0, "3-1-0-like chips must exist");
+    }
+
+    #[test]
+    fn adaptive_saves_exactly_the_same_chips() {
+        // The policy changes the repair, never the save/lose decision.
+        let (pop, c) = setup();
+        let keep = Hybrid::new(PowerDownKind::Vertical);
+        let adaptive = Hybrid::adaptive(PowerDownKind::Vertical, 0.0);
+        for chip in &pop.chips {
+            let a = keep.apply(chip, &c, pop.calibration()).ships();
+            let b = adaptive.apply(chip, &c, pop.calibration()).ships();
+            // With one exception: an adaptive disable also needs the
+            // leakage check; disabling can only reduce leakage, so it
+            // never loses a chip the fixed policy saves.
+            assert_eq!(a, b, "chip {}", chip.index);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "memory intensity")]
+    fn adaptive_rejects_bad_intensity() {
+        let _ = Hybrid::adaptive(PowerDownKind::Vertical, 1.5);
+    }
+
+    #[test]
+    fn names_distinguish_kinds() {
+        assert_eq!(Hybrid::new(PowerDownKind::Vertical).name(), "Hybrid");
+        assert_eq!(Hybrid::new(PowerDownKind::Horizontal).name(), "Hybrid-H");
+        assert_eq!(
+            Hybrid::new(PowerDownKind::Horizontal).kind(),
+            PowerDownKind::Horizontal
+        );
+    }
+}

@@ -1,0 +1,323 @@
+//! The paper's four yield-aware cache schemes plus the naive
+//! frequency-binning alternative (§4).
+//!
+//! Every scheme consumes one [`ChipSample`] and the derived
+//! [`YieldConstraints`] and decides whether the chip ships as-is, ships
+//! after repair (with a concrete [`RepairedCache`] configuration that the
+//! performance analysis can simulate), or is discarded.
+
+mod hybrid;
+mod hyapd;
+mod naive;
+mod vaca;
+mod yapd;
+
+pub use hybrid::{Hybrid, HybridPolicy, PowerDownKind};
+pub use hyapd::HYapd;
+pub use naive::NaiveBinning;
+pub use vaca::Vaca;
+pub use yapd::Yapd;
+
+use crate::chip::ChipSample;
+use crate::classify::LossReason;
+use crate::constraints::YieldConstraints;
+use std::fmt;
+use yac_circuit::{CacheCircuitResult, Calibration};
+
+/// Which storage unit a scheme powered down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DisabledUnit {
+    /// A whole vertical way (YAPD / vertical Hybrid).
+    Way(usize),
+    /// A horizontal region across all ways (H-YAPD / horizontal Hybrid).
+    HorizontalRegion(usize),
+}
+
+impl fmt::Display for DisabledUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DisabledUnit::Way(w) => write!(f, "way {w}"),
+            DisabledUnit::HorizontalRegion(r) => write!(f, "horizontal region {r}"),
+        }
+    }
+}
+
+/// The post-repair cache configuration of a saved chip.
+///
+/// `way_cycles[w]` is `None` when way `w` is powered down (vertical
+/// disable) and otherwise the hit latency, in cycles, the scheduler must
+/// assume for that way. After a *horizontal* disable every way stays
+/// partially active, so all entries are `Some`, and the effective
+/// associativity drops by one instead.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RepairedCache {
+    /// What was powered down, if anything.
+    pub disabled: Option<DisabledUnit>,
+    /// Per-way hit latency in cycles; `None` = way disabled.
+    pub way_cycles: Vec<Option<u32>>,
+}
+
+impl RepairedCache {
+    /// A configuration with nothing disabled and every way at `cycles`.
+    #[must_use]
+    pub fn uniform(ways: usize, cycles: u32) -> Self {
+        RepairedCache {
+            disabled: None,
+            way_cycles: vec![Some(cycles); ways],
+        }
+    }
+
+    /// Ways still contributing storage to every set.
+    ///
+    /// A vertical disable removes one entry; a horizontal disable keeps all
+    /// ways active but removes one candidate per set (§4.2: "the hit/miss
+    /// behavior of this architecture will be identical to that of a 3-way
+    /// cache").
+    #[must_use]
+    pub fn effective_associativity(&self) -> usize {
+        let enabled = self.way_cycles.iter().filter(|c| c.is_some()).count();
+        match self.disabled {
+            Some(DisabledUnit::HorizontalRegion(_)) => enabled.saturating_sub(1),
+            _ => enabled,
+        }
+    }
+
+    /// The slowest enabled way's latency, in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every way is disabled (schemes never produce that).
+    #[must_use]
+    pub fn slowest_cycles(&self) -> u32 {
+        self.way_cycles
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .expect("a repaired cache keeps at least one way enabled")
+    }
+
+    /// How many enabled ways need exactly `cycles`.
+    #[must_use]
+    pub fn ways_at(&self, cycles: u32) -> usize {
+        self.way_cycles
+            .iter()
+            .flatten()
+            .filter(|&&c| c == cycles)
+            .count()
+    }
+}
+
+/// The decision a scheme makes for one chip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemeOutcome {
+    /// The chip meets both constraints without intervention; the scheme is
+    /// never activated (and costs no performance — §5 of the paper).
+    MeetsAsIs,
+    /// The chip violated a constraint but the scheme rescued it with the
+    /// given configuration.
+    Saved(RepairedCache),
+    /// The chip cannot be rescued by this scheme.
+    Lost(LossReason),
+}
+
+impl SchemeOutcome {
+    /// Whether the chip ships (as-is or repaired).
+    #[must_use]
+    pub fn ships(&self) -> bool {
+        !matches!(self, SchemeOutcome::Lost(_))
+    }
+
+    /// The repaired configuration, if the scheme had to intervene.
+    #[must_use]
+    pub fn repaired(&self) -> Option<&RepairedCache> {
+        match self {
+            SchemeOutcome::Saved(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A yield-aware scheme: a post-fabrication repair policy.
+///
+/// Implementations are stateless policies; the same scheme value can be
+/// applied to every chip of a population.
+pub trait Scheme: fmt::Debug + Send + Sync {
+    /// A short name for reports ("YAPD", "VACA", ...).
+    fn name(&self) -> &str;
+
+    /// Decides the fate of one chip.
+    fn apply(
+        &self,
+        chip: &ChipSample,
+        constraints: &YieldConstraints,
+        calibration: &Calibration,
+    ) -> SchemeOutcome;
+}
+
+/// Settled leakage after powering down way `way` of `result` (vertical
+/// power-down removes the way's cells *and* peripherals; the die then
+/// cools, so self-heating is recomputed against the original way count).
+#[must_use]
+pub fn leakage_after_way_disable(
+    result: &CacheCircuitResult,
+    way: usize,
+    cal: &Calibration,
+) -> f64 {
+    let raw_remaining = result.raw_leakage() - result.ways[way].leakage;
+    raw_remaining * cal.thermal_factor(raw_remaining / result.ways.len() as f64)
+}
+
+/// Settled leakage after powering down horizontal region `region`: the
+/// region's cells go away in every way, but only
+/// [`Calibration::hyapd_peripheral_shutoff`] of the per-region share of
+/// each way's peripherals can be gated (§4.2).
+#[must_use]
+pub fn leakage_after_region_disable(
+    result: &CacheCircuitResult,
+    region: usize,
+    cal: &Calibration,
+) -> f64 {
+    let mut removed = 0.0;
+    for way in &result.ways {
+        let regions = way.region_cell_leakage.len() as f64;
+        removed += way.region_cell_leakage[region];
+        removed += cal.hyapd_peripheral_shutoff * way.peripheral_leakage / regions;
+    }
+    let raw_remaining = result.raw_leakage() - removed;
+    raw_remaining * cal.thermal_factor(raw_remaining / result.ways.len() as f64)
+}
+
+/// Ways of `result` that violate the delay limit.
+#[must_use]
+pub fn slow_ways(result: &CacheCircuitResult, c: &YieldConstraints) -> Vec<usize> {
+    result
+        .ways
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| !c.meets_delay(w.delay))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Index of the way with the highest raw leakage.
+///
+/// # Panics
+///
+/// Panics if the result has no ways.
+#[must_use]
+pub fn leakiest_way(result: &CacheCircuitResult) -> usize {
+    result
+        .ways
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.leakage
+                .partial_cmp(&b.1.leakage)
+                .expect("leakage values are finite")
+        })
+        .map(|(i, _)| i)
+        .expect("result has at least one way")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstraintSpec, Population};
+
+    #[test]
+    fn repaired_cache_accessors() {
+        let r = RepairedCache {
+            disabled: Some(DisabledUnit::Way(2)),
+            way_cycles: vec![Some(4), Some(5), None, Some(4)],
+        };
+        assert_eq!(r.effective_associativity(), 3);
+        assert_eq!(r.slowest_cycles(), 5);
+        assert_eq!(r.ways_at(4), 2);
+        assert_eq!(r.ways_at(5), 1);
+    }
+
+    #[test]
+    fn horizontal_disable_reduces_effective_associativity() {
+        let r = RepairedCache {
+            disabled: Some(DisabledUnit::HorizontalRegion(1)),
+            way_cycles: vec![Some(4); 4],
+        };
+        assert_eq!(r.effective_associativity(), 3);
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let r = RepairedCache::uniform(4, 5);
+        assert_eq!(r.effective_associativity(), 4);
+        assert_eq!(r.slowest_cycles(), 5);
+        assert!(r.disabled.is_none());
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(SchemeOutcome::MeetsAsIs.ships());
+        assert!(SchemeOutcome::Saved(RepairedCache::uniform(4, 4)).ships());
+        assert!(!SchemeOutcome::Lost(LossReason::Leakage).ships());
+        assert!(SchemeOutcome::MeetsAsIs.repaired().is_none());
+        assert!(SchemeOutcome::Saved(RepairedCache::uniform(4, 4))
+            .repaired()
+            .is_some());
+    }
+
+    #[test]
+    fn way_disable_reduces_settled_leakage() {
+        let pop = Population::generate(50, 13);
+        let cal = *pop.calibration();
+        for chip in &pop.chips {
+            for w in 0..4 {
+                let after = leakage_after_way_disable(&chip.regular, w, &cal);
+                assert!(
+                    after < chip.regular.leakage,
+                    "disabling way {w} must reduce leakage"
+                );
+                assert!(after >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn region_disable_removes_less_than_way_disable_of_leakiest() {
+        // One region disable removes ~1/4 of the cells of every way plus a
+        // fraction of peripherals: less than removing the leakiest whole
+        // way's share on typical chips? Not always — but it must always
+        // remove *something* and stay below the original total.
+        let pop = Population::generate(50, 14);
+        let cal = *pop.calibration();
+        for chip in &pop.chips {
+            for r in 0..4 {
+                let after = leakage_after_region_disable(&chip.horizontal, r, &cal);
+                assert!(after < chip.horizontal.leakage);
+                assert!(after >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn slow_ways_and_leakiest_way_are_consistent() {
+        let pop = Population::generate(50, 15);
+        let c = crate::YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+        for chip in &pop.chips {
+            let slow = slow_ways(&chip.regular, &c);
+            assert_eq!(slow.len(), chip.regular.ways_violating_delay(c.delay_limit));
+            let leaky = leakiest_way(&chip.regular);
+            for (i, w) in chip.regular.ways.iter().enumerate() {
+                assert!(w.leakage <= chip.regular.ways[leaky].leakage + 1e-15, "way {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_unit_display() {
+        assert_eq!(DisabledUnit::Way(1).to_string(), "way 1");
+        assert_eq!(
+            DisabledUnit::HorizontalRegion(3).to_string(),
+            "horizontal region 3"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! The naive frequency-binning alternative (§4.5): ship the chip with the
+//! scheduler statically assuming the worst way's latency for *every*
+//! access.
+
+use super::{RepairedCache, Scheme, SchemeOutcome};
+use crate::chip::ChipSample;
+use crate::classify::{classify, LossReason};
+use crate::constraints::YieldConstraints;
+use yac_circuit::{CacheVariant, Calibration};
+
+/// Naive speed binning.
+///
+/// If any way of the cache needs extra cycles, the instruction scheduler is
+/// configured to expect the worst-case latency on **all** loads. The paper
+/// measured 6.42 % average CPI loss when one extra cycle is assumed and
+/// 12.62 % for two extra cycles — the motivation for VACA's per-way
+/// latencies.
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::{ConstraintSpec, NaiveBinning, Population, Scheme, YieldConstraints};
+///
+/// let pop = Population::generate(200, 7);
+/// let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+/// let bin = NaiveBinning::new(2); // allow up to 6-cycle chips
+/// let saved = pop
+///     .chips
+///     .iter()
+///     .filter(|chip| bin.apply(chip, &c, pop.calibration()).ships())
+///     .count();
+/// assert!(saved > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NaiveBinning {
+    max_extra_cycles: u32,
+}
+
+impl NaiveBinning {
+    /// A bin accepting chips whose slowest way needs up to
+    /// `max_extra_cycles` beyond the base latency.
+    #[must_use]
+    pub fn new(max_extra_cycles: u32) -> Self {
+        NaiveBinning { max_extra_cycles }
+    }
+
+    /// The deepest acceptable way latency, in cycles.
+    #[must_use]
+    pub fn max_cycles(&self, c: &YieldConstraints) -> u32 {
+        c.base_cycles + self.max_extra_cycles
+    }
+}
+
+impl Default for NaiveBinning {
+    /// The paper's primary binning case: one extra cycle (5-cycle bin).
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Scheme for NaiveBinning {
+    fn name(&self) -> &str {
+        "naive binning"
+    }
+
+    fn apply(
+        &self,
+        chip: &ChipSample,
+        constraints: &YieldConstraints,
+        _calibration: &Calibration,
+    ) -> SchemeOutcome {
+        let result = chip.result(CacheVariant::Regular);
+        let Some(reason) = classify(result, constraints) else {
+            return SchemeOutcome::MeetsAsIs;
+        };
+        if !constraints.meets_leakage(result.leakage) {
+            return SchemeOutcome::Lost(LossReason::Leakage);
+        }
+        let worst = result
+            .ways
+            .iter()
+            .map(|w| constraints.cycles_for(w.delay))
+            .max()
+            .unwrap_or(constraints.base_cycles);
+        if worst > self.max_cycles(constraints) {
+            return SchemeOutcome::Lost(reason);
+        }
+        // Every access is scheduled at the worst way's latency.
+        SchemeOutcome::Saved(RepairedCache::uniform(result.ways.len(), worst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstraintSpec, Population};
+
+    fn setup() -> (Population, YieldConstraints) {
+        let pop = Population::generate(600, 21);
+        let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+        (pop, c)
+    }
+
+    #[test]
+    fn binned_chips_run_every_way_at_the_worst_latency() {
+        let (pop, c) = setup();
+        let bin = NaiveBinning::default();
+        for chip in &pop.chips {
+            if let SchemeOutcome::Saved(r) = bin.apply(chip, &c, pop.calibration()) {
+                let worst = chip
+                    .regular
+                    .ways
+                    .iter()
+                    .map(|w| c.cycles_for(w.delay))
+                    .max()
+                    .unwrap();
+                assert_eq!(r.slowest_cycles(), worst);
+                assert_eq!(r.ways_at(worst), 4, "all ways binned to the worst");
+                assert!(r.disabled.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn wider_bins_accept_more_chips() {
+        let (pop, c) = setup();
+        let count = |bin: NaiveBinning| {
+            pop.chips
+                .iter()
+                .filter(|chip| bin.apply(chip, &c, pop.calibration()).ships())
+                .count()
+        };
+        let one = count(NaiveBinning::new(1));
+        let two = count(NaiveBinning::new(2));
+        assert!(two >= one);
+    }
+
+    #[test]
+    fn binning_cannot_save_leakage() {
+        let (pop, c) = setup();
+        let bin = NaiveBinning::new(10);
+        for chip in &pop.chips {
+            if classify(&chip.regular, &c) == Some(LossReason::Leakage) {
+                assert!(!bin.apply(chip, &c, pop.calibration()).ships());
+            }
+        }
+    }
+
+    #[test]
+    fn max_cycles_reflects_bin_depth() {
+        let (_, c) = setup();
+        assert_eq!(NaiveBinning::default().max_cycles(&c), 5);
+        assert_eq!(NaiveBinning::new(2).max_cycles(&c), 6);
+    }
+}

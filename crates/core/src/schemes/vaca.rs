@@ -1,0 +1,225 @@
+//! The Variable-latency Cache Architecture (§4.3): keep slow ways enabled
+//! and let them answer one cycle late.
+
+use super::{slow_ways, RepairedCache, Scheme, SchemeOutcome};
+use crate::chip::ChipSample;
+use crate::classify::{classify, LossReason};
+use crate::constraints::YieldConstraints;
+use yac_circuit::{CacheVariant, Calibration};
+
+/// The VACA scheme.
+///
+/// Load-bypass buffers at the functional-unit inputs allow an access to
+/// complete in `base + 1` cycles (the paper fixes the buffers at a single
+/// entry, so 4-or-5-cycle ways are supported; anything needing 6 or more
+/// cycles is a loss). VACA never powers anything down, so it cannot save
+/// leakage violators.
+///
+/// The scheme can be applied to either cache organisation — the paper's
+/// Table 3 evaluates it on the H-YAPD layout too.
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::{ConstraintSpec, Population, Scheme, Vaca, YieldConstraints};
+///
+/// let pop = Population::generate(200, 7);
+/// let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+/// let vaca = Vaca::default();
+/// let saved = pop
+///     .chips
+///     .iter()
+///     .filter(|chip| vaca.apply(chip, &c, pop.calibration()).ships())
+///     .count();
+/// assert!(saved > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vaca {
+    variant: CacheVariant,
+    /// Extra cycles the load-bypass buffers can absorb (the paper uses 1;
+    /// §4.3 discusses — and dismisses — deeper buffers, which we expose for
+    /// the ablation study).
+    extra_cycles: u32,
+}
+
+impl Vaca {
+    /// VACA on the regular cache organisation with single-entry buffers.
+    #[must_use]
+    pub fn new(variant: CacheVariant) -> Self {
+        Vaca {
+            variant,
+            extra_cycles: 1,
+        }
+    }
+
+    /// VACA with deeper load-bypass buffers tolerating `extra_cycles`
+    /// additional cycles (the paper's unexplored extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra_cycles` is 0 — that would be a plain cache.
+    #[must_use]
+    pub fn with_buffer_depth(variant: CacheVariant, extra_cycles: u32) -> Self {
+        assert!(extra_cycles > 0, "VACA needs at least one buffer entry");
+        Vaca {
+            variant,
+            extra_cycles,
+        }
+    }
+
+    /// The organisation this instance evaluates.
+    #[must_use]
+    pub fn variant(&self) -> CacheVariant {
+        self.variant
+    }
+
+    /// The slowest supported access latency, in cycles.
+    #[must_use]
+    pub fn max_cycles(&self, constraints: &YieldConstraints) -> u32 {
+        constraints.base_cycles + self.extra_cycles
+    }
+}
+
+impl Default for Vaca {
+    /// VACA on the regular organisation, single-entry buffers.
+    fn default() -> Self {
+        Self::new(CacheVariant::Regular)
+    }
+}
+
+impl Scheme for Vaca {
+    fn name(&self) -> &str {
+        "VACA"
+    }
+
+    fn apply(
+        &self,
+        chip: &ChipSample,
+        constraints: &YieldConstraints,
+        _calibration: &Calibration,
+    ) -> SchemeOutcome {
+        let result = chip.result(self.variant);
+        let Some(reason) = classify(result, constraints) else {
+            return SchemeOutcome::MeetsAsIs;
+        };
+
+        // VACA has no power-down: a leakage violation is terminal.
+        if !constraints.meets_leakage(result.leakage) {
+            return SchemeOutcome::Lost(LossReason::Leakage);
+        }
+
+        let max = self.max_cycles(constraints);
+        let way_cycles: Vec<Option<u32>> = result
+            .ways
+            .iter()
+            .map(|w| Some(constraints.cycles_for(w.delay)))
+            .collect();
+        if way_cycles.iter().flatten().any(|&c| c > max) {
+            return SchemeOutcome::Lost(reason);
+        }
+        debug_assert!(!slow_ways(result, constraints).is_empty());
+        SchemeOutcome::Saved(RepairedCache {
+            disabled: None,
+            way_cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstraintSpec, Population};
+
+    fn setup() -> (Population, YieldConstraints) {
+        let pop = Population::generate(800, 21);
+        let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+        (pop, c)
+    }
+
+    #[test]
+    fn never_saves_leakage_violators() {
+        let (pop, c) = setup();
+        for chip in &pop.chips {
+            if classify(&chip.regular, &c) == Some(LossReason::Leakage) {
+                assert!(!Vaca::default().apply(chip, &c, pop.calibration()).ships());
+            }
+        }
+    }
+
+    #[test]
+    fn saves_exactly_the_sub_six_cycle_delay_violators() {
+        let (pop, c) = setup();
+        let vaca = Vaca::default();
+        for chip in &pop.chips {
+            if let Some(LossReason::Delay { .. }) = classify(&chip.regular, &c) {
+                let worst = chip
+                    .regular
+                    .ways
+                    .iter()
+                    .map(|w| c.cycles_for(w.delay))
+                    .max()
+                    .unwrap();
+                let leaky = !c.meets_leakage(chip.regular.leakage);
+                let outcome = vaca.apply(chip, &c, pop.calibration());
+                if worst <= 5 && !leaky {
+                    let r = outcome.repaired().expect("5-cycle chips are saved");
+                    assert_eq!(r.effective_associativity(), 4);
+                    assert_eq!(r.slowest_cycles(), worst);
+                    assert!(r.disabled.is_none());
+                } else {
+                    assert!(!outcome.ships());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_buffers_save_more_chips() {
+        let (pop, c) = setup();
+        let shallow = Vaca::default();
+        let deep = Vaca::with_buffer_depth(CacheVariant::Regular, 3);
+        let count = |s: &Vaca| {
+            pop.chips
+                .iter()
+                .filter(|chip| matches!(s.apply(chip, &c, pop.calibration()), SchemeOutcome::Saved(_)))
+                .count()
+        };
+        let a = count(&shallow);
+        let b = count(&deep);
+        assert!(b >= a, "deeper buffers cannot save fewer chips ({b} vs {a})");
+        assert!(b > a, "the 6+-cycle tail should be reachable with depth 3");
+    }
+
+    #[test]
+    fn variant_selection_matters() {
+        let (pop, c) = setup();
+        let reg = Vaca::new(CacheVariant::Regular);
+        let hor = Vaca::new(CacheVariant::Horizontal);
+        // The horizontal organisation is slower, so VACA on it saves at
+        // most as many chips (usually fewer).
+        let count = |s: &Vaca| {
+            pop.chips
+                .iter()
+                .filter(|chip| s.apply(chip, &c, pop.calibration()).ships())
+                .count()
+        };
+        assert!(count(&hor) <= count(&reg));
+        assert_eq!(reg.variant(), CacheVariant::Regular);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer")]
+    fn zero_depth_is_rejected() {
+        let _ = Vaca::with_buffer_depth(CacheVariant::Regular, 0);
+    }
+
+    #[test]
+    fn max_cycles_reflects_depth() {
+        let (_, c) = setup();
+        assert_eq!(Vaca::default().max_cycles(&c), 5);
+        assert_eq!(
+            Vaca::with_buffer_depth(CacheVariant::Regular, 3).max_cycles(&c),
+            7
+        );
+    }
+}

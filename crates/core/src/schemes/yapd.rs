@@ -1,0 +1,192 @@
+//! Yield-Aware Power-Down (§4.1): disable at most one vertical way.
+
+use super::{
+    leakage_after_way_disable, leakiest_way, slow_ways, RepairedCache, Scheme, SchemeOutcome,
+};
+use crate::chip::ChipSample;
+use crate::classify::{classify, LossReason};
+use crate::constraints::YieldConstraints;
+use crate::schemes::DisabledUnit;
+use yac_circuit::Calibration;
+
+/// The YAPD scheme: Selective Cache Ways + Gated-Vdd, driven by yield.
+///
+/// If exactly one way violates the delay limit it is turned off; if the
+/// chip only violates the leakage limit, the leakiest way is turned off.
+/// At most a single way may be disabled (the paper's 2 % performance
+/// budget, §4.2), so chips with two or more slow ways are lost, as are
+/// chips whose leakage still violates the limit after the disable.
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::{ConstraintSpec, Population, Scheme, Yapd, YieldConstraints};
+///
+/// let pop = Population::generate(200, 7);
+/// let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+/// let saved = pop
+///     .chips
+///     .iter()
+///     .filter(|chip| Yapd.apply(chip, &c, pop.calibration()).ships())
+///     .count();
+/// assert!(saved > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Yapd;
+
+impl Scheme for Yapd {
+    fn name(&self) -> &str {
+        "YAPD"
+    }
+
+    fn apply(
+        &self,
+        chip: &ChipSample,
+        constraints: &YieldConstraints,
+        calibration: &Calibration,
+    ) -> SchemeOutcome {
+        let result = &chip.regular;
+        let Some(reason) = classify(result, constraints) else {
+            return SchemeOutcome::MeetsAsIs;
+        };
+
+        let slow = slow_ways(result, constraints);
+        if slow.len() > 1 {
+            return SchemeOutcome::Lost(reason);
+        }
+
+        // Exactly one slow way: it must be the one disabled. Leakage-only
+        // chips get their leakiest way disabled instead.
+        let victim = slow
+            .first()
+            .copied()
+            .unwrap_or_else(|| leakiest_way(result));
+
+        let settled = leakage_after_way_disable(result, victim, calibration);
+        if !constraints.meets_leakage(settled) {
+            return SchemeOutcome::Lost(LossReason::Leakage);
+        }
+
+        let way_cycles = (0..result.ways.len())
+            .map(|w| (w != victim).then_some(constraints.base_cycles))
+            .collect();
+        SchemeOutcome::Saved(RepairedCache {
+            disabled: Some(DisabledUnit::Way(victim)),
+            way_cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstraintSpec, Population, WayCycleCensus};
+
+    fn setup() -> (Population, YieldConstraints) {
+        let pop = Population::generate(800, 21);
+        let c = YieldConstraints::derive(&pop, ConstraintSpec::NOMINAL);
+        (pop, c)
+    }
+
+    #[test]
+    fn passing_chips_are_untouched() {
+        let (pop, c) = setup();
+        for chip in &pop.chips {
+            if classify(&chip.regular, &c).is_none() {
+                assert_eq!(
+                    Yapd.apply(chip, &c, pop.calibration()),
+                    SchemeOutcome::MeetsAsIs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saves_every_single_way_delay_violator() {
+        // The paper's Table 2: YAPD nullifies the one-way delay row.
+        let (pop, c) = setup();
+        for chip in &pop.chips {
+            if let Some(LossReason::Delay { violating_ways: 1 }) = classify(&chip.regular, &c) {
+                let outcome = Yapd.apply(chip, &c, pop.calibration());
+                match outcome {
+                    SchemeOutcome::Saved(r) => {
+                        assert_eq!(r.effective_associativity(), 3);
+                        assert_eq!(r.slowest_cycles(), 4);
+                        // The disabled way is the slow one.
+                        let slow = slow_ways(&chip.regular, &c);
+                        assert_eq!(r.disabled, Some(DisabledUnit::Way(slow[0])));
+                    }
+                    // Permitted only if the chip also violates leakage after
+                    // the repair (rare: slow chips are the cool ones).
+                    SchemeOutcome::Lost(LossReason::Leakage) => {}
+                    other => panic!("single-way violator mishandled: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loses_every_multi_way_delay_violator() {
+        let (pop, c) = setup();
+        for chip in &pop.chips {
+            if let Some(LossReason::Delay { violating_ways }) = classify(&chip.regular, &c) {
+                if violating_ways >= 2 {
+                    assert!(!Yapd.apply(chip, &c, pop.calibration()).ships());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leakage_repairs_disable_the_leakiest_way() {
+        let (pop, c) = setup();
+        let mut repaired = 0;
+        for chip in &pop.chips {
+            if classify(&chip.regular, &c) == Some(LossReason::Leakage) {
+                if let SchemeOutcome::Saved(r) = Yapd.apply(chip, &c, pop.calibration()) {
+                    assert_eq!(
+                        r.disabled,
+                        Some(DisabledUnit::Way(leakiest_way(&chip.regular)))
+                    );
+                    repaired += 1;
+                }
+            }
+        }
+        assert!(repaired > 0, "some leakage chips must be repairable");
+    }
+
+    #[test]
+    fn saves_most_leakage_violators_but_not_all() {
+        // Paper: 138 -> 33 remaining. The shape requirement: a clear
+        // majority saved, a nonzero remainder lost.
+        let (pop, c) = setup();
+        let mut lost = 0;
+        let mut saved = 0;
+        for chip in &pop.chips {
+            if classify(&chip.regular, &c) == Some(LossReason::Leakage) {
+                if Yapd.apply(chip, &c, pop.calibration()).ships() {
+                    saved += 1;
+                } else {
+                    lost += 1;
+                }
+            }
+        }
+        assert!(saved > lost, "YAPD should save most leakage chips ({saved} vs {lost})");
+        assert!(lost > 0, "the extreme leakage tail should survive the repair");
+    }
+
+    #[test]
+    fn saved_chips_keep_base_cycles_everywhere() {
+        let (pop, c) = setup();
+        for chip in &pop.chips {
+            if let SchemeOutcome::Saved(r) = Yapd.apply(chip, &c, pop.calibration()) {
+                for cycles in r.way_cycles.iter().flatten() {
+                    assert_eq!(*cycles, 4);
+                }
+                // Pre-repair census: at most one way beyond 4 cycles.
+                let census = WayCycleCensus::of(&chip.regular, &c);
+                assert!(census.ways_5 + census.ways_6_plus <= 1);
+            }
+        }
+    }
+}

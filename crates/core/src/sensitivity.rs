@@ -1,0 +1,234 @@
+//! Which variation source matters? Total-effect sensitivity of cache
+//! delay and leakage to each of the paper's Table 1 parameters.
+//!
+//! §2 of the paper argues qualitatively that V_t and L_gate dominate
+//! (exponential leakage dependence, near-threshold delay sensitivity)
+//! while interconnect geometry matters less. This module quantifies that
+//! for our model with a freeze-one-source analysis: re-evaluate the same
+//! Monte Carlo dies with one source pinned at nominal and measure how
+//! much output variance disappears.
+
+use crate::chip::PopulationConfig;
+use std::fmt;
+use yac_circuit::CacheCircuitModel;
+use yac_variation::stats::Summary;
+use yac_variation::{CacheVariation, MonteCarlo, Parameter, ParameterSet};
+
+/// One variation source's contribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityRow {
+    /// Source name (`gate length`, ..., or `worst-cell EV`).
+    pub source: String,
+    /// Share of cache-delay variance removed by freezing the source
+    /// (total effect; shares need not sum to 1 in a nonlinear model).
+    pub delay_share: f64,
+    /// Ditto for settled leakage (log-domain, so the heavy tail does not
+    /// let one outlier dominate).
+    pub leakage_share: f64,
+}
+
+/// Total-effect sensitivity of delay and leakage per variation source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityReport {
+    /// One row per source, in Table 1 order plus the worst-cell term.
+    pub rows: Vec<SensitivityRow>,
+    /// Chips analysed.
+    pub chips: usize,
+}
+
+impl fmt::Display for SensitivityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<20}{:>14}{:>16}",
+            "source", "delay var %", "leakage var %"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<20}{:>13.1}%{:>15.1}%",
+                row.source,
+                100.0 * row.delay_share,
+                100.0 * row.leakage_share
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Pins one Table 1 parameter at its nominal value everywhere on a die.
+fn freeze_parameter(die: &CacheVariation, p: Parameter) -> CacheVariation {
+    let mut out = die.clone();
+    let nominal = ParameterSet::nominal().get(p);
+    let fix = |set: &mut ParameterSet| set.set(p, nominal);
+    for way in &mut out.ways {
+        fix(&mut way.base);
+        fix(&mut way.structures.decoder);
+        fix(&mut way.structures.precharge);
+        fix(&mut way.structures.cell_array);
+        fix(&mut way.structures.sense_amp);
+        fix(&mut way.structures.output_driver);
+        for region in &mut way.regions {
+            fix(&mut region.cell_array);
+            fix(&mut region.interconnect);
+        }
+    }
+    out
+}
+
+/// Zeroes the per-region worst-cell excursions of a die.
+fn freeze_worst_cell(die: &CacheVariation) -> CacheVariation {
+    let mut out = die.clone();
+    for way in &mut out.ways {
+        for region in &mut way.regions {
+            region.worst_cell_extra_mv = 0.0;
+        }
+    }
+    out
+}
+
+fn variances(model: &CacheCircuitModel, dies: &[CacheVariation]) -> (f64, f64) {
+    let mut delays = Vec::with_capacity(dies.len());
+    let mut leaks = Vec::with_capacity(dies.len());
+    for die in dies {
+        let r = model.evaluate(die);
+        delays.push(r.delay);
+        leaks.push(r.leakage.max(1e-12).ln());
+    }
+    let d = Summary::from_slice(&delays).expect("finite delays");
+    let l = Summary::from_slice(&leaks).expect("finite leakage");
+    (d.std_dev * d.std_dev, l.std_dev * l.std_dev)
+}
+
+/// Runs the freeze-one-source analysis.
+///
+/// # Panics
+///
+/// Panics if `chips` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::sensitivity::sensitivity_study;
+///
+/// let report = sensitivity_study(150, 2006);
+/// assert_eq!(report.rows.len(), 6);
+/// let vt = report.rows.iter().find(|r| r.source.contains("threshold")).unwrap();
+/// assert!(vt.leakage_share > 0.3, "V_t must dominate leakage");
+/// ```
+#[must_use]
+pub fn sensitivity_study(chips: usize, seed: u64) -> SensitivityReport {
+    assert!(chips > 0, "population must be non-empty");
+    let config = PopulationConfig::paper(seed);
+    let mc = MonteCarlo::new(config.variation);
+    let dies = mc.generate(chips, seed);
+    let model = &config.regular_model;
+
+    let (delay_full, leak_full) = variances(model, &dies);
+    let share = |frozen: (f64, f64)| {
+        (
+            (1.0 - frozen.0 / delay_full).max(0.0),
+            (1.0 - frozen.1 / leak_full).max(0.0),
+        )
+    };
+
+    let mut rows = Vec::new();
+    for p in Parameter::ALL {
+        let frozen: Vec<CacheVariation> = dies.iter().map(|d| freeze_parameter(d, p)).collect();
+        let (d, l) = share(variances(model, &frozen));
+        rows.push(SensitivityRow {
+            source: p.to_string(),
+            delay_share: d,
+            leakage_share: l,
+        });
+    }
+    let frozen: Vec<CacheVariation> = dies.iter().map(freeze_worst_cell).collect();
+    let (d, l) = share(variances(model, &frozen));
+    rows.push(SensitivityRow {
+        source: "worst-cell EV".to_owned(),
+        delay_share: d,
+        leakage_share: l,
+    });
+
+    SensitivityReport { rows, chips }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vt_dominates_leakage_and_matters_for_delay() {
+        let report = sensitivity_study(250, 2006);
+        let get = |needle: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.source.contains(needle))
+                .unwrap_or_else(|| panic!("{needle} row"))
+        };
+        let vt = get("threshold");
+        let w = get("metal width");
+        assert!(
+            vt.leakage_share > w.leakage_share,
+            "Vt ({}) must beat metal width ({}) on leakage",
+            vt.leakage_share,
+            w.leakage_share
+        );
+        assert!(vt.leakage_share > 0.3);
+        assert!(vt.delay_share > 0.1, "near-threshold cells feel Vt");
+    }
+
+    #[test]
+    fn worst_cell_term_contributes_to_delay_not_leakage() {
+        let report = sensitivity_study(250, 2006);
+        let wc = report
+            .rows
+            .iter()
+            .find(|r| r.source == "worst-cell EV")
+            .expect("row present");
+        assert!(wc.delay_share > 0.02, "EV tail shapes delay: {}", wc.delay_share);
+        assert!(
+            wc.leakage_share < 0.05,
+            "the worst cell does not move total leakage: {}",
+            wc.leakage_share
+        );
+    }
+
+    #[test]
+    fn shares_are_bounded() {
+        let report = sensitivity_study(120, 7);
+        for row in &report.rows {
+            assert!((0.0..=1.0).contains(&row.delay_share), "{row:?}");
+            assert!((0.0..=1.0).contains(&row.leakage_share), "{row:?}");
+        }
+    }
+
+    #[test]
+    fn freezing_is_idempotent_on_the_frozen_axis() {
+        let config = PopulationConfig::paper(3);
+        let mc = MonteCarlo::new(config.variation);
+        let die = mc.generate(1, 3).remove(0);
+        let frozen = freeze_parameter(&die, Parameter::ThresholdVoltage);
+        for way in &frozen.ways {
+            assert_eq!(way.base.v_t_mv, 220.0);
+            for region in &way.regions {
+                assert_eq!(region.cell_array.v_t_mv, 220.0);
+            }
+        }
+        // Other axes untouched.
+        assert_eq!(
+            frozen.ways[0].base.l_gate_nm,
+            die.ways[0].base.l_gate_nm
+        );
+    }
+
+    #[test]
+    fn display_lists_all_sources() {
+        let report = sensitivity_study(60, 9);
+        let text = report.to_string();
+        assert!(text.contains("threshold voltage"));
+        assert!(text.contains("worst-cell EV"));
+        assert!(text.contains("ILD"));
+    }
+}

@@ -1,0 +1,417 @@
+//! Post-fabrication measurement modeling.
+//!
+//! The paper assumes the slow and leaky ways are identified exactly —
+//! "during memory testing right after fabrication and/or on the field
+//! using leakage power sensors" (§4.1). Real testers and on-die sensors
+//! have finite accuracy, and a yield scheme driven by noisy measurements
+//! makes two kinds of mistakes:
+//!
+//! * **escapes** — a chip (or repaired chip) that actually violates a
+//!   constraint ships anyway, because it measured clean;
+//! * **overkills** — a chip that is actually fine (or repairable) is
+//!   discarded, because it measured dirty.
+//!
+//! This module perturbs the measured delay/leakage with multiplicative
+//! Gaussian error, runs any [`Scheme`] on the *measured* values, and
+//! scores the decisions against the *true* values — the analysis a test
+//! engineer would run before trusting a sensor with yield decisions.
+
+use crate::chip::{ChipSample, Population};
+use crate::classify::classify;
+use crate::constraints::YieldConstraints;
+use crate::schemes::{DisabledUnit, Scheme, SchemeOutcome};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+use yac_circuit::{CacheCircuitResult, WayCircuitResult};
+use yac_variation::dist::standard_normal;
+use yac_variation::montecarlo::mix_seed;
+
+/// Relative 1σ accuracy of the delay and leakage measurements.
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::testing::MeasurementError;
+///
+/// let ideal = MeasurementError::ideal();
+/// assert_eq!(ideal.delay_sigma, 0.0);
+/// let sensor = MeasurementError::new(0.02, 0.10);
+/// assert!(sensor.leakage_sigma > sensor.delay_sigma);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasurementError {
+    /// 1σ relative error of per-way / per-region delay measurements
+    /// (speed binning is accurate: typically ≤ a few percent).
+    pub delay_sigma: f64,
+    /// 1σ relative error of leakage measurements (on-die leakage sensors
+    /// are much coarser: 10–20 % is realistic).
+    pub leakage_sigma: f64,
+}
+
+impl MeasurementError {
+    /// Perfect measurement — reproduces the paper's assumption.
+    #[must_use]
+    pub fn ideal() -> Self {
+        MeasurementError {
+            delay_sigma: 0.0,
+            leakage_sigma: 0.0,
+        }
+    }
+
+    /// Creates an error model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sigma is negative or not finite.
+    #[must_use]
+    pub fn new(delay_sigma: f64, leakage_sigma: f64) -> Self {
+        assert!(
+            delay_sigma.is_finite() && delay_sigma >= 0.0,
+            "delay sigma must be finite and nonnegative"
+        );
+        assert!(
+            leakage_sigma.is_finite() && leakage_sigma >= 0.0,
+            "leakage sigma must be finite and nonnegative"
+        );
+        MeasurementError {
+            delay_sigma,
+            leakage_sigma,
+        }
+    }
+
+    /// Whether this is the ideal (exact) model.
+    #[must_use]
+    pub fn is_ideal(&self) -> bool {
+        self.delay_sigma == 0.0 && self.leakage_sigma == 0.0
+    }
+
+    fn perturb_result(&self, result: &CacheCircuitResult, rng: &mut SmallRng) -> CacheCircuitResult {
+        if self.is_ideal() {
+            return result.clone();
+        }
+        let noise = |rng: &mut SmallRng, sigma: f64| {
+            // Multiplicative error, floored so a wild sample cannot turn a
+            // measurement negative.
+            (1.0 + sigma * standard_normal(rng)).max(0.05)
+        };
+        let ways: Vec<WayCircuitResult> = result
+            .ways
+            .iter()
+            .map(|w| {
+                // One gauge error per way per quantity: region measurements
+                // of a way share the tester setup, so they share the error.
+                let d = noise(rng, self.delay_sigma);
+                let l = noise(rng, self.leakage_sigma);
+                WayCircuitResult {
+                    region_delay: w.region_delay.iter().map(|x| x * d).collect(),
+                    delay: w.delay * d,
+                    region_cell_leakage: w.region_cell_leakage.iter().map(|x| x * l).collect(),
+                    peripheral_leakage: w.peripheral_leakage * l,
+                    leakage: w.leakage * l,
+                }
+            })
+            .collect();
+        let delay = ways.iter().map(|w| w.delay).fold(f64::MIN, f64::max);
+        let raw: f64 = ways.iter().map(|w| w.leakage).sum();
+        // The settled (heated) total is what the sensor reads; scale it by
+        // the same relative error as the raw sum it derives from.
+        let leakage = result.leakage * (raw / result.raw_leakage().max(1e-12));
+        CacheCircuitResult {
+            ways,
+            delay,
+            heat: result.heat,
+            leakage,
+        }
+    }
+
+    /// The chip as the tester sees it: both organisations perturbed with
+    /// errors derived deterministically from `seed` and the chip index.
+    #[must_use]
+    pub fn measure(&self, chip: &ChipSample, seed: u64) -> ChipSample {
+        let mut rng = SmallRng::seed_from_u64(mix_seed(seed ^ 0x6d65_6173, chip.index));
+        ChipSample {
+            index: chip.index,
+            regular: self.perturb_result(&chip.regular, &mut rng),
+            horizontal: self.perturb_result(&chip.horizontal, &mut rng),
+        }
+    }
+}
+
+/// How one chip's measured-driven decision compares to the truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestVerdict {
+    /// Shipped (as-is or repaired) and truly meets the constraints.
+    GoodShip,
+    /// Discarded and truly unsalvageable by this scheme: correct reject.
+    GoodScrap,
+    /// Shipped but the configuration actually violates a constraint.
+    Escape,
+    /// Discarded although the scheme could truly have saved it (or it was
+    /// fine all along).
+    Overkill,
+}
+
+/// Aggregate outcome of testing a population with a noisy tester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TestOutcome {
+    /// Correctly shipped chips.
+    pub good_ships: usize,
+    /// Correctly discarded chips.
+    pub good_scraps: usize,
+    /// Violating chips that shipped.
+    pub escapes: usize,
+    /// Salvageable chips that were discarded.
+    pub overkills: usize,
+}
+
+impl TestOutcome {
+    /// Total chips scored.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.good_ships + self.good_scraps + self.escapes + self.overkills
+    }
+
+    /// Fraction of shipped chips that violate their constraints (DPPM-ish,
+    /// as a fraction).
+    #[must_use]
+    pub fn escape_rate(&self) -> f64 {
+        let shipped = self.good_ships + self.escapes;
+        if shipped == 0 {
+            0.0
+        } else {
+            self.escapes as f64 / shipped as f64
+        }
+    }
+
+    /// Fraction of all chips needlessly discarded.
+    #[must_use]
+    pub fn overkill_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.overkills as f64 / self.total() as f64
+        }
+    }
+}
+
+impl fmt::Display for TestOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ship {} scrap {} escapes {} ({:.2}%) overkills {} ({:.2}%)",
+            self.good_ships,
+            self.good_scraps,
+            self.escapes,
+            100.0 * self.escape_rate(),
+            self.overkills,
+            100.0 * self.overkill_rate(),
+        )
+    }
+}
+
+/// Does the *true* chip, under the repair decided from measurements, meet
+/// the constraints?
+fn truly_ok(
+    chip: &ChipSample,
+    decision: &SchemeOutcome,
+    scheme_reads_horizontal: bool,
+    constraints: &YieldConstraints,
+    calibration: &yac_circuit::Calibration,
+) -> bool {
+    let result = if scheme_reads_horizontal {
+        &chip.horizontal
+    } else {
+        &chip.regular
+    };
+    match decision {
+        SchemeOutcome::Lost(_) => false,
+        SchemeOutcome::MeetsAsIs => classify(result, constraints).is_none(),
+        SchemeOutcome::Saved(repair) => {
+            // Delay: every enabled unit must fit the cycles the repair
+            // assigned to it.
+            let delay_ok = match repair.disabled {
+                Some(DisabledUnit::HorizontalRegion(r)) => {
+                    result.ways.iter().enumerate().all(|(w, way)| {
+                        let budget = repair.way_cycles[w]
+                            .map_or(f64::INFINITY, |c| constraints.delay_budget(c));
+                        way.region_delay
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| *i != r)
+                            .all(|(_, d)| *d <= budget)
+                    })
+                }
+                _ => result.ways.iter().enumerate().all(|(w, way)| {
+                    match repair.way_cycles[w] {
+                        None => true, // disabled
+                        Some(c) => way.delay <= constraints.delay_budget(c),
+                    }
+                }),
+            };
+            let leakage = match repair.disabled {
+                Some(DisabledUnit::Way(w)) => {
+                    crate::schemes::leakage_after_way_disable(result, w, calibration)
+                }
+                Some(DisabledUnit::HorizontalRegion(r)) => {
+                    crate::schemes::leakage_after_region_disable(result, r, calibration)
+                }
+                None => result.leakage,
+            };
+            delay_ok && constraints.meets_leakage(leakage)
+        }
+    }
+}
+
+/// Runs `scheme` against measured values and scores every decision
+/// against the true chip.
+///
+/// # Examples
+///
+/// ```
+/// use yac_core::testing::{test_population, MeasurementError};
+/// use yac_core::{ConstraintSpec, Population, Yapd, YieldConstraints};
+///
+/// let population = Population::generate(200, 7);
+/// let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+/// let exact = test_population(&population, &constraints, &Yapd, MeasurementError::ideal(), 1);
+/// assert_eq!(exact.escapes, 0);
+/// assert_eq!(exact.overkills, 0);
+/// ```
+#[must_use]
+pub fn test_population(
+    population: &Population,
+    constraints: &YieldConstraints,
+    scheme: &dyn Scheme,
+    error: MeasurementError,
+    seed: u64,
+) -> TestOutcome {
+    let cal = population.calibration();
+    let reads_horizontal = scheme.name().contains("H-YAPD") || scheme.name().ends_with("-H");
+    let mut outcome = TestOutcome::default();
+    for chip in &population.chips {
+        let measured = error.measure(chip, seed);
+        let decision = scheme.apply(&measured, constraints, cal);
+        let shipped = decision.ships();
+        let ok = truly_ok(chip, &decision, reads_horizontal, constraints, cal);
+        // Could an exact tester have shipped this chip with this scheme?
+        let salvageable = scheme.apply(chip, constraints, cal).ships();
+        match (shipped, ok, salvageable) {
+            (true, true, _) => outcome.good_ships += 1,
+            (true, false, _) => outcome.escapes += 1,
+            (false, _, true) => outcome.overkills += 1,
+            (false, _, false) => outcome.good_scraps += 1,
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{Hybrid, PowerDownKind, Yapd};
+    use crate::ConstraintSpec;
+
+    fn setup() -> (Population, YieldConstraints) {
+        let population = Population::generate(500, 2006);
+        let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+        (population, constraints)
+    }
+
+    #[test]
+    fn ideal_measurement_makes_no_mistakes() {
+        let (population, constraints) = setup();
+        for scheme in [&Yapd as &dyn Scheme, &Hybrid::new(PowerDownKind::Vertical)] {
+            let out = test_population(
+                &population,
+                &constraints,
+                scheme,
+                MeasurementError::ideal(),
+                9,
+            );
+            assert_eq!(out.escapes, 0, "{}", scheme.name());
+            assert_eq!(out.overkills, 0, "{}", scheme.name());
+            assert_eq!(out.total(), population.len());
+        }
+    }
+
+    #[test]
+    fn noise_creates_both_escape_and_overkill() {
+        let (population, constraints) = setup();
+        let noisy = MeasurementError::new(0.05, 0.25);
+        let out = test_population(&population, &constraints, &Yapd, noisy, 9);
+        assert!(out.escapes > 0, "{out}");
+        assert!(out.overkills > 0, "{out}");
+        assert_eq!(out.total(), population.len());
+    }
+
+    #[test]
+    fn more_noise_means_more_mistakes() {
+        let (population, constraints) = setup();
+        let mistakes = |d: f64, l: f64| {
+            let out = test_population(
+                &population,
+                &constraints,
+                &Yapd,
+                MeasurementError::new(d, l),
+                9,
+            );
+            out.escapes + out.overkills
+        };
+        let small = mistakes(0.01, 0.02);
+        let large = mistakes(0.10, 0.40);
+        assert!(large > small, "{large} vs {small}");
+    }
+
+    #[test]
+    fn measurement_is_deterministic_per_seed() {
+        let (population, constraints) = setup();
+        let e = MeasurementError::new(0.03, 0.15);
+        let a = test_population(&population, &constraints, &Yapd, e, 4);
+        let b = test_population(&population, &constraints, &Yapd, e, 4);
+        assert_eq!(a, b);
+        let c = test_population(&population, &constraints, &Yapd, e, 5);
+        assert_ne!(a, c, "different tester seeds should differ somewhere");
+    }
+
+    #[test]
+    fn perturbation_preserves_structure() {
+        let (population, _) = setup();
+        let e = MeasurementError::new(0.05, 0.2);
+        let chip = &population.chips[0];
+        let measured = e.measure(chip, 1);
+        assert_eq!(measured.regular.ways.len(), chip.regular.ways.len());
+        for (m, t) in measured.regular.ways.iter().zip(&chip.regular.ways) {
+            assert_eq!(m.region_delay.len(), t.region_delay.len());
+            assert!(m.delay > 0.0 && m.leakage > 0.0);
+        }
+        // Measured max is consistent with measured ways.
+        let max = measured
+            .regular
+            .ways
+            .iter()
+            .map(|w| w.delay)
+            .fold(f64::MIN, f64::max);
+        assert_eq!(measured.regular.delay, max);
+    }
+
+    #[test]
+    fn rates_are_well_defined() {
+        let out = TestOutcome {
+            good_ships: 90,
+            good_scraps: 5,
+            escapes: 10,
+            overkills: 5,
+        };
+        assert!((out.escape_rate() - 0.1).abs() < 1e-12);
+        assert!((out.overkill_rate() - 5.0 / 110.0).abs() < 1e-12);
+        assert!(!out.to_string().is_empty());
+        assert_eq!(TestOutcome::default().escape_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn negative_sigma_rejected() {
+        let _ = MeasurementError::new(-0.1, 0.1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Configuration of the simulated out-of-order core (§5.2 of the paper).
+
+use yac_workload::OpClass;
+
+/// Core configuration.
+///
+/// Defaults follow the paper's §5.2: a 4-way machine with a 128-entry
+/// issue queue, a 256-entry ROB, 7 pipeline stages between schedule and
+/// execute, an L1D scheduled speculatively at 4 cycles, and single-entry
+/// load-bypass buffers (one extra cycle of tolerance).
+///
+/// # Examples
+///
+/// ```
+/// use yac_pipeline::PipelineConfig;
+///
+/// let cfg = PipelineConfig::paper();
+/// assert_eq!(cfg.width, 4);
+/// assert_eq!(cfg.sched_to_exec, 7);
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Fetch/rename/issue/commit width.
+    pub width: usize,
+    /// Reorder-buffer entries.
+    pub rob_size: usize,
+    /// Issue-queue entries (ops stay resident until they issue
+    /// replay-safely).
+    pub iq_size: usize,
+    /// Load/store-queue entries.
+    pub lsq_size: usize,
+    /// Pipeline stages between the scheduling decision and execution.
+    pub sched_to_exec: u32,
+    /// Extra cycles the load-bypass buffers can absorb (the paper's VACA
+    /// uses single-entry buffers: 1).
+    pub bypass_depth: u32,
+    /// Hit latency the scheduler assumes when speculatively waking load
+    /// dependants ("shortest possible", 4 cycles; naive binning raises it).
+    pub assumed_load_latency: u32,
+    /// Front-end refill cycles added after a branch misprediction resolves.
+    pub redirect_penalty: u32,
+    /// Data-cache ports (loads + stores per cycle).
+    pub mem_ports: usize,
+    /// Integer ALUs.
+    pub int_alu: usize,
+    /// Integer multipliers.
+    pub int_mul: usize,
+    /// FP adders.
+    pub fp_add: usize,
+    /// FP multipliers (divides share this pool).
+    pub fp_mul: usize,
+    /// Fetch-queue entries between fetch and rename.
+    pub fetch_queue: usize,
+    /// log2 of the branch-predictor table size.
+    pub predictor_bits: u32,
+    /// Miss-status-holding registers of the L1 data cache: the maximum
+    /// number of outstanding misses. `0` means unlimited (the default and
+    /// the paper's idealised lock-up-free model).
+    pub mshrs: usize,
+    /// Enable store-to-load forwarding: a load whose 8-byte word matches
+    /// an older in-flight store receives the value from the LSQ in
+    /// [`PipelineConfig::forward_latency`] cycles without touching the
+    /// cache. Off by default (the synthetic traces carry essentially no
+    /// load/store aliasing, so the paper's numbers are unaffected).
+    pub store_forwarding: bool,
+    /// Latency of a forwarded load, in cycles.
+    pub forward_latency: u32,
+}
+
+impl PipelineConfig {
+    /// The paper's simulated core.
+    #[must_use]
+    pub fn paper() -> Self {
+        PipelineConfig {
+            width: 4,
+            rob_size: 256,
+            iq_size: 128,
+            lsq_size: 64,
+            sched_to_exec: 7,
+            bypass_depth: 1,
+            assumed_load_latency: 4,
+            redirect_penalty: 3,
+            mem_ports: 2,
+            int_alu: 4,
+            int_mul: 1,
+            fp_add: 2,
+            fp_mul: 1,
+            fetch_queue: 16,
+            predictor_bits: 12,
+            mshrs: 0,
+            store_forwarding: false,
+            forward_latency: 2,
+        }
+    }
+
+    /// Functional units available for one op class.
+    #[must_use]
+    pub fn fu_count(&self, class: OpClass) -> usize {
+        match class {
+            OpClass::IntAlu | OpClass::Branch => self.int_alu,
+            OpClass::IntMul => self.int_mul,
+            OpClass::FpAdd => self.fp_add,
+            OpClass::FpMul | OpClass::FpDiv => self.fp_mul,
+            OpClass::Load | OpClass::Store => self.mem_ports,
+        }
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width == 0 {
+            return Err("width must be nonzero".into());
+        }
+        if self.rob_size < self.width || self.iq_size == 0 || self.lsq_size == 0 {
+            return Err("queues must be large enough for one fetch group".into());
+        }
+        if self.iq_size > self.rob_size {
+            return Err("issue queue cannot exceed the ROB".into());
+        }
+        if self.assumed_load_latency == 0 {
+            return Err("assumed load latency must be nonzero".into());
+        }
+        if self.mem_ports == 0 || self.int_alu == 0 || self.fp_add == 0 {
+            return Err("functional-unit pools must be nonzero".into());
+        }
+        if self.int_mul == 0 || self.fp_mul == 0 {
+            return Err("multiplier pools must be nonzero".into());
+        }
+        if self.fetch_queue < self.width {
+            return Err("fetch queue must hold one fetch group".into());
+        }
+        if self.predictor_bits == 0 || self.predictor_bits > 24 {
+            return Err("predictor bits must lie in 1..=24".into());
+        }
+        if self.store_forwarding && self.forward_latency == 0 {
+            return Err("forward latency must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_validates() {
+        PipelineConfig::paper().validate().unwrap();
+    }
+
+    #[test]
+    fn fu_mapping_covers_every_class() {
+        let cfg = PipelineConfig::paper();
+        for class in [
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::FpAdd,
+            OpClass::FpMul,
+            OpClass::FpDiv,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Branch,
+        ] {
+            assert!(cfg.fu_count(class) > 0, "{class}");
+        }
+    }
+
+    #[test]
+    fn forwarding_validation() {
+        let mut cfg = PipelineConfig::paper();
+        cfg.store_forwarding = true;
+        assert!(cfg.validate().is_ok());
+        cfg.forward_latency = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_degenerate_configs() {
+        let mut cfg = PipelineConfig::paper();
+        cfg.width = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = PipelineConfig::paper();
+        cfg.iq_size = 512;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = PipelineConfig::paper();
+        cfg.fetch_queue = 1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = PipelineConfig::paper();
+        cfg.assumed_load_latency = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Simulation statistics.
+
+use std::fmt;
+
+/// Counters accumulated over a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use yac_pipeline::SimStats;
+///
+/// let stats = SimStats::default();
+/// assert_eq!(stats.cpi(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Cycles simulated (after warm-up).
+    pub cycles: u64,
+    /// Micro-ops committed (after warm-up).
+    pub committed: u64,
+    /// Ops that had to be pulled back into the issue queue because an
+    /// operand was not ready at the functional unit (selective replay).
+    pub replays: u64,
+    /// Ops that absorbed a late load in a load-bypass buffer.
+    pub bypass_stalls: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// Branches executed.
+    pub branches: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Loads that hit in the L1 data cache.
+    pub l1d_load_hits: u64,
+    /// Cycles the front end spent stalled (mispredict redirect or I-miss).
+    pub fetch_stall_cycles: u64,
+    /// Dispatch stalls due to a full ROB/IQ/LSQ.
+    pub dispatch_stalls: u64,
+    /// Loads satisfied by store-to-load forwarding (0 unless enabled).
+    pub forwarded_loads: u64,
+    /// Cycles misses waited for a free MSHR (0 with unlimited MSHRs).
+    pub mshr_stall_cycles: u64,
+}
+
+impl SimStats {
+    /// Cycles per committed micro-op (0 when nothing committed).
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.committed as f64
+        }
+    }
+
+    /// Committed micro-ops per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// L1D load hit rate.
+    #[must_use]
+    pub fn l1d_load_hit_rate(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.l1d_load_hits as f64 / self.loads as f64
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycles={} committed={} CPI={:.4} replays={} bypass={} mispredict={:.2}% l1d-hit={:.2}%",
+            self.cycles,
+            self.committed,
+            self.cpi(),
+            self.replays,
+            self.bypass_stalls,
+            100.0 * self.mispredict_rate(),
+            100.0 * self.l1d_load_hit_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = SimStats::default();
+        assert_eq!(s.cpi(), 0.0);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.l1d_load_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cpi_and_ipc_are_reciprocal() {
+        let s = SimStats {
+            cycles: 100,
+            committed: 50,
+            ..SimStats::default()
+        };
+        assert_eq!(s.cpi(), 2.0);
+        assert_eq!(s.ipc(), 0.5);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!SimStats::default().to_string().is_empty());
+    }
+}

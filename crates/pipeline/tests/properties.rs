@@ -1,0 +1,129 @@
+//! Property-based tests for the out-of-order core.
+
+use proptest::prelude::*;
+use yac_cache::{HierarchyConfig, MemoryHierarchy};
+use yac_pipeline::{Pipeline, PipelineConfig, SimStats};
+use yac_workload::{spec2000, MicroOp, OpClass, TraceGenerator};
+
+fn run(cfg: PipelineConfig, hier: HierarchyConfig, bench: usize, seed: u64, n: u64) -> SimStats {
+    let profile = spec2000::all_profiles().swap_remove(bench % 24);
+    let mem = MemoryHierarchy::new(hier).expect("valid hierarchy");
+    let mut cpu = Pipeline::new(cfg, mem).expect("valid pipeline");
+    cpu.run(TraceGenerator::new(profile, seed), n / 4, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cpi_respects_the_width_bound(bench in 0usize..24, seed in any::<u64>()) {
+        let stats = run(
+            PipelineConfig::paper(),
+            HierarchyConfig::paper(),
+            bench,
+            seed,
+            8_000,
+        );
+        prop_assert!(stats.ipc() <= 4.0 + 1e-9, "cannot beat the machine width");
+        prop_assert!(stats.cpi() < 60.0, "and cannot be absurdly slow");
+        prop_assert!(stats.committed >= 8_000);
+    }
+
+    #[test]
+    fn slower_ways_never_help(bench in 0usize..24, seed in 0u64..1000) {
+        let base = run(
+            PipelineConfig::paper(),
+            HierarchyConfig::paper(),
+            bench,
+            seed,
+            12_000,
+        );
+        let mut hier = HierarchyConfig::paper();
+        hier.l1d.way_latency = vec![5; 4];
+        let slow = run(PipelineConfig::paper(), hier, bench, seed, 12_000);
+        prop_assert!(
+            slow.cycles >= base.cycles,
+            "uniformly slower hits cannot reduce cycles ({} vs {})",
+            slow.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn narrower_machines_are_slower(bench in 0usize..24, seed in 0u64..1000) {
+        let wide = run(
+            PipelineConfig::paper(),
+            HierarchyConfig::paper(),
+            bench,
+            seed,
+            10_000,
+        );
+        let mut cfg = PipelineConfig::paper();
+        cfg.width = 1;
+        let narrow = run(cfg, HierarchyConfig::paper(), bench, seed, 10_000);
+        prop_assert!(narrow.cpi() >= 1.0 - 1e-9, "width 1 caps IPC at 1");
+        prop_assert!(narrow.cycles > wide.cycles);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(bench in 0usize..24, seed in any::<u64>()) {
+        let stats = run(
+            PipelineConfig::paper(),
+            HierarchyConfig::paper(),
+            bench,
+            seed,
+            6_000,
+        );
+        prop_assert!(stats.l1d_load_hits <= stats.loads);
+        prop_assert!(stats.mispredicts <= stats.branches + stats.mispredicts);
+        prop_assert!(stats.cycles > 0);
+        prop_assert_eq!(stats.forwarded_loads, 0, "forwarding is off by default");
+        prop_assert_eq!(stats.mshr_stall_cycles, 0, "MSHRs unlimited by default");
+    }
+}
+
+#[test]
+fn an_empty_trace_terminates_immediately() {
+    let mem = MemoryHierarchy::new(HierarchyConfig::paper()).unwrap();
+    let mut cpu = Pipeline::new(PipelineConfig::paper(), mem).unwrap();
+    let stats = cpu.run(Vec::<MicroOp>::new(), 0, 1_000);
+    assert_eq!(stats.committed, 0);
+}
+
+#[test]
+fn stores_only_traces_drain() {
+    let ops: Vec<MicroOp> = (0..2_000)
+        .map(|i| MicroOp {
+            pc: 0x1000 + (i as u64 % 32) * 4,
+            class: OpClass::Store,
+            srcs: [Some(1), Some(2)],
+            dest: None,
+            addr: Some(0x4000_0000 + (i as u64 * 32) % 8192),
+            taken: None,
+        })
+        .collect();
+    let mem = MemoryHierarchy::new(HierarchyConfig::paper()).unwrap();
+    let mut cpu = Pipeline::new(PipelineConfig::paper(), mem).unwrap();
+    let stats = cpu.run(ops, 0, 10_000);
+    assert_eq!(stats.committed, 2_000);
+    assert_eq!(stats.loads, 0);
+}
+
+#[test]
+fn branch_only_traces_exercise_the_predictor() {
+    let ops: Vec<MicroOp> = (0..4_000)
+        .map(|i| MicroOp {
+            pc: 0x2000 + (i as u64 % 16) * 32,
+            class: OpClass::Branch,
+            srcs: [Some(0), None],
+            dest: None,
+            addr: None,
+            taken: Some(i % 3 == 0),
+        })
+        .collect();
+    let mem = MemoryHierarchy::new(HierarchyConfig::paper()).unwrap();
+    let mut cpu = Pipeline::new(PipelineConfig::paper(), mem).unwrap();
+    let stats = cpu.run(ops, 1_000, 2_000);
+    assert!(stats.branches > 0);
+    assert!(stats.mispredict_rate() > 0.0, "period-3 pattern defeats 2-bit counters somewhere");
+}

@@ -1,0 +1,290 @@
+//! The paper's spatial-correlation model (§3).
+//!
+//! Correlation is expressed through a *correlation factor* between 0 and 1.
+//! Contrary to a correlation coefficient, a **smaller** factor means
+//! **tighter** correlation: once a parent entity's parameters are fixed,
+//! a child entity re-samples each parameter with the parent value as the
+//! new mean and the Table 1 variation range scaled by the factor.
+//!
+//! The paper's factors, derived from Friedberg et al.'s spatial-correlation
+//! measurements, assume the four ways are laid out on a 2×2 mesh:
+//!
+//! | relation                    | factor  |
+//! |-----------------------------|---------|
+//! | bit within a row            | 0.01    |
+//! | row within a way            | 0.05    |
+//! | way on the same vertical    | 0.45    |
+//! | way on the same horizontal  | 0.375   |
+//! | way on the diagonal         | 0.7125  |
+
+use crate::dist::TruncatedNormal;
+use crate::params::{Parameter, ParameterSet};
+use rand::Rng;
+use std::fmt;
+
+/// A correlation factor in `[0, 1]`; **smaller means more correlated**.
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::CorrelationFactor;
+///
+/// let f = CorrelationFactor::new(0.45).unwrap();
+/// assert_eq!(f.value(), 0.45);
+/// assert!(CorrelationFactor::new(1.5).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct CorrelationFactor(f64);
+
+/// Error returned when constructing a [`CorrelationFactor`] outside `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidFactorError;
+
+impl fmt::Display for InvalidFactorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("correlation factor must lie in [0, 1] and be finite")
+    }
+}
+
+impl std::error::Error for InvalidFactorError {}
+
+impl CorrelationFactor {
+    /// Correlation factor between bits of a cache block (paper §3).
+    pub const BIT: CorrelationFactor = CorrelationFactor(0.01);
+    /// Correlation factor between rows of a way (paper §3).
+    pub const ROW: CorrelationFactor = CorrelationFactor(0.05);
+    /// Ways on the same vertical line of the 2×2 mesh.
+    pub const WAY_VERTICAL: CorrelationFactor = CorrelationFactor(0.45);
+    /// Ways on the same horizontal line of the 2×2 mesh.
+    pub const WAY_HORIZONTAL: CorrelationFactor = CorrelationFactor(0.375);
+    /// Ways on the same diagonal of the 2×2 mesh.
+    pub const WAY_DIAGONAL: CorrelationFactor = CorrelationFactor(0.7125);
+    /// Fully independent re-sampling (the full Table 1 range).
+    pub const INDEPENDENT: CorrelationFactor = CorrelationFactor(1.0);
+    /// Perfect correlation (child copies the parent exactly).
+    pub const IDENTICAL: CorrelationFactor = CorrelationFactor(0.0);
+
+    /// Validates and wraps a raw factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidFactorError`] if `value` is not finite or lies
+    /// outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, InvalidFactorError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(CorrelationFactor(value))
+        } else {
+            Err(InvalidFactorError)
+        }
+    }
+
+    /// The raw factor.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Re-samples a full parameter set around `parent` with every range
+    /// scaled by this factor, exactly as described in §3 of the paper.
+    #[must_use]
+    pub fn refine<R: Rng + ?Sized>(self, parent: &ParameterSet, rng: &mut R) -> ParameterSet {
+        let mut child = *parent;
+        for p in Parameter::ALL {
+            let sigma = p.sigma() * self.0;
+            let dist = TruncatedNormal::three_sigma(parent.get(p), sigma);
+            child.set(p, dist.sample(rng).max(p.nominal() * 1e-3));
+        }
+        child
+    }
+}
+
+impl fmt::Display for CorrelationFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Position of a way on the paper's 2×2 layout mesh.
+///
+/// Way 0 sits at the origin; the remaining ways are its vertical,
+/// horizontal and diagonal neighbours.
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::{CorrelationFactor, MeshPosition};
+///
+/// let a = MeshPosition::new(0, 0);
+/// let b = MeshPosition::new(0, 1);
+/// assert_eq!(a.factor_to(b), CorrelationFactor::WAY_VERTICAL);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeshPosition {
+    /// Column on the mesh (0 or 1 for a 2×2 layout).
+    pub col: u8,
+    /// Row on the mesh (0 or 1 for a 2×2 layout).
+    pub row: u8,
+}
+
+impl MeshPosition {
+    /// Creates a mesh position.
+    #[must_use]
+    pub fn new(col: u8, row: u8) -> Self {
+        MeshPosition { col, row }
+    }
+
+    /// Standard placement of the four ways of the paper's cache:
+    /// way 0 at (0,0), way 1 at (0,1), way 2 at (1,0), way 3 at (1,1).
+    #[must_use]
+    pub fn for_way(way: usize) -> Self {
+        MeshPosition::new((way as u8 >> 1) & 1, way as u8 & 1)
+    }
+
+    /// Normalised die-plane coordinates of the centre of this mesh tile,
+    /// assuming a 2×2 mesh covering the unit square.
+    #[must_use]
+    pub fn die_coordinates(self) -> (f64, f64) {
+        (
+            0.25 + 0.5 * f64::from(self.col),
+            0.25 + 0.5 * f64::from(self.row),
+        )
+    }
+
+    /// The paper's correlation factor between ways at two mesh positions.
+    ///
+    /// Identical positions are perfectly correlated; positions differing in
+    /// only the row are vertical neighbours; only the column, horizontal
+    /// neighbours; both, diagonal.
+    #[must_use]
+    pub fn factor_to(self, other: MeshPosition) -> CorrelationFactor {
+        match (self.col == other.col, self.row == other.row) {
+            (true, true) => CorrelationFactor::IDENTICAL,
+            (true, false) => CorrelationFactor::WAY_VERTICAL,
+            (false, true) => CorrelationFactor::WAY_HORIZONTAL,
+            (false, false) => CorrelationFactor::WAY_DIAGONAL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_factors_have_expected_values() {
+        assert_eq!(CorrelationFactor::BIT.value(), 0.01);
+        assert_eq!(CorrelationFactor::ROW.value(), 0.05);
+        assert_eq!(CorrelationFactor::WAY_VERTICAL.value(), 0.45);
+        assert_eq!(CorrelationFactor::WAY_HORIZONTAL.value(), 0.375);
+        assert_eq!(CorrelationFactor::WAY_DIAGONAL.value(), 0.7125);
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(CorrelationFactor::new(-0.1).is_err());
+        assert!(CorrelationFactor::new(1.1).is_err());
+        assert!(CorrelationFactor::new(f64::NAN).is_err());
+        assert!(CorrelationFactor::new(0.0).is_ok());
+        assert!(CorrelationFactor::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn identical_factor_copies_parent() {
+        let parent = ParameterSet::nominal().with_offset_sigmas(Parameter::GateLength, 1.7);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let child = CorrelationFactor::IDENTICAL.refine(&parent, &mut rng);
+        assert_eq!(child, parent);
+    }
+
+    #[test]
+    fn refine_keeps_child_within_scaled_window() {
+        let parent = ParameterSet::nominal();
+        let f = CorrelationFactor::ROW;
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..2_000 {
+            let child = f.refine(&parent, &mut rng);
+            for p in Parameter::ALL {
+                let window = 3.0 * p.sigma() * f.value();
+                assert!(
+                    (child.get(p) - parent.get(p)).abs() <= window + 1e-9,
+                    "{p}: child strayed outside the scaled window"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_factor_means_smaller_spread() {
+        let parent = ParameterSet::nominal();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let spread = |f: CorrelationFactor, rng: &mut SmallRng| {
+            let n = 4_000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let child = f.refine(&parent, rng);
+                sum += child.sigma_distance(&parent);
+            }
+            sum / n as f64
+        };
+        let tight = spread(CorrelationFactor::ROW, &mut rng);
+        let loose = spread(CorrelationFactor::WAY_DIAGONAL, &mut rng);
+        assert!(
+            tight < loose / 3.0,
+            "row refinement ({tight}) should be much tighter than diagonal ({loose})"
+        );
+    }
+
+    #[test]
+    fn mesh_positions_for_four_ways_are_distinct() {
+        let positions: Vec<_> = (0..4).map(MeshPosition::for_way).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(positions[i], positions[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_factors_match_paper_relative_to_way0() {
+        let w0 = MeshPosition::for_way(0);
+        assert_eq!(
+            w0.factor_to(MeshPosition::for_way(1)),
+            CorrelationFactor::WAY_VERTICAL
+        );
+        assert_eq!(
+            w0.factor_to(MeshPosition::for_way(2)),
+            CorrelationFactor::WAY_HORIZONTAL
+        );
+        assert_eq!(
+            w0.factor_to(MeshPosition::for_way(3)),
+            CorrelationFactor::WAY_DIAGONAL
+        );
+    }
+
+    #[test]
+    fn factor_to_is_symmetric() {
+        for i in 0..4 {
+            for j in 0..4 {
+                let a = MeshPosition::for_way(i);
+                let b = MeshPosition::for_way(j);
+                assert_eq!(a.factor_to(b), b.factor_to(a));
+            }
+        }
+    }
+
+    #[test]
+    fn die_coordinates_lie_in_unit_square() {
+        for w in 0..4 {
+            let (x, y) = MeshPosition::for_way(w).die_coordinates();
+            assert!((0.0..=1.0).contains(&x));
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        assert!(!InvalidFactorError.to_string().is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! Systematic intra-die variation as a smooth spatial field.
+//!
+//! §2 of the paper splits intra-die variation into a random and a
+//! *systematic* component — "the component of parameter deviation that
+//! results from a repeatable and governing principal", with strong spatial
+//! correlation. The hierarchical correlation factors of [`crate::correlation`]
+//! capture proximity, but not the *directionality* that makes the same
+//! horizontal slice of every way slow or leaky at once — the physical
+//! premise of the paper's H-YAPD scheme (§4.2).
+//!
+//! This module models that component as a per-die linear gradient with a
+//! random direction plus a mild radial (bowl) term, evaluated at each
+//! structure's die coordinates. Magnitudes are expressed in units of each
+//! parameter's σ so they compose naturally with the random component.
+
+use crate::params::{Parameter, ParameterSet};
+use rand::Rng;
+
+/// Configuration of the systematic spatial field.
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::GradientConfig;
+///
+/// let cfg = GradientConfig::default();
+/// assert!(cfg.linear_sigma > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradientConfig {
+    /// Peak-to-peak magnitude of the linear gradient across the die, in
+    /// units of each parameter's σ.
+    pub linear_sigma: f64,
+    /// Magnitude of the radial (bowl) component at the die corners, in σ.
+    pub radial_sigma: f64,
+    /// Per-parameter scaling of the field. Device parameters (gate length,
+    /// threshold voltage) typically show stronger systematic components than
+    /// interconnect geometry.
+    pub device_weight: f64,
+    /// Scaling of the field for interconnect parameters.
+    pub interconnect_weight: f64,
+}
+
+impl GradientConfig {
+    /// A configuration with no systematic component at all.
+    #[must_use]
+    pub fn disabled() -> Self {
+        GradientConfig {
+            linear_sigma: 0.0,
+            radial_sigma: 0.0,
+            device_weight: 0.0,
+            interconnect_weight: 0.0,
+        }
+    }
+
+    /// Whether the field is identically zero.
+    #[must_use]
+    pub fn is_disabled(&self) -> bool {
+        self.linear_sigma == 0.0 && self.radial_sigma == 0.0
+    }
+}
+
+impl Default for GradientConfig {
+    /// Calibrated default: a gradient of ~1σ peak-to-peak on devices, a
+    /// weaker one on interconnect — consistent with the 30 %+ systematic
+    /// frequency spreads the paper cites for sub-130 nm nodes.
+    fn default() -> Self {
+        GradientConfig {
+            linear_sigma: 0.7,
+            radial_sigma: 1.1,
+            device_weight: 1.0,
+            interconnect_weight: 0.55,
+        }
+    }
+}
+
+/// One die's realised systematic field.
+///
+/// Sampled once per die (random direction, random signed magnitudes) and
+/// then evaluated deterministically at any die coordinate.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use yac_variation::{GradientConfig, GradientField, Parameter};
+///
+/// let mut rng = SmallRng::seed_from_u64(9);
+/// let field = GradientField::sample(&GradientConfig::default(), &mut rng);
+/// let offset = field.offset_sigmas(Parameter::ThresholdVoltage, 0.2, 0.8);
+/// assert!(offset.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradientField {
+    config: GradientConfig,
+    /// Unit direction of the linear gradient.
+    dir: (f64, f64),
+    /// Signed magnitude of the linear component, in σ.
+    linear: f64,
+    /// Signed magnitude of the radial component, in σ.
+    radial: f64,
+}
+
+impl GradientField {
+    /// Samples a die-specific field realisation.
+    pub fn sample<R: Rng + ?Sized>(config: &GradientConfig, rng: &mut R) -> Self {
+        let theta: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+        // Magnitudes are uniform in [-max, max]: some dies are flat, some are
+        // strongly tilted, matching the die-to-die diversity of systematic
+        // effects.
+        let linear = (rng.gen::<f64>() * 2.0 - 1.0) * config.linear_sigma;
+        let radial = (rng.gen::<f64>() * 2.0 - 1.0) * config.radial_sigma;
+        GradientField {
+            config: *config,
+            dir: (theta.cos(), theta.sin()),
+            linear,
+            radial,
+        }
+    }
+
+    /// A field that is identically zero.
+    #[must_use]
+    pub fn flat() -> Self {
+        GradientField {
+            config: GradientConfig::disabled(),
+            dir: (1.0, 0.0),
+            linear: 0.0,
+            radial: 0.0,
+        }
+    }
+
+    /// The configuration the field was sampled from.
+    #[must_use]
+    pub fn config(&self) -> &GradientConfig {
+        &self.config
+    }
+
+    /// Systematic offset, in units of `p.sigma()`, at normalised die
+    /// coordinates `(x, y)` ∈ [0, 1]².
+    #[must_use]
+    pub fn offset_sigmas(&self, p: Parameter, x: f64, y: f64) -> f64 {
+        let weight = match p {
+            Parameter::GateLength | Parameter::ThresholdVoltage => self.config.device_weight,
+            _ => self.config.interconnect_weight,
+        };
+        // Centre the linear term so the die mean is (approximately) zero.
+        let lin = self.linear * (self.dir.0 * (x - 0.5) + self.dir.1 * (y - 0.5)) * 2.0;
+        let r2 = ((x - 0.5).powi(2) + (y - 0.5).powi(2)) / 0.5;
+        let rad = self.radial * (r2 - 0.5) * 2.0;
+        weight * (lin + rad)
+    }
+
+    /// Applies the field to a parameter set at the given die coordinates.
+    #[must_use]
+    pub fn apply(&self, params: &ParameterSet, x: f64, y: f64) -> ParameterSet {
+        if self.config.is_disabled() {
+            return *params;
+        }
+        let mut out = *params;
+        for p in Parameter::ALL {
+            out = out.with_offset_sigmas(p, self.offset_sigmas(p, x, y));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disabled_config_produces_zero_field() {
+        let field = GradientField::flat();
+        for p in Parameter::ALL {
+            assert_eq!(field.offset_sigmas(p, 0.9, 0.1), 0.0);
+        }
+        let params = ParameterSet::nominal();
+        assert_eq!(field.apply(&params, 0.3, 0.7), params);
+    }
+
+    #[test]
+    fn offsets_are_bounded_by_configured_magnitude() {
+        let cfg = GradientConfig::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let bound = (cfg.linear_sigma * std::f64::consts::SQRT_2 + cfg.radial_sigma)
+            * cfg.device_weight.max(cfg.interconnect_weight)
+            + 1e-9;
+        for _ in 0..200 {
+            let field = GradientField::sample(&cfg, &mut rng);
+            for &(x, y) in &[(0.0, 0.0), (1.0, 1.0), (0.5, 0.5), (0.25, 0.75)] {
+                for p in Parameter::ALL {
+                    assert!(field.offset_sigmas(p, x, y).abs() <= bound);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_component_is_antisymmetric_about_centre() {
+        let cfg = GradientConfig {
+            radial_sigma: 0.0,
+            ..GradientConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(2);
+        let field = GradientField::sample(&cfg, &mut rng);
+        let p = Parameter::GateLength;
+        let a = field.offset_sigmas(p, 0.1, 0.3);
+        let b = field.offset_sigmas(p, 0.9, 0.7);
+        assert!((a + b).abs() < 1e-9, "a={a} b={b}");
+    }
+
+    #[test]
+    fn device_and_interconnect_weights_scale_independently() {
+        let cfg = GradientConfig {
+            linear_sigma: 1.0,
+            radial_sigma: 0.0,
+            device_weight: 1.0,
+            interconnect_weight: 0.5,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let field = GradientField::sample(&cfg, &mut rng);
+        let dev = field.offset_sigmas(Parameter::ThresholdVoltage, 0.9, 0.9);
+        let wire = field.offset_sigmas(Parameter::MetalWidth, 0.9, 0.9);
+        if dev != 0.0 {
+            assert!((wire / dev - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn apply_shifts_parameters_by_field_value() {
+        let cfg = GradientConfig::default();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let field = GradientField::sample(&cfg, &mut rng);
+        let base = ParameterSet::nominal();
+        let shifted = field.apply(&base, 0.8, 0.2);
+        for p in Parameter::ALL {
+            let expected = field.offset_sigmas(p, 0.8, 0.2);
+            assert!(
+                (shifted.deviation_sigmas(p) - expected).abs() < 1e-9,
+                "{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_dies_get_different_fields() {
+        let cfg = GradientConfig::default();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = GradientField::sample(&cfg, &mut rng);
+        let b = GradientField::sample(&cfg, &mut rng);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,162 @@
+//! Reproducible, parallel Monte Carlo population generation.
+//!
+//! The paper simulates 2000 cache instances (§5.1). Each instance here is
+//! seeded independently via a SplitMix64 stream derived from the study seed
+//! and the chip index, so the population is byte-identical regardless of
+//! thread count.
+
+use crate::sample::{CacheVariation, VariationConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Derives a well-mixed 64-bit seed from `(seed, index)` using SplitMix64.
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::montecarlo::mix_seed;
+///
+/// assert_ne!(mix_seed(1, 0), mix_seed(1, 1));
+/// assert_eq!(mix_seed(7, 3), mix_seed(7, 3));
+/// ```
+#[must_use]
+pub fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(0x94d0_49bb_1331_11eb);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A Monte Carlo population generator over [`CacheVariation`] samples.
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::{MonteCarlo, VariationConfig};
+///
+/// let mc = MonteCarlo::new(VariationConfig::default());
+/// let dies = mc.generate(16, 42);
+/// assert_eq!(dies.len(), 16);
+/// // Reproducible:
+/// assert_eq!(dies, mc.generate(16, 42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    config: VariationConfig,
+}
+
+impl MonteCarlo {
+    /// Creates a generator for the given die configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`VariationConfig::validate`]).
+    #[must_use]
+    pub fn new(config: VariationConfig) -> Self {
+        config.validate().expect("invalid variation configuration");
+        MonteCarlo { config }
+    }
+
+    /// The configuration the generator was built with.
+    #[must_use]
+    pub fn config(&self) -> &VariationConfig {
+        &self.config
+    }
+
+    /// Samples the die at `index` of the stream rooted at `seed`.
+    #[must_use]
+    pub fn sample_one(&self, seed: u64, index: u64) -> CacheVariation {
+        let mut rng = SmallRng::seed_from_u64(mix_seed(seed, index));
+        CacheVariation::sample(&self.config, &mut rng)
+    }
+
+    /// Generates `count` dies, splitting the work across available cores.
+    ///
+    /// The result is identical to calling [`MonteCarlo::sample_one`] for
+    /// indices `0..count` sequentially.
+    #[must_use]
+    pub fn generate(&self, count: usize, seed: u64) -> Vec<CacheVariation> {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(count.max(1));
+        if threads <= 1 || count < 32 {
+            return (0..count)
+                .map(|i| self.sample_one(seed, i as u64))
+                .collect();
+        }
+
+        let mut out: Vec<Option<CacheVariation>> = vec![None; count];
+        let chunk = count.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, slot) in out.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                let this = &*self;
+                scope.spawn(move || {
+                    for (off, s) in slot.iter_mut().enumerate() {
+                        *s = Some(this.sample_one(seed, (start + off) as u64));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|s| s.expect("every slot filled by its worker"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_seed_spreads_indices() {
+        let s: Vec<u64> = (0..100).map(|i| mix_seed(0, i)).collect();
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), s.len());
+    }
+
+    #[test]
+    fn mix_seed_depends_on_both_arguments() {
+        assert_ne!(mix_seed(1, 5), mix_seed(2, 5));
+        assert_ne!(mix_seed(1, 5), mix_seed(1, 6));
+    }
+
+    #[test]
+    fn generate_is_reproducible_and_matches_sequential() {
+        let mc = MonteCarlo::new(VariationConfig::default());
+        // Over the 32-die parallel threshold to exercise the threaded path.
+        let parallel = mc.generate(40, 7);
+        let sequential: Vec<_> = (0..40).map(|i| mc.sample_one(7, i)).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn different_seeds_give_different_populations() {
+        let mc = MonteCarlo::new(VariationConfig::default());
+        assert_ne!(mc.generate(4, 1), mc.generate(4, 2));
+    }
+
+    #[test]
+    fn generate_zero_returns_empty() {
+        let mc = MonteCarlo::new(VariationConfig::default());
+        assert!(mc.generate(0, 1).is_empty());
+    }
+
+    #[test]
+    fn chips_within_population_differ() {
+        let mc = MonteCarlo::new(VariationConfig::default());
+        let dies = mc.generate(8, 3);
+        for i in 0..dies.len() {
+            for j in (i + 1)..dies.len() {
+                assert_ne!(dies[i], dies[j], "chips {i} and {j} identical");
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The five process-variation sources modeled by the paper and their
+//! nominal / 3σ values (Table 1 of the paper, after Nassif).
+//!
+//! All values are stored in the physical units of Table 1: gate length in
+//! nanometres, threshold voltage in millivolts, and the three interconnect
+//! geometry parameters in micrometres.
+
+use std::fmt;
+
+/// One of the five sources of process variation modeled in the paper.
+///
+/// The paper (§3) varies gate length and threshold voltage on devices and
+/// metal width, metal thickness and inter-layer-dielectric thickness on
+/// interconnect.
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::Parameter;
+///
+/// let all = Parameter::ALL;
+/// assert_eq!(all.len(), 5);
+/// assert_eq!(Parameter::GateLength.nominal(), 45.0); // nm
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Parameter {
+    /// Effective gate (channel) length `L_eff`, nanometres.
+    GateLength,
+    /// Device threshold voltage `V_t`, millivolts.
+    ThresholdVoltage,
+    /// Interconnect line width `W`, micrometres.
+    MetalWidth,
+    /// Interconnect metal thickness `T`, micrometres.
+    MetalThickness,
+    /// Inter-layer dielectric thickness `H`, micrometres.
+    IldThickness,
+}
+
+impl Parameter {
+    /// Every variation source, in Table 1 column order.
+    pub const ALL: [Parameter; 5] = [
+        Parameter::GateLength,
+        Parameter::ThresholdVoltage,
+        Parameter::MetalWidth,
+        Parameter::MetalThickness,
+        Parameter::IldThickness,
+    ];
+
+    /// Nominal (mean) value in the unit documented on each variant.
+    #[must_use]
+    pub fn nominal(self) -> f64 {
+        match self {
+            Parameter::GateLength => 45.0,       // nm
+            Parameter::ThresholdVoltage => 220.0, // mV
+            Parameter::MetalWidth => 0.25,       // um
+            Parameter::MetalThickness => 0.55,   // um
+            Parameter::IldThickness => 0.15,     // um
+        }
+    }
+
+    /// The 3σ variation as a *fraction* of the nominal value (Table 1).
+    ///
+    /// For example gate length varies by ±10 % at 3σ, so this returns `0.10`.
+    #[must_use]
+    pub fn three_sigma_fraction(self) -> f64 {
+        match self {
+            Parameter::GateLength => 0.10,
+            Parameter::ThresholdVoltage => 0.18,
+            Parameter::MetalWidth => 0.33,
+            Parameter::MetalThickness => 0.33,
+            Parameter::IldThickness => 0.35,
+        }
+    }
+
+    /// One standard deviation in absolute units.
+    ///
+    /// ```
+    /// use yac_variation::Parameter;
+    /// let s = Parameter::GateLength.sigma();
+    /// assert!((s - 1.5).abs() < 1e-12); // 10% of 45nm is 4.5nm at 3 sigma
+    /// ```
+    #[must_use]
+    pub fn sigma(self) -> f64 {
+        self.nominal() * self.three_sigma_fraction() / 3.0
+    }
+
+    /// Short lowercase mnemonic used in reports (`leff`, `vt`, `w`, `t`, `h`).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Parameter::GateLength => "leff",
+            Parameter::ThresholdVoltage => "vt",
+            Parameter::MetalWidth => "w",
+            Parameter::MetalThickness => "t",
+            Parameter::IldThickness => "h",
+        }
+    }
+}
+
+impl fmt::Display for Parameter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Parameter::GateLength => "gate length",
+            Parameter::ThresholdVoltage => "threshold voltage",
+            Parameter::MetalWidth => "metal width",
+            Parameter::MetalThickness => "metal thickness",
+            Parameter::IldThickness => "ILD thickness",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A concrete assignment of all five variation parameters, e.g. for one
+/// circuit structure of one die.
+///
+/// Construct nominal values with [`ParameterSet::nominal`] and perturbed
+/// values through the sampling APIs in [`crate::correlation`] and
+/// [`crate::montecarlo`].
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::{Parameter, ParameterSet};
+///
+/// let nominal = ParameterSet::nominal();
+/// assert_eq!(nominal.get(Parameter::ThresholdVoltage), 220.0);
+/// assert_eq!(nominal.deviation_sigmas(Parameter::ThresholdVoltage), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParameterSet {
+    /// Effective gate length, nanometres.
+    pub l_gate_nm: f64,
+    /// Threshold voltage, millivolts.
+    pub v_t_mv: f64,
+    /// Metal line width, micrometres.
+    pub metal_width_um: f64,
+    /// Metal thickness, micrometres.
+    pub metal_thickness_um: f64,
+    /// Inter-layer dielectric thickness, micrometres.
+    pub ild_thickness_um: f64,
+}
+
+impl ParameterSet {
+    /// The nominal corner: every parameter at its Table 1 mean.
+    #[must_use]
+    pub fn nominal() -> Self {
+        ParameterSet {
+            l_gate_nm: Parameter::GateLength.nominal(),
+            v_t_mv: Parameter::ThresholdVoltage.nominal(),
+            metal_width_um: Parameter::MetalWidth.nominal(),
+            metal_thickness_um: Parameter::MetalThickness.nominal(),
+            ild_thickness_um: Parameter::IldThickness.nominal(),
+        }
+    }
+
+    /// Reads one parameter by tag.
+    #[must_use]
+    pub fn get(&self, p: Parameter) -> f64 {
+        match p {
+            Parameter::GateLength => self.l_gate_nm,
+            Parameter::ThresholdVoltage => self.v_t_mv,
+            Parameter::MetalWidth => self.metal_width_um,
+            Parameter::MetalThickness => self.metal_thickness_um,
+            Parameter::IldThickness => self.ild_thickness_um,
+        }
+    }
+
+    /// Writes one parameter by tag.
+    pub fn set(&mut self, p: Parameter, value: f64) {
+        match p {
+            Parameter::GateLength => self.l_gate_nm = value,
+            Parameter::ThresholdVoltage => self.v_t_mv = value,
+            Parameter::MetalWidth => self.metal_width_um = value,
+            Parameter::MetalThickness => self.metal_thickness_um = value,
+            Parameter::IldThickness => self.ild_thickness_um = value,
+        }
+    }
+
+    /// How far a parameter sits from nominal, in units of its σ.
+    ///
+    /// Positive values mean above nominal.
+    #[must_use]
+    pub fn deviation_sigmas(&self, p: Parameter) -> f64 {
+        (self.get(p) - p.nominal()) / p.sigma()
+    }
+
+    /// Relative deviation `(value - nominal) / nominal` of one parameter.
+    #[must_use]
+    pub fn relative_deviation(&self, p: Parameter) -> f64 {
+        (self.get(p) - p.nominal()) / p.nominal()
+    }
+
+    /// Returns a copy with `delta_sigmas * sigma(p)` added to parameter `p`,
+    /// clamped so the parameter stays strictly positive.
+    #[must_use]
+    pub fn with_offset_sigmas(mut self, p: Parameter, delta_sigmas: f64) -> Self {
+        let v = (self.get(p) + delta_sigmas * p.sigma()).max(p.nominal() * 1e-3);
+        self.set(p, v);
+        self
+    }
+
+    /// Euclidean distance from another set in σ-normalised space.
+    ///
+    /// Useful to check that tightly correlated structures ended up close.
+    #[must_use]
+    pub fn sigma_distance(&self, other: &ParameterSet) -> f64 {
+        Parameter::ALL
+            .iter()
+            .map(|&p| {
+                let d = (self.get(p) - other.get(p)) / p.sigma();
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Default for ParameterSet {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+impl fmt::Display for ParameterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Leff={:.2}nm Vt={:.1}mV W={:.3}um T={:.3}um H={:.3}um",
+            self.l_gate_nm,
+            self.v_t_mv,
+            self.metal_width_um,
+            self.metal_thickness_um,
+            self.ild_thickness_um
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_nominals_match_paper() {
+        assert_eq!(Parameter::GateLength.nominal(), 45.0);
+        assert_eq!(Parameter::ThresholdVoltage.nominal(), 220.0);
+        assert_eq!(Parameter::MetalWidth.nominal(), 0.25);
+        assert_eq!(Parameter::MetalThickness.nominal(), 0.55);
+        assert_eq!(Parameter::IldThickness.nominal(), 0.15);
+    }
+
+    #[test]
+    fn table1_three_sigma_fractions_match_paper() {
+        assert_eq!(Parameter::GateLength.three_sigma_fraction(), 0.10);
+        assert_eq!(Parameter::ThresholdVoltage.three_sigma_fraction(), 0.18);
+        assert_eq!(Parameter::MetalWidth.three_sigma_fraction(), 0.33);
+        assert_eq!(Parameter::MetalThickness.three_sigma_fraction(), 0.33);
+        assert_eq!(Parameter::IldThickness.three_sigma_fraction(), 0.35);
+    }
+
+    #[test]
+    fn sigma_is_one_third_of_three_sigma() {
+        for p in Parameter::ALL {
+            let expected = p.nominal() * p.three_sigma_fraction() / 3.0;
+            assert!((p.sigma() - expected).abs() < 1e-12, "{p}");
+        }
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut s = ParameterSet::nominal();
+        for (i, p) in Parameter::ALL.into_iter().enumerate() {
+            s.set(p, 1.0 + i as f64);
+            assert_eq!(s.get(p), 1.0 + i as f64);
+        }
+    }
+
+    #[test]
+    fn deviation_sigmas_is_zero_at_nominal() {
+        let s = ParameterSet::nominal();
+        for p in Parameter::ALL {
+            assert_eq!(s.deviation_sigmas(p), 0.0);
+        }
+    }
+
+    #[test]
+    fn with_offset_moves_by_sigma() {
+        let s = ParameterSet::nominal().with_offset_sigmas(Parameter::GateLength, 2.0);
+        assert!((s.deviation_sigmas(Parameter::GateLength) - 2.0).abs() < 1e-12);
+        // Other parameters untouched.
+        assert_eq!(s.deviation_sigmas(Parameter::ThresholdVoltage), 0.0);
+    }
+
+    #[test]
+    fn with_offset_never_goes_nonpositive() {
+        let s = ParameterSet::nominal().with_offset_sigmas(Parameter::GateLength, -1e6);
+        assert!(s.l_gate_nm > 0.0);
+    }
+
+    #[test]
+    fn sigma_distance_zero_for_identical_sets() {
+        let s = ParameterSet::nominal();
+        assert_eq!(s.sigma_distance(&s), 0.0);
+    }
+
+    #[test]
+    fn sigma_distance_counts_each_axis() {
+        let a = ParameterSet::nominal();
+        let b = a.with_offset_sigmas(Parameter::MetalWidth, 3.0);
+        assert!((a.sigma_distance(&b) - 3.0).abs() < 1e-9);
+        let c = b.with_offset_sigmas(Parameter::IldThickness, 4.0);
+        assert!((a.sigma_distance(&c) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", ParameterSet::nominal()).is_empty());
+        assert!(!format!("{}", Parameter::GateLength).is_empty());
+    }
+}

@@ -1,0 +1,454 @@
+//! Per-die variation samples: the full parameter assignment for one
+//! manufactured cache instance.
+//!
+//! Sampling follows §3 of the paper:
+//!
+//! 1. way 0 draws its parameters from the full Table 1 ranges;
+//! 2. the other ways re-sample around way 0 with the 2×2-mesh correlation
+//!    factors (vertical 0.45, horizontal 0.375, diagonal 0.7125);
+//! 3. within a way, each circuit structure (decoder, precharge, cell array,
+//!    sense amplifiers, output drivers) gets its own locally-refined values;
+//! 4. each horizontal region (group of rows) refines the cell-array and
+//!    local-interconnect values with the row factor (0.05);
+//! 5. a die-wide systematic [`GradientField`] adds the location-dependent
+//!    component on top.
+
+use crate::correlation::{CorrelationFactor, MeshPosition};
+use crate::gradient::{GradientConfig, GradientField};
+use crate::params::{Parameter, ParameterSet};
+use rand::Rng;
+
+/// Parameters of each distinct circuit structure within one cache way.
+///
+/// These are the five structures the paper perturbs individually (§3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StructureParams {
+    /// Row/address decoder chain.
+    pub decoder: ParameterSet,
+    /// Bitline precharge circuitry.
+    pub precharge: ParameterSet,
+    /// The SRAM cell array itself.
+    pub cell_array: ParameterSet,
+    /// Sense amplifiers.
+    pub sense_amp: ParameterSet,
+    /// Output drivers.
+    pub output_driver: ParameterSet,
+}
+
+impl StructureParams {
+    /// All structures at the same parameter values.
+    #[must_use]
+    pub fn uniform(p: ParameterSet) -> Self {
+        StructureParams {
+            decoder: p,
+            precharge: p,
+            cell_array: p,
+            sense_amp: p,
+            output_driver: p,
+        }
+    }
+
+    fn refine_from<R: Rng + ?Sized>(
+        base: &ParameterSet,
+        factor: CorrelationFactor,
+        rng: &mut R,
+    ) -> Self {
+        StructureParams {
+            decoder: factor.refine(base, rng),
+            precharge: factor.refine(base, rng),
+            cell_array: factor.refine(base, rng),
+            sense_amp: factor.refine(base, rng),
+            output_driver: factor.refine(base, rng),
+        }
+    }
+}
+
+/// Variation assignment for one horizontal region (a contiguous group of
+/// rows) of one way.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionVariation {
+    /// Cell parameters of the rows in this region.
+    pub cell_array: ParameterSet,
+    /// Local wordline / bitline-segment interconnect parameters.
+    pub interconnect: ParameterSet,
+    /// Extreme-value excursion of the region's worst cell's threshold
+    /// voltage, in millivolts, beyond the deterministic worst-cell margin.
+    /// The maximum of very many random-dopant fluctuations is
+    /// Gumbel-distributed; this is what makes *one* region of a way
+    /// catastrophically slow while its siblings stay fine.
+    pub worst_cell_extra_mv: f64,
+}
+
+/// Variation assignment for one cache way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WayVariation {
+    /// Placement of the way on the 2×2 mesh.
+    pub position: MeshPosition,
+    /// The way-level parameter draw (before structure refinement).
+    pub base: ParameterSet,
+    /// Per-structure refinements.
+    pub structures: StructureParams,
+    /// Per-horizontal-region refinements, index 0 = rows closest to the
+    /// decoder/sense amplifiers, last = farthest rows.
+    pub regions: Vec<RegionVariation>,
+}
+
+impl WayVariation {
+    /// Number of horizontal regions in this way.
+    #[must_use]
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+/// Configuration of the die-sampling process.
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::VariationConfig;
+///
+/// let cfg = VariationConfig::default();
+/// assert_eq!(cfg.ways, 4);
+/// assert_eq!(cfg.regions_per_way, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationConfig {
+    /// Number of ways (the paper's cache has 4).
+    pub ways: usize,
+    /// Number of horizontal regions per way (the paper's H-YAPD uses 4).
+    pub regions_per_way: usize,
+    /// Correlation factor between structures within a way. The paper fixes
+    /// rows at 0.05 and ways at ≥0.375 but leaves the structure level
+    /// implicit; 0.12 sits between those scales.
+    pub structure_factor: CorrelationFactor,
+    /// Systematic spatial field configuration.
+    pub gradient: GradientConfig,
+    /// σ (in units of each parameter's Table 1 σ) of the per-die,
+    /// per-region systematic offset **shared by every way**. This is the
+    /// §4.2 premise made explicit: "for a given process variation, either
+    /// all the upper-most rows of the ways or all the middle rows will
+    /// violate the delay constraint". Applied with the gradient's
+    /// device/interconnect weights.
+    pub region_systematic_sigma: f64,
+    /// Gumbel scale, in millivolts, of each region's worst-cell V_t
+    /// excursion (independent per way and region).
+    pub worst_cell_spread_mv: f64,
+}
+
+impl Default for VariationConfig {
+    fn default() -> Self {
+        VariationConfig {
+            ways: 4,
+            regions_per_way: 4,
+            structure_factor: CorrelationFactor::new(0.12).expect("0.12 is a valid factor"),
+            gradient: GradientConfig::default(),
+            region_systematic_sigma: 0.6,
+            worst_cell_spread_mv: 12.0,
+        }
+    }
+}
+
+impl VariationConfig {
+    /// Validates structural invariants (at least one way and one region).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ways == 0 {
+            return Err("configuration must have at least one way".into());
+        }
+        if self.regions_per_way == 0 {
+            return Err("configuration must have at least one region per way".into());
+        }
+        if self.ways > 4 {
+            return Err("the 2x2 mesh correlation model supports at most 4 ways".into());
+        }
+        if !(self.region_systematic_sigma.is_finite() && self.region_systematic_sigma >= 0.0) {
+            return Err("region systematic sigma must be finite and nonnegative".into());
+        }
+        if !(self.worst_cell_spread_mv.is_finite() && self.worst_cell_spread_mv >= 0.0) {
+            return Err("worst-cell spread must be finite and nonnegative".into());
+        }
+        Ok(())
+    }
+}
+
+/// The complete variation assignment for one manufactured die.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use yac_variation::{CacheVariation, VariationConfig};
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let die = CacheVariation::sample(&VariationConfig::default(), &mut rng);
+/// assert_eq!(die.ways.len(), 4);
+/// assert_eq!(die.ways[0].regions.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheVariation {
+    /// The die's systematic spatial field.
+    pub field: GradientField,
+    /// Per-way assignments; index = way number.
+    pub ways: Vec<WayVariation>,
+}
+
+impl CacheVariation {
+    /// Samples one die according to the paper's §3 procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`VariationConfig::validate`].
+    pub fn sample<R: Rng + ?Sized>(config: &VariationConfig, rng: &mut R) -> Self {
+        config.validate().expect("invalid variation configuration");
+        let field = GradientField::sample(&config.gradient, rng);
+
+        // Per-die systematic offsets shared by the same region index of
+        // every way (in sigma units, weighted like the gradient field).
+        let region_offsets: Vec<f64> = (0..config.regions_per_way)
+            .map(|_| crate::dist::standard_normal(rng) * config.region_systematic_sigma)
+            .collect();
+
+        // Step 1: way 0 from the full Table 1 range.
+        let way0_base = CorrelationFactor::INDEPENDENT.refine(&ParameterSet::nominal(), rng);
+
+        let mut ways = Vec::with_capacity(config.ways);
+        for w in 0..config.ways {
+            let position = MeshPosition::for_way(w);
+            // Step 2: mesh-correlated way bases.
+            let factor = MeshPosition::for_way(0).factor_to(position);
+            let random_base = if w == 0 {
+                way0_base
+            } else {
+                factor.refine(&way0_base, rng)
+            };
+            // Step 5 (way-level part): systematic field at the way centre.
+            let (wx, wy) = position.die_coordinates();
+            let base = field.apply(&random_base, wx, wy);
+
+            // Step 3: per-structure refinement.
+            let structures = StructureParams::refine_from(&base, config.structure_factor, rng);
+
+            // Step 4: per-region refinement + the *differential* systematic
+            // offset between the region's location and the way centre. The
+            // differential is identical across ways for a given region
+            // index, which is exactly the cross-way row correlation that
+            // H-YAPD exploits.
+            let mut regions = Vec::with_capacity(config.regions_per_way);
+            // Indexed loop: `r` feeds both the coordinate helper and the
+            // shared offset table.
+            #[allow(clippy::needless_range_loop)]
+            for r in 0..config.regions_per_way {
+                let (rx, ry) = region_coordinates(position, r, config.regions_per_way);
+                let mut cell = CorrelationFactor::ROW.refine(&structures.cell_array, rng);
+                let mut wire = CorrelationFactor::ROW.refine(&structures.cell_array, rng);
+                for p in Parameter::ALL {
+                    let weight = match p {
+                        Parameter::GateLength | Parameter::ThresholdVoltage => {
+                            config.gradient.device_weight
+                        }
+                        _ => config.gradient.interconnect_weight,
+                    };
+                    let delta = field.offset_sigmas(p, rx, ry) - field.offset_sigmas(p, wx, wy)
+                        + weight * region_offsets[r];
+                    cell = cell.with_offset_sigmas(p, delta);
+                    wire = wire.with_offset_sigmas(p, delta);
+                }
+                regions.push(RegionVariation {
+                    cell_array: cell,
+                    interconnect: wire,
+                    worst_cell_extra_mv: crate::dist::gumbel(rng, config.worst_cell_spread_mv),
+                });
+            }
+
+            ways.push(WayVariation {
+                position,
+                base,
+                structures,
+                regions,
+            });
+        }
+
+        CacheVariation { field, ways }
+    }
+
+    /// Number of ways on the die.
+    #[must_use]
+    pub fn way_count(&self) -> usize {
+        self.ways.len()
+    }
+
+    /// Number of horizontal regions per way.
+    #[must_use]
+    pub fn region_count(&self) -> usize {
+        self.ways.first().map_or(0, WayVariation::region_count)
+    }
+}
+
+/// Die coordinates of the centre of region `r` within the way tile at
+/// `position`, for `n` regions stacked vertically inside the tile.
+fn region_coordinates(position: MeshPosition, r: usize, n: usize) -> (f64, f64) {
+    let x0 = 0.5 * f64::from(position.col);
+    let y0 = 0.5 * f64::from(position.row);
+    let x = x0 + 0.25;
+    let y = y0 + 0.5 * ((r as f64 + 0.5) / n as f64);
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_default(seed: u64) -> CacheVariation {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        CacheVariation::sample(&VariationConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn structure_matches_configuration() {
+        let die = sample_default(1);
+        assert_eq!(die.way_count(), 4);
+        assert_eq!(die.region_count(), 4);
+        for w in &die.ways {
+            assert_eq!(w.region_count(), 4);
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_configs() {
+        let mut cfg = VariationConfig::default();
+        cfg.ways = 0;
+        assert!(cfg.validate().is_err());
+        cfg.ways = 5;
+        assert!(cfg.validate().is_err());
+        cfg.ways = 4;
+        cfg.regions_per_way = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn ways_are_correlated_but_not_identical() {
+        let mut identical = 0;
+        let mut total_dist = 0.0;
+        let n = 200;
+        for seed in 0..n {
+            let die = sample_default(seed);
+            let d = die.ways[0].base.sigma_distance(&die.ways[1].base);
+            if d == 0.0 {
+                identical += 1;
+            }
+            total_dist += d;
+        }
+        assert_eq!(identical, 0, "ways should practically never coincide");
+        let mean = total_dist / n as f64;
+        // Fully independent 5-dim draws would average sqrt(2)*E[chi_5] ~ 2.9+;
+        // mesh factors below 1 must pull this clearly down.
+        assert!(mean < 2.5, "mean way0-way1 distance {mean} too large");
+        assert!(mean > 0.1, "mean way0-way1 distance {mean} implausibly small");
+    }
+
+    #[test]
+    fn vertical_neighbour_more_correlated_than_diagonal() {
+        let mut d_vert = 0.0;
+        let mut d_diag = 0.0;
+        let cfg = VariationConfig {
+            gradient: GradientConfig::disabled(),
+            ..VariationConfig::default()
+        };
+        for seed in 0..400 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let die = CacheVariation::sample(&cfg, &mut rng);
+            d_vert += die.ways[0].base.sigma_distance(&die.ways[1].base);
+            d_diag += die.ways[0].base.sigma_distance(&die.ways[3].base);
+        }
+        assert!(
+            d_vert < d_diag,
+            "vertical factor 0.45 must correlate more than diagonal 0.7125 ({d_vert} vs {d_diag})"
+        );
+    }
+
+    #[test]
+    fn regions_hug_their_way() {
+        let cfg = VariationConfig {
+            gradient: GradientConfig::disabled(),
+            ..VariationConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let die = CacheVariation::sample(&cfg, &mut rng);
+            for way in &die.ways {
+                for region in &way.regions {
+                    let d = region.cell_array.sigma_distance(&way.structures.cell_array);
+                    // Row factor is 0.05, so the per-axis window is 0.15 sigma;
+                    // 5 axes bound the distance by sqrt(5)*0.15 ~ 0.34.
+                    assert!(d < 0.4, "region strayed {d} sigma from its way");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_systematic_offsets_align_across_ways() {
+        // With the gradient enabled and row noise present, the *ordering* of
+        // regions by Vt must still agree between ways far more often than
+        // chance: that is the H-YAPD premise.
+        let cfg = VariationConfig::default();
+        let mut agree = 0;
+        let mut total = 0;
+        for seed in 0..300 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let die = CacheVariation::sample(&cfg, &mut rng);
+            let extreme_region = |w: &WayVariation| {
+                let mut best = 0;
+                for (i, r) in w.regions.iter().enumerate() {
+                    let v = r.cell_array.v_t_mv - w.structures.cell_array.v_t_mv;
+                    let bv = w.regions[best].cell_array.v_t_mv - w.structures.cell_array.v_t_mv;
+                    if v < bv {
+                        best = i;
+                    }
+                }
+                best
+            };
+            let r0 = extreme_region(&die.ways[0]);
+            for w in &die.ways[1..] {
+                total += 1;
+                if extreme_region(w) == r0 {
+                    agree += 1;
+                }
+            }
+        }
+        let rate = f64::from(agree) / f64::from(total);
+        assert!(
+            rate > 0.31,
+            "lowest-Vt region should coincide across ways above chance (rate = {rate}, chance = 0.25)"
+        );
+    }
+
+    #[test]
+    fn region_coordinates_stay_inside_way_tile() {
+        for w in 0..4 {
+            let pos = MeshPosition::for_way(w);
+            for r in 0..4 {
+                let (x, y) = region_coordinates(pos, r, 4);
+                let x0 = 0.5 * f64::from(pos.col);
+                let y0 = 0.5 * f64::from(pos.row);
+                assert!(x >= x0 && x <= x0 + 0.5);
+                assert!(y >= y0 && y <= y0 + 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = sample_default(99);
+        let b = sample_default(99);
+        assert_eq!(a, b);
+        let c = sample_default(100);
+        assert_ne!(a, c);
+    }
+}

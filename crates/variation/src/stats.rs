@@ -1,0 +1,312 @@
+//! Small statistics toolkit used by the yield analysis and the experiment
+//! harness: summaries, percentiles, Pearson correlation and histograms.
+
+use std::fmt;
+
+/// Summary statistics of a data set.
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::stats::Summary;
+///
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation (divides by `n`).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics.
+    ///
+    /// Returns `None` for an empty slice or if any value is not finite.
+    #[must_use]
+    pub fn from_slice(data: &[f64]) -> Option<Summary> {
+        if data.is_empty() || data.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in data {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        })
+    }
+
+    /// Coefficient of variation `σ / μ` (0 when the mean is 0).
+    #[must_use]
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} max={:.4}",
+            self.n, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+/// The `q`-th percentile (0 ≤ q ≤ 100) using linear interpolation between
+/// order statistics.
+///
+/// Returns `None` on an empty slice or out-of-range `q`.
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::stats::percentile;
+///
+/// let p = percentile(&[4.0, 1.0, 3.0, 2.0], 50.0).unwrap();
+/// assert_eq!(p, 2.5);
+/// ```
+#[must_use]
+pub fn percentile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() || !(0.0..=100.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    let pos = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Pearson correlation coefficient between two equally long series.
+///
+/// Returns `None` if the series are empty, differ in length, or either has
+/// zero variance.
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::stats::pearson;
+///
+/// let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.len() != ys.len() {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// A fixed-width histogram over a closed range.
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.add(1.0);
+/// h.add(9.5);
+/// h.add(100.0); // out of range, counted separately
+/// assert_eq!(h.counts()[0], 1);
+/// assert_eq!(h.counts()[4], 1);
+/// assert_eq!(h.out_of_range(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    out_of_range: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// Returns `None` if `bins == 0`, bounds are not finite, or `lo >= hi`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Histogram> {
+        if bins == 0 || !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return None;
+        }
+        Some(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            out_of_range: 0,
+        })
+    }
+
+    /// Adds a sample; values outside `[lo, hi]` increment the out-of-range
+    /// counter instead of a bin.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() || x < self.lo || x > self.hi {
+            self.out_of_range += 1;
+            return;
+        }
+        let bins = self.counts.len();
+        let idx = (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize;
+        self.counts[idx.min(bins - 1)] += 1;
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples that fell outside the range.
+    #[must_use]
+    pub fn out_of_range(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// Total samples added, including out-of-range ones.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.out_of_range
+    }
+
+    /// `(bin_centre, count)` pairs, for plotting/printing.
+    pub fn bars(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let lo = self.lo;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (lo + (i as f64 + 0.5) * width, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::from_slice(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_rejects_non_finite() {
+        assert!(Summary::from_slice(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::from_slice(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn summary_basic_values() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 2.0);
+        assert_eq!(s.n, 8);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.cv() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let data = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 100.0), Some(3.0));
+        assert_eq!(percentile(&data, 50.0), Some(2.0));
+        assert!(percentile(&data, 101.0).is_none());
+        assert!(percentile(&[], 50.0).is_none());
+    }
+
+    #[test]
+    fn pearson_detects_anticorrelation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [8.0, 6.0, 4.0, 2.0];
+        let r = pearson(&x, &y).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert!(pearson(&[], &[]).is_none());
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn histogram_bins_cover_range() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        for i in 0..100 {
+            h.add(i as f64 / 100.0);
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.out_of_range(), 0);
+        assert!(h.counts().iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn histogram_upper_edge_lands_in_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.add(1.0);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn histogram_invalid_construction() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(1.0, 0.0, 4).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_none());
+    }
+
+    #[test]
+    fn histogram_bars_iterate_centres() {
+        let h = Histogram::new(0.0, 4.0, 4).unwrap();
+        let centres: Vec<f64> = h.bars().map(|(c, _)| c).collect();
+        assert_eq!(centres, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn summary_display_nonempty() {
+        let s = Summary::from_slice(&[1.0]).unwrap();
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! Wafer-level structure: dies on a grid with the classic radial
+//! ("bull's-eye") systematic component on top of the per-die sampling.
+//!
+//! The paper samples dies independently (§3) — adequate for yield
+//! *fractions*. Real wafers add an inter-die systematic: process
+//! parameters drift from the wafer centre to the edge, so failures
+//! cluster in rings. This module provides that layer, so wafer maps and
+//! ring-yield statistics can be studied with the same die model.
+
+use crate::montecarlo::{mix_seed, MonteCarlo};
+use crate::params::Parameter;
+use crate::sample::{CacheVariation, VariationConfig};
+
+/// Configuration of a wafer.
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::wafer::WaferConfig;
+///
+/// let cfg = WaferConfig::default();
+/// assert!(cfg.diameter_dies >= 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaferConfig {
+    /// Dies across the wafer diameter.
+    pub diameter_dies: usize,
+    /// Systematic radial drift, in σ units of each device parameter, from
+    /// the wafer centre (−`radial_sigma`/2) to the edge
+    /// (+`radial_sigma`/2). Positive values make edge dies slower (longer
+    /// channels, higher V_t) and centre dies faster and leakier; negative
+    /// values flip the pattern.
+    pub radial_sigma: f64,
+    /// Per-die sampling configuration.
+    pub variation: VariationConfig,
+}
+
+impl Default for WaferConfig {
+    /// A 300 mm-flavoured wafer: 26 dies across, a 1σ centre-to-edge
+    /// drift.
+    fn default() -> Self {
+        WaferConfig {
+            diameter_dies: 26,
+            radial_sigma: 1.0,
+            variation: VariationConfig::default(),
+        }
+    }
+}
+
+/// One die position on the wafer with its sampled variation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaferDie {
+    /// Column on the grid (0-based).
+    pub col: usize,
+    /// Row on the grid (0-based).
+    pub row: usize,
+    /// Normalised distance from the wafer centre (0 centre, 1 edge).
+    pub radius: f64,
+    /// The die's variation sample, radial drift included.
+    pub variation: CacheVariation,
+}
+
+/// A sampled wafer.
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::wafer::{Wafer, WaferConfig};
+///
+/// let wafer = Wafer::sample(&WaferConfig::default(), 7);
+/// assert!(wafer.dies.len() > 300, "a 26-die-wide disc holds ~530 dies");
+/// assert!(wafer.dies.iter().all(|d| d.radius <= 1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wafer {
+    /// All dies inside the wafer disc, row-major.
+    pub dies: Vec<WaferDie>,
+    /// The configuration the wafer was sampled with.
+    pub config: WaferConfig,
+}
+
+impl Wafer {
+    /// Samples a full wafer deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (fewer than 4 dies
+    /// across, or an invalid per-die configuration).
+    #[must_use]
+    pub fn sample(config: &WaferConfig, seed: u64) -> Self {
+        assert!(config.diameter_dies >= 4, "wafer too small");
+        let mc = MonteCarlo::new(config.variation);
+        let n = config.diameter_dies;
+        let centre = (n as f64 - 1.0) / 2.0;
+        let max_r = n as f64 / 2.0;
+        let mut dies = Vec::new();
+        for row in 0..n {
+            for col in 0..n {
+                let dx = col as f64 - centre;
+                let dy = row as f64 - centre;
+                let radius = (dx * dx + dy * dy).sqrt() / max_r;
+                if radius > 1.0 {
+                    continue; // outside the disc
+                }
+                let mut variation = mc.sample_one(seed, mix_seed(row as u64, col as u64));
+                // Radial systematic: devices drift slow toward the edge.
+                let drift = config.radial_sigma * (radius * radius - 0.5);
+                if drift != 0.0 {
+                    shift_devices(&mut variation, drift);
+                }
+                dies.push(WaferDie {
+                    col,
+                    row,
+                    radius,
+                    variation,
+                });
+            }
+        }
+        Wafer {
+            dies,
+            config: *config,
+        }
+    }
+
+    /// Dies grouped into `rings` equal-width radius bands (index 0 =
+    /// centre). Returns the die indices per band.
+    #[must_use]
+    pub fn rings(&self, rings: usize) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); rings.max(1)];
+        for (i, die) in self.dies.iter().enumerate() {
+            let band = ((die.radius * rings as f64) as usize).min(rings - 1);
+            out[band].push(i);
+        }
+        out
+    }
+}
+
+/// Shifts the device parameters (gate length, threshold voltage) of every
+/// structure of a die by `delta_sigmas`.
+fn shift_devices(die: &mut CacheVariation, delta_sigmas: f64) {
+    let shift = |set: &mut crate::params::ParameterSet| {
+        *set = set
+            .with_offset_sigmas(Parameter::GateLength, delta_sigmas)
+            .with_offset_sigmas(Parameter::ThresholdVoltage, delta_sigmas);
+    };
+    for way in &mut die.ways {
+        shift(&mut way.base);
+        shift(&mut way.structures.decoder);
+        shift(&mut way.structures.precharge);
+        shift(&mut way.structures.cell_array);
+        shift(&mut way.structures.sense_amp);
+        shift(&mut way.structures.output_driver);
+        for region in &mut way.regions {
+            shift(&mut region.cell_array);
+            shift(&mut region.interconnect);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wafer_is_a_disc() {
+        let wafer = Wafer::sample(&WaferConfig::default(), 1);
+        let n = wafer.config.diameter_dies as f64;
+        // Disc area fraction of the bounding square is pi/4.
+        let expected = n * n * std::f64::consts::FRAC_PI_4;
+        let count = wafer.dies.len() as f64;
+        assert!(
+            (count - expected).abs() / expected < 0.1,
+            "{count} dies vs ~{expected}"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let cfg = WaferConfig::default();
+        assert_eq!(Wafer::sample(&cfg, 5), Wafer::sample(&cfg, 5));
+        assert_ne!(Wafer::sample(&cfg, 5), Wafer::sample(&cfg, 6));
+    }
+
+    #[test]
+    fn edge_dies_are_slower_on_average() {
+        let cfg = WaferConfig {
+            radial_sigma: 2.0,
+            ..WaferConfig::default()
+        };
+        let wafer = Wafer::sample(&cfg, 3);
+        let mean_vt = |dies: &[usize]| {
+            dies.iter()
+                .map(|&i| wafer.dies[i].variation.ways[0].base.v_t_mv)
+                .sum::<f64>()
+                / dies.len() as f64
+        };
+        let rings = wafer.rings(3);
+        let centre = mean_vt(&rings[0]);
+        let edge = mean_vt(&rings[2]);
+        assert!(
+            edge > centre + 5.0,
+            "edge Vt {edge} should exceed centre {centre}"
+        );
+    }
+
+    #[test]
+    fn zero_radial_means_no_position_dependence() {
+        let cfg = WaferConfig {
+            radial_sigma: 0.0,
+            ..WaferConfig::default()
+        };
+        let wafer = Wafer::sample(&cfg, 9);
+        let rings = wafer.rings(2);
+        let mean_vt = |dies: &[usize]| {
+            dies.iter()
+                .map(|&i| wafer.dies[i].variation.ways[0].base.v_t_mv)
+                .sum::<f64>()
+                / dies.len() as f64
+        };
+        let diff = (mean_vt(&rings[0]) - mean_vt(&rings[1])).abs();
+        assert!(diff < 3.0, "no systematic ring difference expected: {diff}");
+    }
+
+    #[test]
+    fn rings_partition_the_dies() {
+        let wafer = Wafer::sample(&WaferConfig::default(), 2);
+        let rings = wafer.rings(4);
+        let total: usize = rings.iter().map(Vec::len).sum();
+        assert_eq!(total, wafer.dies.len());
+        assert!(rings.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "wafer too small")]
+    fn tiny_wafer_rejected() {
+        let cfg = WaferConfig {
+            diameter_dies: 2,
+            ..WaferConfig::default()
+        };
+        let _ = Wafer::sample(&cfg, 1);
+    }
+}

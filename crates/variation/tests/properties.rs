@@ -1,0 +1,164 @@
+//! Property-based tests for the variation substrate.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use yac_variation::dist::TruncatedNormal;
+use yac_variation::stats::{pearson, percentile, Histogram, Summary};
+use yac_variation::{
+    CacheVariation, CorrelationFactor, GradientConfig, GradientField, MeshPosition, MonteCarlo,
+    Parameter, ParameterSet, VariationConfig,
+};
+
+proptest! {
+    #[test]
+    fn truncated_normal_never_escapes_window(
+        mean in -1e3f64..1e3,
+        sigma in 0.0f64..50.0,
+        limit in 0.0f64..100.0,
+        seed in any::<u64>(),
+    ) {
+        let dist = TruncatedNormal::new(mean, sigma, limit);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let x = dist.sample(&mut rng);
+            prop_assert!((x - mean).abs() <= limit + 1e-9);
+        }
+    }
+
+    #[test]
+    fn refine_respects_scaled_three_sigma_window(
+        factor in 0.0f64..1.0,
+        offset in -2.0f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let f = CorrelationFactor::new(factor).unwrap();
+        let parent = ParameterSet::nominal()
+            .with_offset_sigmas(Parameter::ThresholdVoltage, offset);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let child = f.refine(&parent, &mut rng);
+        for p in Parameter::ALL {
+            let window = 3.0 * p.sigma() * factor;
+            prop_assert!((child.get(p) - parent.get(p)).abs() <= window + 1e-9);
+            prop_assert!(child.get(p) > 0.0);
+        }
+    }
+
+    #[test]
+    fn die_sampling_is_deterministic(seed in any::<u64>()) {
+        let cfg = VariationConfig::default();
+        let a = CacheVariation::sample(&cfg, &mut SmallRng::seed_from_u64(seed));
+        let b = CacheVariation::sample(&cfg, &mut SmallRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampled_parameters_are_physical(seed in any::<u64>()) {
+        let cfg = VariationConfig::default();
+        let die = CacheVariation::sample(&cfg, &mut SmallRng::seed_from_u64(seed));
+        for way in &die.ways {
+            for p in Parameter::ALL {
+                prop_assert!(way.base.get(p) > 0.0, "{} nonpositive", p);
+            }
+            for region in &way.regions {
+                for p in Parameter::ALL {
+                    prop_assert!(region.cell_array.get(p) > 0.0);
+                    prop_assert!(region.interconnect.get(p) > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_field_offsets_are_finite_everywhere(
+        seed in any::<u64>(),
+        x in 0.0f64..1.0,
+        y in 0.0f64..1.0,
+    ) {
+        let field = GradientField::sample(
+            &GradientConfig::default(),
+            &mut SmallRng::seed_from_u64(seed),
+        );
+        for p in Parameter::ALL {
+            prop_assert!(field.offset_sigmas(p, x, y).is_finite());
+        }
+    }
+
+    #[test]
+    fn summary_mean_is_bounded_by_min_max(data in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::from_slice(&data).unwrap();
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q(
+        data in prop::collection::vec(-1e3f64..1e3, 2..100),
+        q1 in 0.0f64..100.0,
+        q2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = percentile(&data, lo).unwrap();
+        let b = percentile(&data, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..50),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            let r2 = pearson(&ys, &xs).unwrap();
+            prop_assert!((r - r2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn histogram_total_counts_every_sample(
+        data in prop::collection::vec(-2.0f64..12.0, 0..300),
+    ) {
+        let mut h = Histogram::new(0.0, 10.0, 7).unwrap();
+        for &x in &data {
+            h.add(x);
+        }
+        prop_assert_eq!(h.total() as usize, data.len());
+    }
+
+    #[test]
+    fn mesh_factor_is_reflexive_zero(way in 0usize..4) {
+        let p = MeshPosition::for_way(way);
+        prop_assert_eq!(p.factor_to(p), CorrelationFactor::IDENTICAL);
+    }
+}
+
+#[test]
+fn population_statistics_track_table1() {
+    // The way-0 base draw uses the full Table 1 range; its population σ must
+    // come out near each parameter's σ (slightly below, due to truncation).
+    let mc = MonteCarlo::new(VariationConfig {
+        gradient: GradientConfig::disabled(),
+        ..VariationConfig::default()
+    });
+    let dies = mc.generate(4000, 17);
+    for p in Parameter::ALL {
+        let values: Vec<f64> = dies.iter().map(|d| d.ways[0].base.get(p)).collect();
+        let s = Summary::from_slice(&values).unwrap();
+        assert!(
+            (s.mean - p.nominal()).abs() < 0.05 * p.nominal(),
+            "{p}: mean {} vs nominal {}",
+            s.mean,
+            p.nominal()
+        );
+        let ratio = s.std_dev / p.sigma();
+        assert!(
+            (0.85..=1.05).contains(&ratio),
+            "{p}: population sigma ratio {ratio}"
+        );
+        assert!(s.min >= p.nominal() - 3.0 * p.sigma() - 1e-9);
+        assert!(s.max <= p.nominal() + 3.0 * p.sigma() + 1e-9);
+    }
+}

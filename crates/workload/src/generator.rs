@@ -1,0 +1,380 @@
+//! Deterministic synthetic trace generation from a benchmark profile.
+
+use crate::profile::BenchmarkProfile;
+use crate::uop::{MicroOp, OpClass};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Base virtual address of the synthetic data segment.
+const DATA_BASE: u64 = 0x4000_0000;
+/// Base virtual address of the synthetic code segment.
+const CODE_BASE: u64 = 0x0040_0000;
+/// Number of concurrent streaming pointers.
+const STREAMS: usize = 4;
+/// How many recent producers a source dependence can reach back to.
+const DEP_WINDOW: usize = 64;
+/// First architectural register handed out to producers (0..FIRST_DEST are
+/// "always ready" globals).
+const FIRST_DEST: u8 = 8;
+/// Total architectural registers.
+const REGS: u8 = 64;
+
+/// An infinite, deterministic micro-op stream shaped by a
+/// [`BenchmarkProfile`].
+///
+/// # Examples
+///
+/// ```
+/// use yac_workload::{spec2000, TraceGenerator};
+///
+/// let profile = spec2000::profile("gzip").unwrap();
+/// let trace: Vec<_> = TraceGenerator::new(profile, 42).take(1000).collect();
+/// assert_eq!(trace.len(), 1000);
+/// let loads = trace.iter().filter(|op| op.class == yac_workload::OpClass::Load).count();
+/// assert!(loads > 150 && loads < 300, "load mix ~22%: {loads}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: BenchmarkProfile,
+    rng: SmallRng,
+    index: u64,
+    loop_len: u64,
+    recent_dests: VecDeque<u8>,
+    recent_load_dests: VecDeque<u8>,
+    next_dest: u8,
+    stream_ptrs: [u64; STREAMS],
+    stream_turn: usize,
+    branch_dirs: Vec<bool>,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile`, fully determined by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation.
+    #[must_use]
+    pub fn new(profile: BenchmarkProfile, seed: u64) -> Self {
+        profile.validate().expect("invalid benchmark profile");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let branch_dirs = (0..profile.branch_sites).map(|_| rng.gen()).collect();
+        // The dynamic loop body: roughly 8 ops per static branch site, so
+        // the branch predictor sees every site regularly and the I-side
+        // footprint scales with the benchmark's control complexity.
+        let loop_len = u64::from(profile.branch_sites) * 8;
+        let ws_bytes = u64::from(profile.pattern.working_set_kib) * 1024;
+        // Random starting positions: evenly spaced starts would alias to
+        // the same cache set (working sets are multiples of the L1 way
+        // size) and advance in lockstep, thrashing a single set.
+        let mut stream_ptrs = [0u64; STREAMS];
+        for p in &mut stream_ptrs {
+            *p = rng.gen_range(0..ws_bytes) & !7;
+        }
+        TraceGenerator {
+            profile,
+            rng,
+            index: 0,
+            loop_len,
+            recent_dests: VecDeque::with_capacity(DEP_WINDOW),
+            recent_load_dests: VecDeque::with_capacity(DEP_WINDOW),
+            next_dest: FIRST_DEST,
+            stream_ptrs,
+            stream_turn: 0,
+            branch_dirs,
+        }
+    }
+
+    /// The profile being generated.
+    #[must_use]
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// Collects the next `n` micro-ops.
+    #[must_use]
+    pub fn generate(&mut self, n: usize) -> Vec<MicroOp> {
+        self.by_ref().take(n).collect()
+    }
+
+    fn pick_class(&mut self) -> OpClass {
+        let mix = &self.profile.mix;
+        let mut x: f64 = self.rng.gen();
+        for (class, f) in [
+            (OpClass::Load, mix.load),
+            (OpClass::Store, mix.store),
+            (OpClass::Branch, mix.branch),
+            (OpClass::IntMul, mix.int_mul),
+            (OpClass::FpAdd, mix.fp_add),
+            (OpClass::FpMul, mix.fp_mul),
+            (OpClass::FpDiv, mix.fp_div),
+        ] {
+            if x < f {
+                return class;
+            }
+            x -= f;
+        }
+        OpClass::IntAlu
+    }
+
+    fn pick_source(&mut self) -> u8 {
+        if !self.recent_dests.is_empty() && self.rng.gen::<f64>() < self.profile.dep_locality {
+            // Loaded values are consumed disproportionately often (address
+            // arithmetic, compares and stores on just-fetched data), which
+            // is what makes load latency so visible in real codes.
+            const LOAD_USE_BIAS: f64 = 0.75;
+            let from_loads =
+                !self.recent_load_dests.is_empty() && self.rng.gen::<f64>() < LOAD_USE_BIAS;
+            let window: &VecDeque<u8> = if from_loads {
+                &self.recent_load_dests
+            } else {
+                &self.recent_dests
+            };
+            // Geometric distance back into the recent-producer window.
+            let p = self.profile.dep_decay;
+            let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let d = 1 + (u.ln() / (1.0 - p).ln()) as usize;
+            let d = d.min(window.len());
+            window[window.len() - d]
+        } else {
+            self.rng.gen_range(0..REGS)
+        }
+    }
+
+    fn allocate_dest(&mut self) -> u8 {
+        let dest = self.next_dest;
+        self.next_dest += 1;
+        if self.next_dest >= REGS {
+            self.next_dest = FIRST_DEST;
+        }
+        if self.recent_dests.len() == DEP_WINDOW {
+            self.recent_dests.pop_front();
+        }
+        self.recent_dests.push_back(dest);
+        dest
+    }
+
+    fn pick_address(&mut self) -> u64 {
+        let pat = &self.profile.pattern;
+        let ws = u64::from(pat.working_set_kib) * 1024;
+        let hot = u64::from(pat.hot_set_kib) * 1024;
+        let x: f64 = self.rng.gen();
+        let offset = if x < pat.streaming {
+            let turn = self.stream_turn;
+            self.stream_turn = (self.stream_turn + 1) % STREAMS;
+            let ptr = self.stream_ptrs[turn];
+            self.stream_ptrs[turn] = (ptr + u64::from(pat.stride_bytes)) % ws;
+            ptr
+        } else if x < pat.streaming + pat.random {
+            self.rng.gen_range(0..ws)
+        } else {
+            self.rng.gen_range(0..hot)
+        };
+        DATA_BASE + (offset & !7)
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        let class = self.pick_class();
+        let pc = CODE_BASE + (self.index % self.loop_len) * 4;
+        self.index += 1;
+
+        let op = match class {
+            OpClass::Load => {
+                let addr = self.pick_address();
+                let src = self.pick_source();
+                let dest = self.allocate_dest();
+                if self.recent_load_dests.len() == DEP_WINDOW {
+                    self.recent_load_dests.pop_front();
+                }
+                self.recent_load_dests.push_back(dest);
+                MicroOp {
+                    pc,
+                    class,
+                    srcs: [Some(src), None],
+                    dest: Some(dest),
+                    addr: Some(addr),
+                    taken: None,
+                }
+            }
+            OpClass::Store => {
+                let addr = self.pick_address();
+                let data = self.pick_source();
+                let base = self.pick_source();
+                MicroOp {
+                    pc,
+                    class,
+                    srcs: [Some(data), Some(base)],
+                    dest: None,
+                    addr: Some(addr),
+                    taken: None,
+                }
+            }
+            OpClass::Branch => {
+                let site = (pc / 32) as usize % self.branch_dirs.len();
+                let preferred = self.branch_dirs[site];
+                let follow = self.rng.gen::<f64>() < self.profile.branch_bias;
+                let src = self.pick_source();
+                MicroOp {
+                    pc,
+                    class,
+                    srcs: [Some(src), None],
+                    dest: None,
+                    addr: None,
+                    taken: Some(preferred == follow),
+                }
+            }
+            _ => {
+                let a = self.pick_source();
+                let b = self.pick_source();
+                let dest = self.allocate_dest();
+                MicroOp {
+                    pc,
+                    class,
+                    srcs: [Some(a), Some(b)],
+                    dest: Some(dest),
+                    addr: None,
+                    taken: None,
+                }
+            }
+        };
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec2000;
+
+    fn gen_for(name: &str, seed: u64) -> TraceGenerator {
+        TraceGenerator::new(spec2000::profile(name).unwrap(), seed)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_for("gcc", 5).generate(2_000);
+        let b = gen_for("gcc", 5).generate(2_000);
+        assert_eq!(a, b);
+        let c = gen_for("gcc", 6).generate(2_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        for name in ["mcf", "swim", "gzip"] {
+            let profile = spec2000::profile(name).unwrap();
+            let trace = gen_for(name, 1).generate(50_000);
+            let frac = |class: OpClass| {
+                trace.iter().filter(|op| op.class == class).count() as f64 / trace.len() as f64
+            };
+            assert!((frac(OpClass::Load) - profile.mix.load).abs() < 0.01, "{name} loads");
+            assert!((frac(OpClass::Store) - profile.mix.store).abs() < 0.01, "{name} stores");
+            assert!(
+                (frac(OpClass::Branch) - profile.mix.branch).abs() < 0.01,
+                "{name} branches"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_ops_have_addresses_and_only_they_do() {
+        for op in gen_for("vpr", 2).generate(5_000) {
+            assert_eq!(op.addr.is_some(), op.class.is_mem(), "{op:?}");
+            assert_eq!(op.taken.is_some(), op.class == OpClass::Branch);
+        }
+    }
+
+    #[test]
+    fn addresses_stay_inside_the_working_set() {
+        let profile = spec2000::profile("gzip").unwrap();
+        let ws = u64::from(profile.pattern.working_set_kib) * 1024;
+        for op in gen_for("gzip", 3).generate(20_000) {
+            if let Some(addr) = op.addr {
+                assert!(addr >= DATA_BASE && addr < DATA_BASE + ws);
+            }
+        }
+    }
+
+    #[test]
+    fn biased_branches_mostly_follow_their_direction() {
+        let trace = gen_for("swim", 4).generate(100_000); // bias 0.98
+        let mut per_site: std::collections::HashMap<u64, (u32, u32)> = Default::default();
+        for op in &trace {
+            if let Some(taken) = op.taken {
+                let e = per_site.entry(op.pc).or_default();
+                if taken {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                }
+            }
+        }
+        // Aggregate per-site majority agreement should approach the bias.
+        let mut majority = 0u32;
+        let mut total = 0u32;
+        for (t, n) in per_site.values() {
+            majority += t.max(n);
+            total += t + n;
+        }
+        let rate = f64::from(majority) / f64::from(total);
+        assert!(rate > 0.93, "bias 0.98 should yield high per-site agreement, got {rate}");
+    }
+
+    #[test]
+    fn dependencies_reach_recent_producers() {
+        // With high dep_locality, most sources should name a register
+        // produced within the last DEP_WINDOW ops.
+        let trace = gen_for("mcf", 7).generate(10_000);
+        let mut recent: VecDeque<u8> = VecDeque::new();
+        let mut local = 0usize;
+        let mut total = 0usize;
+        for op in &trace {
+            for s in op.sources() {
+                total += 1;
+                if recent.contains(&s) {
+                    local += 1;
+                }
+            }
+            if let Some(d) = op.dest {
+                if recent.len() == DEP_WINDOW {
+                    recent.pop_front();
+                }
+                recent.push_back(d);
+            }
+        }
+        let rate = local as f64 / total as f64;
+        assert!(rate > 0.5, "mcf dep locality 0.72, measured {rate}");
+    }
+
+    #[test]
+    fn pcs_wrap_in_a_loop() {
+        let mut g = gen_for("lucas", 8);
+        let loop_len = g.loop_len;
+        let trace = g.generate(2 * loop_len as usize);
+        assert_eq!(trace[0].pc, trace[loop_len as usize].pc);
+    }
+
+    #[test]
+    fn streaming_profiles_produce_sequential_addresses() {
+        // A streaming access continues from an address seen a few memory
+        // ops earlier (its stream pointer); count how many accesses sit
+        // within one stride of a recent predecessor.
+        let trace = gen_for("swim", 9).generate(4_000);
+        let addrs: Vec<u64> = trace.iter().filter_map(|op| op.addr).collect();
+        let mut sequential = 0usize;
+        for (i, &a) in addrs.iter().enumerate().skip(16) {
+            if addrs[i - 16..i]
+                .iter()
+                .any(|&prev| a.wrapping_sub(prev) <= 8)
+            {
+                sequential += 1;
+            }
+        }
+        let rate = sequential as f64 / (addrs.len() - 16) as f64;
+        assert!(rate > 0.5, "swim should look like streaming: {rate}");
+    }
+}

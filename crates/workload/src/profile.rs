@@ -1,0 +1,277 @@
+//! Benchmark profiles: the tunable statistical shape of a synthetic
+//! workload.
+
+use std::fmt;
+
+/// Which SPEC2000 suite a profile imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPECint2000-like.
+    Int,
+    /// SPECfp2000-like.
+    Fp,
+}
+
+/// Fractions of each op class in the dynamic instruction stream. The
+/// remainder after all named classes is single-cycle integer ALU work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionMix {
+    /// Load fraction.
+    pub load: f64,
+    /// Store fraction.
+    pub store: f64,
+    /// Branch fraction.
+    pub branch: f64,
+    /// Integer multiply fraction.
+    pub int_mul: f64,
+    /// FP add fraction.
+    pub fp_add: f64,
+    /// FP multiply fraction.
+    pub fp_mul: f64,
+    /// FP divide fraction.
+    pub fp_div: f64,
+}
+
+impl InstructionMix {
+    /// Sum of all named fractions (must be ≤ 1).
+    #[must_use]
+    pub fn named_total(&self) -> f64 {
+        self.load + self.store + self.branch + self.int_mul + self.fp_add + self.fp_mul
+            + self.fp_div
+    }
+}
+
+/// The address-stream blend of a profile. Fractions must sum to ≤ 1; the
+/// remainder reuses the hot pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AddressPattern {
+    /// Fraction of memory accesses walking sequential streams (spatial
+    /// locality: stride ≪ block size ⇒ high hit rate).
+    pub streaming: f64,
+    /// Fraction hitting uniformly random locations in the full working set
+    /// (pointer chasing).
+    pub random: f64,
+    /// Total data footprint in KiB.
+    pub working_set_kib: u32,
+    /// Size of the hot (frequently reused) region in KiB.
+    pub hot_set_kib: u32,
+    /// Stride in bytes of the streaming component.
+    pub stride_bytes: u32,
+}
+
+/// A named synthetic benchmark: everything the trace generator needs.
+///
+/// # Examples
+///
+/// ```
+/// use yac_workload::spec2000;
+///
+/// let mcf = spec2000::profile("mcf").unwrap();
+/// assert!(mcf.pattern.working_set_kib > 1024, "mcf is memory-bound");
+/// mcf.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name ("gzip", "mcf", ...).
+    pub name: &'static str,
+    /// Which suite it belongs to.
+    pub suite: Suite,
+    /// Dynamic instruction mix.
+    pub mix: InstructionMix,
+    /// Memory address behaviour.
+    pub pattern: AddressPattern,
+    /// Probability that a source register reads a *recent* producer; the
+    /// distance to that producer is geometric with [`Self::dep_decay`].
+    /// High values = tight dependence chains = low ILP.
+    pub dep_locality: f64,
+    /// Parameter of the geometric dependency-distance distribution
+    /// (probability of stopping at each step back; higher = tighter).
+    pub dep_decay: f64,
+    /// Probability a branch goes its PC's preferred direction; 0.5 =
+    /// unpredictable, 1.0 = perfectly biased.
+    pub branch_bias: f64,
+    /// Number of distinct static branch sites (predictor pressure).
+    pub branch_sites: u32,
+}
+
+impl BenchmarkProfile {
+    /// Validates all fractions and ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let err = |what: &str| Err(format!("{}: {what}", self.name));
+        let mix = &self.mix;
+        for (label, f) in [
+            ("load", mix.load),
+            ("store", mix.store),
+            ("branch", mix.branch),
+            ("int_mul", mix.int_mul),
+            ("fp_add", mix.fp_add),
+            ("fp_mul", mix.fp_mul),
+            ("fp_div", mix.fp_div),
+        ] {
+            if !(0.0..=1.0).contains(&f) {
+                return err(&format!("{label} fraction out of range"));
+            }
+        }
+        if mix.named_total() > 1.0 {
+            return err("instruction mix exceeds 100%");
+        }
+        if self.pattern.streaming + self.pattern.random > 1.0 {
+            return err("address pattern fractions exceed 100%");
+        }
+        if self.pattern.working_set_kib == 0 || self.pattern.hot_set_kib == 0 {
+            return err("working/hot set must be nonzero");
+        }
+        if self.pattern.hot_set_kib > self.pattern.working_set_kib {
+            return err("hot set cannot exceed the working set");
+        }
+        if self.pattern.stride_bytes == 0 {
+            return err("stride must be nonzero");
+        }
+        if !(0.0..=1.0).contains(&self.dep_locality) {
+            return err("dependency locality out of range");
+        }
+        if !(0.0 < self.dep_decay && self.dep_decay <= 1.0) {
+            return err("dependency decay must lie in (0, 1]");
+        }
+        if !(0.5..=1.0).contains(&self.branch_bias) {
+            return err("branch bias must lie in [0.5, 1]");
+        }
+        if self.branch_sites == 0 {
+            return err("at least one branch site required");
+        }
+        Ok(())
+    }
+}
+
+impl BenchmarkProfile {
+    /// A `[0, 1]` memory-intensity score for the adaptive Hybrid policy:
+    /// how much of this workload's time goes to the memory system rather
+    /// than the core. Combines the memory-op fraction with how badly the
+    /// footprint overflows a 16 KB L1.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use yac_workload::spec2000;
+    ///
+    /// let mcf = spec2000::profile("mcf").unwrap().memory_intensity();
+    /// let crafty = spec2000::profile("crafty").unwrap().memory_intensity();
+    /// assert!(mcf > crafty, "mcf {mcf} vs crafty {crafty}");
+    /// ```
+    #[must_use]
+    pub fn memory_intensity(&self) -> f64 {
+        let mem_fraction = self.mix.load + self.mix.store;
+        // L1 pressure: streaming misses once per block; random accesses
+        // miss in proportion to how far the working set exceeds 16 KiB.
+        let ws = f64::from(self.pattern.working_set_kib);
+        let overflow = ((ws - 16.0) / ws).max(0.0);
+        let miss_pressure = self.pattern.streaming
+            * (f64::from(self.pattern.stride_bytes) / 32.0).min(1.0)
+            + self.pattern.random * overflow;
+        (6.0 * mem_fraction * miss_pressure).clamp(0.0, 1.0)
+    }
+}
+
+impl fmt::Display for BenchmarkProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({:?}): {}% loads, WS {} KiB",
+            self.name,
+            self.suite,
+            (self.mix.load * 100.0).round(),
+            self.pattern.working_set_kib
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "test",
+            suite: Suite::Int,
+            mix: InstructionMix {
+                load: 0.25,
+                store: 0.1,
+                branch: 0.15,
+                int_mul: 0.02,
+                fp_add: 0.0,
+                fp_mul: 0.0,
+                fp_div: 0.0,
+            },
+            pattern: AddressPattern {
+                streaming: 0.3,
+                random: 0.2,
+                working_set_kib: 256,
+                hot_set_kib: 16,
+                stride_bytes: 8,
+            },
+            dep_locality: 0.6,
+            dep_decay: 0.4,
+            branch_bias: 0.9,
+            branch_sites: 64,
+        }
+    }
+
+    #[test]
+    fn base_profile_validates() {
+        base().validate().unwrap();
+    }
+
+    #[test]
+    fn overfull_mix_is_rejected() {
+        let mut p = base();
+        p.mix.load = 0.9;
+        p.mix.store = 0.9;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn hot_set_must_fit_working_set() {
+        let mut p = base();
+        p.pattern.hot_set_kib = 1024;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn branch_bias_range_enforced() {
+        let mut p = base();
+        p.branch_bias = 0.3;
+        assert!(p.validate().is_err());
+        p.branch_bias = 1.0;
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn pattern_fractions_bounded() {
+        let mut p = base();
+        p.pattern.streaming = 0.8;
+        p.pattern.random = 0.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn memory_intensity_is_bounded_and_monotone_in_pressure() {
+        let mut p = base();
+        let low = p.memory_intensity();
+        assert!((0.0..=1.0).contains(&low));
+        p.pattern.random = 0.6;
+        p.pattern.streaming = 0.2;
+        p.pattern.working_set_kib = 4096;
+        let high = p.memory_intensity();
+        assert!(high > low);
+        assert!(high <= 1.0);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(base().to_string().contains("test"));
+    }
+}

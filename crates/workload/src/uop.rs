@@ -1,0 +1,150 @@
+//! The micro-operation model consumed by the pipeline simulator.
+//!
+//! The performance evaluation only needs structural properties of the
+//! instruction stream — operation classes, register dependences, memory
+//! addresses and branch outcomes — not architectural semantics, so a
+//! micro-op carries exactly those.
+
+use std::fmt;
+
+/// Operation classes with distinct execution resources/latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Integer multiply/divide.
+    IntMul,
+    /// Floating-point add/sub/compare.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / square root (long latency, unpipelined).
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+}
+
+impl OpClass {
+    /// Execution latency in cycles once operands are available (loads add
+    /// the cache access on top of address generation).
+    #[must_use]
+    pub fn exec_latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Store => 1,
+            OpClass::IntMul => 3,
+            OpClass::FpAdd => 2,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 12,
+            OpClass::Load => 1, // address generation; memory time is added
+        }
+    }
+
+    /// Whether the op reads or writes memory.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "alu",
+            OpClass::IntMul => "mul",
+            OpClass::FpAdd => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One micro-operation of a synthetic trace.
+///
+/// # Examples
+///
+/// ```
+/// use yac_workload::{MicroOp, OpClass};
+///
+/// let op = MicroOp {
+///     pc: 0x400000,
+///     class: OpClass::Load,
+///     srcs: [Some(3), None],
+///     dest: Some(7),
+///     addr: Some(0x1000),
+///     taken: None,
+/// };
+/// assert!(op.class.is_mem());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroOp {
+    /// Synthetic program counter (drives the branch predictor and I-cache).
+    pub pc: u64,
+    /// Operation class.
+    pub class: OpClass,
+    /// Up to two architectural source registers.
+    pub srcs: [Option<u8>; 2],
+    /// Architectural destination register, if the op produces a value.
+    pub dest: Option<u8>,
+    /// Effective address for memory operations.
+    pub addr: Option<u64>,
+    /// Branch outcome (branches only).
+    pub taken: Option<bool>,
+}
+
+impl MicroOp {
+    /// Iterator over the present source registers.
+    pub fn sources(&self) -> impl Iterator<Item = u8> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_are_ordered_sensibly() {
+        assert!(OpClass::FpDiv.exec_latency() > OpClass::FpMul.exec_latency());
+        assert!(OpClass::FpMul.exec_latency() > OpClass::IntAlu.exec_latency());
+        assert_eq!(OpClass::IntAlu.exec_latency(), 1);
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::Branch.is_mem());
+        assert!(!OpClass::FpAdd.is_mem());
+    }
+
+    #[test]
+    fn sources_iterates_present_registers() {
+        let op = MicroOp {
+            pc: 0,
+            class: OpClass::IntAlu,
+            srcs: [Some(1), Some(2)],
+            dest: Some(3),
+            addr: None,
+            taken: None,
+        };
+        assert_eq!(op.sources().collect::<Vec<_>>(), vec![1, 2]);
+        let one = MicroOp {
+            srcs: [None, Some(9)],
+            ..op
+        };
+        assert_eq!(one.sources().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!OpClass::Load.to_string().is_empty());
+    }
+}

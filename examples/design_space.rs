@@ -1,0 +1,82 @@
+//! Design-space exploration beyond the paper's three constraint settings:
+//! sweep the delay and leakage limits continuously and plot how each
+//! scheme's yield responds — the curve a manufacturer would use to pick a
+//! binning point.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use yield_aware_cache::core::{loss_table, ConstraintSpec};
+use yield_aware_cache::prelude::*;
+
+fn main() {
+    let population = Population::generate(1000, 2006);
+
+    println!("== yield vs delay-limit strictness (leakage fixed at 3x mean) ==\n");
+    println!(
+        "{:<24}{:>8}{:>8}{:>8}{:>8}{:>8}",
+        "delay limit", "base%", "YAPD%", "VACA%", "Hybrid%", "H-YAPD%"
+    );
+    for k in [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0] {
+        let spec = ConstraintSpec {
+            name: "sweep",
+            delay_sigma_factor: k,
+            leakage_mean_factor: 3.0,
+        };
+        let constraints = YieldConstraints::derive(&population, spec);
+        let t2 = table2(&population, &constraints);
+        let t3 = table3(&population, &constraints);
+        println!(
+            "mean + {k:<4}sigma        {:>7.1}%{:>7.1}%{:>7.1}%{:>7.1}%{:>7.1}%",
+            100.0 * t2.yield_fraction(None),
+            100.0 * t2.yield_fraction(Some(0)),
+            100.0 * t2.yield_fraction(Some(1)),
+            100.0 * t2.yield_fraction(Some(2)),
+            100.0 * t3.yield_fraction(Some(0)),
+        );
+    }
+
+    println!("\n== yield vs leakage-limit strictness (delay fixed at mean + sigma) ==\n");
+    println!(
+        "{:<24}{:>8}{:>8}{:>8}",
+        "leakage limit", "base%", "YAPD%", "Hybrid%"
+    );
+    for m in [1.5, 2.0, 2.5, 3.0, 4.0, 6.0] {
+        let spec = ConstraintSpec {
+            name: "sweep",
+            delay_sigma_factor: 1.0,
+            leakage_mean_factor: m,
+        };
+        let constraints = YieldConstraints::derive(&population, spec);
+        let t2 = table2(&population, &constraints);
+        println!(
+            "{m:<4}x mean leakage      {:>7.1}%{:>7.1}%{:>7.1}%",
+            100.0 * t2.yield_fraction(None),
+            100.0 * t2.yield_fraction(Some(0)),
+            100.0 * t2.yield_fraction(Some(2)),
+        );
+    }
+
+    // The paper's §4.3 extension: deeper load-bypass buffers would support
+    // 6- and 7-cycle ways. How much yield would that buy?
+    println!("\n== ablation: VACA load-bypass buffer depth (paper section 4.3) ==\n");
+    let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+    println!("{:<28}{:>10}{:>10}", "scheme", "losses", "yield%");
+    for depth in 1..=4 {
+        let vaca = Vaca::with_buffer_depth(CacheVariant::Regular, depth);
+        let t = loss_table(
+            &population,
+            &constraints,
+            CacheVariant::Regular,
+            &[&vaca],
+        );
+        println!(
+            "VACA, {}-entry buffers      {:>10}{:>9.1}%",
+            depth,
+            t.schemes[0].losses.total(),
+            100.0 * t.yield_fraction(Some(0)),
+        );
+    }
+    println!(
+        "\nthe paper keeps single-entry buffers: deeper ones save few extra chips\n(only the 6+-cycle delay tail) at growing performance cost"
+    );
+}

@@ -1,0 +1,58 @@
+//! Drive the out-of-order core directly: run one benchmark on a healthy
+//! cache, a VACA-repaired cache (one 5-cycle way) and a YAPD-repaired
+//! cache (one way disabled), and compare what the machine does.
+//!
+//! Run with: `cargo run --release --example pipeline_demo [benchmark]`
+
+use yield_aware_cache::prelude::*;
+
+fn run(label: &str, benchmark: &str, hier: HierarchyConfig, assumed: u32) -> SimStats {
+    let mut cfg = PipelineConfig::paper();
+    cfg.assumed_load_latency = assumed;
+    let mem = MemoryHierarchy::new(hier).expect("valid hierarchy");
+    let mut cpu = Pipeline::new(cfg, mem).expect("valid pipeline");
+    let profile = spec2000::profile(benchmark).expect("known benchmark");
+    let trace = TraceGenerator::new(profile, 2006);
+    let stats = cpu.run(trace, 20_000, 200_000);
+    println!(
+        "{label:<26} CPI {:>6.3}  IPC {:>5.2}  L1D hit {:>5.1}%  bypass {:>6}  replays {:>6}",
+        stats.cpi(),
+        stats.ipc(),
+        100.0 * stats.l1d_load_hit_rate(),
+        stats.bypass_stalls,
+        stats.replays,
+    );
+    stats
+}
+
+fn main() {
+    let benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gzip".to_owned());
+    println!("benchmark: {benchmark} (200k synthetic micro-ops)\n");
+
+    let base = run("healthy 4x4-cycle cache", &benchmark, HierarchyConfig::paper(), 4);
+
+    let mut vaca = HierarchyConfig::paper();
+    vaca.l1d.way_latency = vec![4, 4, 4, 5];
+    let v = run("VACA: one 5-cycle way", &benchmark, vaca, 4);
+
+    let mut yapd = HierarchyConfig::paper();
+    yapd.l1d.way_enabled[3] = false;
+    let y = run("YAPD: one way disabled", &benchmark, yapd, 4);
+
+    let mut bin = HierarchyConfig::paper();
+    bin.l1d.way_latency = vec![5; 4];
+    let b = run("naive 5-cycle binning", &benchmark, bin, 5);
+
+    println!("\nCPI increase over the healthy cache:");
+    for (label, stats) in [("VACA", &v), ("YAPD", &y), ("binning", &b)] {
+        println!(
+            "  {label:<8} +{:.2}%",
+            100.0 * (stats.cpi() / base.cpi() - 1.0)
+        );
+    }
+    println!(
+        "\nnote the mechanisms: VACA pays with load-bypass stalls, YAPD with extra\nL1D misses, binning with every load scheduled a cycle late"
+    );
+}

@@ -1,0 +1,67 @@
+//! Quick start: manufacture a population of chips under process
+//! variation, apply all four yield-aware schemes, and print what each one
+//! saves.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use yield_aware_cache::prelude::*;
+
+fn main() {
+    // 1. Manufacture chips: Monte Carlo process variation through the
+    //    analytical circuit model of the 16 KB, 4-way L1 data cache.
+    let chips = 1000;
+    println!("manufacturing {chips} chips (seed 2006) ...");
+    let population = Population::generate(chips, 2006);
+
+    // 2. Yield constraints, as in §5.1 of the paper: delay <= mean + sigma,
+    //    leakage <= 3x mean, both derived from the population itself.
+    let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+    println!(
+        "constraints: delay <= {:.3}, leakage <= {:.2} (cycle time {:.4})\n",
+        constraints.delay_limit, constraints.leakage_limit, constraints.cycle_time
+    );
+
+    // 3. The base case: how many chips would be discarded?
+    let lost = population
+        .chips
+        .iter()
+        .filter(|chip| classify(&chip.regular, &constraints).is_some())
+        .count();
+    println!(
+        "base case: {lost} of {chips} chips fail parametric testing ({:.1}% yield)\n",
+        100.0 * (1.0 - lost as f64 / chips as f64)
+    );
+
+    // 4. Apply the schemes.
+    println!("{}", render_loss_table(&table2(&population, &constraints)));
+    println!("{}", render_loss_table(&table3(&population, &constraints)));
+
+    // 5. Inspect one repaired chip in detail.
+    let hybrid = Hybrid::new(PowerDownKind::Vertical);
+    if let Some((chip, repair)) = population.chips.iter().find_map(|chip| {
+        match hybrid.apply(chip, &constraints, population.calibration()) {
+            SchemeOutcome::Saved(r) => Some((chip, r)),
+            _ => None,
+        }
+    }) {
+        println!("example repair of chip #{}:", chip.index);
+        println!(
+            "  way delays: {:?}",
+            chip.regular
+                .ways
+                .iter()
+                .map(|w| format!("{:.3}", w.delay))
+                .collect::<Vec<_>>()
+        );
+        println!("  settled leakage: {:.2}", chip.regular.leakage);
+        match &repair.disabled {
+            Some(unit) => println!("  hybrid action: disable {unit}"),
+            None => println!("  hybrid action: run slow ways at 5 cycles"),
+        }
+        println!(
+            "  resulting cache: {} ways effective, slowest {} cycles",
+            repair.effective_associativity(),
+            repair.slowest_cycles()
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Cross-crate integration: the full path from Monte Carlo variation
+//! sampling through the circuit model, constraint derivation and scheme
+//! application, exercised through the public facade.
+
+use yield_aware_cache::prelude::*;
+
+fn population() -> (Population, YieldConstraints) {
+    let population = Population::generate(600, 2006);
+    let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+    (population, constraints)
+}
+
+#[test]
+fn the_whole_study_is_deterministic() {
+    let (pop_a, c_a) = population();
+    let (pop_b, c_b) = population();
+    assert_eq!(pop_a.chips, pop_b.chips);
+    assert_eq!(c_a, c_b);
+    let t_a = table2(&pop_a, &c_a);
+    let t_b = table2(&pop_b, &c_b);
+    assert_eq!(t_a, t_b);
+}
+
+#[test]
+fn every_scheme_only_ships_chips_that_meet_constraints() {
+    let (population, constraints) = population();
+    let cal = population.calibration();
+    let schemes: Vec<Box<dyn Scheme>> = vec![
+        Box::new(Yapd),
+        Box::new(HYapd),
+        Box::new(Vaca::default()),
+        Box::new(Hybrid::new(PowerDownKind::Vertical)),
+        Box::new(Hybrid::new(PowerDownKind::Horizontal)),
+        Box::new(NaiveBinning::default()),
+    ];
+    for chip in &population.chips {
+        for scheme in &schemes {
+            if let SchemeOutcome::Saved(repair) = scheme.apply(chip, &constraints, cal) {
+                // A repair never disables more than one unit and never runs
+                // an enabled way beyond 5 cycles (except binning, which the
+                // scheduler compensates for).
+                assert!(repair.effective_associativity() >= 3, "{}", scheme.name());
+                let max = if scheme.name() == "naive binning" {
+                    constraints.base_cycles + 10
+                } else {
+                    constraints.base_cycles + 1
+                };
+                assert!(
+                    repair.slowest_cycles() <= max,
+                    "{}: {:?}",
+                    scheme.name(),
+                    repair
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hybrid_dominates_its_components_end_to_end() {
+    let (population, constraints) = population();
+    let cal = population.calibration();
+    let hybrid = Hybrid::new(PowerDownKind::Vertical);
+    let vaca = Vaca::default();
+    for chip in &population.chips {
+        let h = hybrid.apply(chip, &constraints, cal).ships();
+        if Yapd.apply(chip, &constraints, cal).ships() || vaca.apply(chip, &constraints, cal).ships()
+        {
+            assert!(h, "hybrid must save chip {}", chip.index);
+        }
+    }
+}
+
+#[test]
+fn repaired_configs_translate_into_valid_caches() {
+    // Every repair a scheme produces must correspond to a constructible
+    // cache configuration.
+    let (population, constraints) = population();
+    let cal = population.calibration();
+    let hybrid = Hybrid::new(PowerDownKind::Vertical);
+    let mut seen_repairs = 0;
+    for chip in &population.chips {
+        if let SchemeOutcome::Saved(repair) = hybrid.apply(chip, &constraints, cal) {
+            let mut cfg = CacheConfig::l1d_paper();
+            for (w, cycles) in repair.way_cycles.iter().enumerate() {
+                match cycles {
+                    Some(c) => cfg.way_latency[w] = *c,
+                    None => cfg.way_enabled[w] = false,
+                }
+            }
+            cfg.validate().expect("repair maps to a valid cache");
+            let cache = SetAssocCache::new(cfg).expect("constructible");
+            assert!(cache.config().available_ways(0) >= 3);
+            seen_repairs += 1;
+        }
+    }
+    assert!(seen_repairs > 0, "the population must contain saved chips");
+}
+
+#[test]
+fn horizontal_repairs_translate_into_valid_caches() {
+    let (population, constraints) = population();
+    let cal = population.calibration();
+    let mut seen = 0;
+    for chip in &population.chips {
+        if let SchemeOutcome::Saved(repair) = HYapd.apply(chip, &constraints, cal) {
+            let Some(DisabledUnit::HorizontalRegion(region)) = repair.disabled else {
+                panic!("H-YAPD must disable a region");
+            };
+            let mut cfg = CacheConfig::l1d_paper();
+            cfg.disabled_h_region = Some(region);
+            cfg.validate().expect("valid H-YAPD cache");
+            let cache = SetAssocCache::new(cfg).expect("constructible");
+            for set in 0..cache.config().sets {
+                assert_eq!(cache.config().available_ways(set), 3);
+            }
+            seen += 1;
+        }
+    }
+    assert!(seen > 0);
+}
+
+#[test]
+fn yield_improvements_track_the_papers_ordering() {
+    let (population, constraints) = population();
+    let t2 = table2(&population, &constraints);
+    let t3 = table3(&population, &constraints);
+
+    // Paper, abstract: Hybrid > H-YAPD > YAPD > VACA in loss reduction.
+    let yapd = t2.loss_reduction(0);
+    let vaca = t2.loss_reduction(1);
+    let hybrid = t2.loss_reduction(2);
+    let hyapd = t3.loss_reduction(0);
+    let hybrid_h = t3.loss_reduction(2);
+    assert!(hybrid > yapd, "hybrid {hybrid} vs yapd {yapd}");
+    assert!(hybrid_h > hyapd, "hybrid-h {hybrid_h} vs h-yapd {hyapd}");
+    assert!(yapd > vaca, "yapd {yapd} vs vaca {vaca}");
+    assert!(
+        hyapd > yapd - 0.05,
+        "h-yapd {hyapd} should be at least on par with yapd {yapd}"
+    );
+
+    // Yields in the paper's ballpark (Table 2: 94.6 / 88.7 / 96.8).
+    assert!(t2.yield_fraction(Some(0)) > 0.90);
+    assert!(t2.yield_fraction(Some(2)) > 0.95);
+}
+
+#[test]
+fn fig8_population_shape() {
+    let (population, _) = population();
+    let points = fig8_scatter(&population);
+    assert_eq!(points.len(), population.len());
+    // Normalised leakage averages 1 by construction; the tail is heavy.
+    let mean = points.iter().map(|p| p.normalized_leakage).sum::<f64>() / points.len() as f64;
+    assert!((mean - 1.0).abs() < 1e-9);
+    let over3x = points.iter().filter(|p| p.normalized_leakage > 3.0).count();
+    let frac = over3x as f64 / points.len() as f64;
+    assert!(
+        (0.02..0.15).contains(&frac),
+        "the 3x-mean leakage tail drives Table 2's leakage row: {frac}"
+    );
+}
+
+#[test]
+fn census_matches_loss_rows() {
+    let (population, constraints) = population();
+    for chip in &population.chips {
+        let census = WayCycleCensus::of(&chip.regular, &constraints);
+        match classify(&chip.regular, &constraints) {
+            Some(LossReason::Delay { violating_ways }) => {
+                assert_eq!(
+                    usize::from(census.ways_5) + usize::from(census.ways_6_plus),
+                    violating_ways
+                );
+            }
+            _ => assert!(census.all_fast()),
+        }
+    }
+}

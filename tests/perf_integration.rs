@@ -1,0 +1,122 @@
+//! Integration of the performance half: workload generation through the
+//! out-of-order core against repaired caches, and the Table 6 machinery.
+
+use yield_aware_cache::core::perf::{
+    benchmark_cpi, canonical_l1d, suite_degradation, table6, PerfOptions,
+};
+use yield_aware_cache::prelude::*;
+
+fn quick() -> PerfOptions {
+    PerfOptions {
+        warmup_uops: 5_000,
+        measure_uops: 20_000,
+        trace_seed: 2006,
+    }
+}
+
+fn census(a: u8, b: u8, c: u8) -> WayCycleCensus {
+    WayCycleCensus {
+        ways_4: a,
+        ways_5: b,
+        ways_6_plus: c,
+    }
+}
+
+#[test]
+fn all_benchmarks_run_on_all_repair_shapes() {
+    let opts = quick();
+    let shapes = [
+        canonical_l1d(census(3, 1, 0), false),
+        canonical_l1d(census(3, 1, 0), true),
+        canonical_l1d(census(0, 4, 0), false),
+        canonical_l1d(census(2, 1, 1), true),
+    ];
+    for profile in spec2000::all_profiles() {
+        for l1d in &shapes {
+            let cpi = benchmark_cpi(profile.clone(), l1d, &PipelineConfig::paper(), &opts);
+            assert!(
+                (0.25..60.0).contains(&cpi),
+                "{} on {:?}: cpi {cpi}",
+                profile.name,
+                l1d.way_latency
+            );
+        }
+    }
+}
+
+#[test]
+fn degradation_ordering_matches_paper_for_slow_way_counts() {
+    let opts = quick();
+    let one = suite_degradation(&canonical_l1d(census(3, 1, 0), false), &opts).average;
+    let four = suite_degradation(&canonical_l1d(census(0, 4, 0), false), &opts).average;
+    assert!(
+        one < four,
+        "one slow way (+{one:.2}%) must cost less than four (+{four:.2}%)"
+    );
+    assert!(four > 1.0, "four slow ways must cost real performance");
+}
+
+#[test]
+fn memory_bound_benchmarks_are_least_hurt_by_vaca() {
+    // Paper Fig. 9: mcf/art barely notice a 5-cycle way — their time goes
+    // to misses — while cache-resident codes pay the most.
+    let opts = PerfOptions {
+        warmup_uops: 10_000,
+        measure_uops: 60_000,
+        trace_seed: 2006,
+    };
+    let deg = suite_degradation(&canonical_l1d(census(0, 4, 0), false), &opts);
+    let get = |name: &str| {
+        deg.per_benchmark
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, d)| *d)
+            .expect("benchmark present")
+    };
+    let memory_bound = (get("mcf") + get("art")) / 2.0;
+    let core_bound = (get("crafty") + get("gzip") + get("mesa")) / 3.0;
+    assert!(
+        memory_bound < core_bound,
+        "memory-bound {memory_bound:.2}% vs core-bound {core_bound:.2}%"
+    );
+}
+
+#[test]
+fn table6_weighted_sums_are_paper_ordered() {
+    let population = Population::generate(600, 2006);
+    let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+    let t = table6(&population, &constraints, &quick());
+
+    // Paper: YAPD 1.08 < Hybrid 1.83 <= VACA 2.20, all small.
+    let (yapd, vaca, hybrid) = t.weighted;
+    assert!(yapd > 0.0 && vaca > 0.0 && hybrid > 0.0);
+    assert!(yapd < 5.0 && vaca < 8.0 && hybrid < 8.0);
+    // The Hybrid's weighted cost sits between the specialists' (it takes
+    // VACA's repairs where possible and YAPD's where necessary).
+    assert!(hybrid <= vaca.max(yapd) + 1.0);
+
+    // The 3-1-0 row dominates the saved-chip census, as in the paper (91
+    // of 275).
+    let row310 = &t.rows[0];
+    assert_eq!(row310.census.to_string(), "3-1-0");
+    let total: usize = t.rows.iter().map(|r| r.chip_frequency).sum();
+    assert!(
+        row310.chip_frequency * 2 >= total / 2,
+        "3-1-0 ({}) should be the most common saved configuration of {total}",
+        row310.chip_frequency
+    );
+}
+
+#[test]
+fn render_paths_do_not_panic() {
+    let population = Population::generate(150, 2006);
+    let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+    let opts = PerfOptions {
+        warmup_uops: 1_000,
+        measure_uops: 4_000,
+        trace_seed: 1,
+    };
+    let t = table6(&population, &constraints, &opts);
+    let text = render_table6(&t);
+    assert!(text.contains("3-1-0") && text.contains("wgt sum"));
+}

@@ -1,0 +1,75 @@
+//! Cross-crate property tests on the public facade.
+
+use proptest::prelude::*;
+use yield_aware_cache::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn populations_are_reproducible(chips in 1usize..40, seed in any::<u64>()) {
+        let a = Population::generate(chips, seed);
+        let b = Population::generate(chips, seed);
+        prop_assert_eq!(a.chips, b.chips);
+    }
+
+    #[test]
+    fn constraints_scale_monotonically(
+        k1 in 0.1f64..2.0,
+        k2 in 0.1f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let population = Population::generate(60, seed);
+        let spec = |k| ConstraintSpec { name: "p", delay_sigma_factor: k, leakage_mean_factor: 3.0 };
+        let a = YieldConstraints::derive(&population, spec(k1.min(k2)));
+        let b = YieldConstraints::derive(&population, spec(k1.max(k2)));
+        prop_assert!(a.delay_limit <= b.delay_limit);
+        // A stricter limit never loses fewer chips.
+        let lost = |c: &YieldConstraints| {
+            population.chips.iter().filter(|chip| classify(&chip.regular, c).is_some()).count()
+        };
+        prop_assert!(lost(&a) >= lost(&b));
+    }
+
+    #[test]
+    fn scheme_outcomes_are_exhaustive_and_consistent(seed in any::<u64>()) {
+        let population = Population::generate(40, seed);
+        let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+        let hybrid = Hybrid::new(PowerDownKind::Vertical);
+        for chip in &population.chips {
+            let outcome = hybrid.apply(chip, &constraints, population.calibration());
+            let failing = classify(&chip.regular, &constraints).is_some();
+            match outcome {
+                SchemeOutcome::MeetsAsIs => prop_assert!(!failing),
+                SchemeOutcome::Saved(_) | SchemeOutcome::Lost(_) => prop_assert!(failing),
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_quantisation_is_monotone(
+        seed in any::<u64>(),
+        d1 in 0.1f64..5.0,
+        d2 in 0.1f64..5.0,
+    ) {
+        let population = Population::generate(30, seed);
+        let c = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(c.cycles_for(lo) <= c.cycles_for(hi));
+        prop_assert!(c.cycles_for(lo) >= c.base_cycles);
+    }
+
+    #[test]
+    fn traces_feed_the_pipeline_without_stalling_forever(
+        seed in any::<u64>(),
+        bench_idx in 0usize..24,
+    ) {
+        let profile = spec2000::all_profiles().swap_remove(bench_idx);
+        let mem = MemoryHierarchy::new(HierarchyConfig::paper()).unwrap();
+        let mut cpu = Pipeline::new(PipelineConfig::paper(), mem).unwrap();
+        let trace = TraceGenerator::new(profile, seed);
+        let stats = cpu.run(trace, 500, 2_000);
+        prop_assert!(stats.committed >= 2_000);
+        prop_assert!(stats.cpi() > 0.25);
+    }
+}
