@@ -94,6 +94,7 @@ fn main() {
             variation: ab.variation,
             regular_model: make_model(CacheVariant::Regular),
             horizontal_model: make_model(CacheVariant::Horizontal),
+            faults: None,
         };
         let population = Population::generate_with(&config);
         let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);

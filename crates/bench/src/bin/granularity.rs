@@ -42,6 +42,7 @@ fn main() {
             variation,
             regular_model: model(CacheVariant::Regular),
             horizontal_model: model(CacheVariant::Horizontal),
+            faults: None,
         };
         let population = Population::generate_with(&config);
         let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);

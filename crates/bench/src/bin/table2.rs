@@ -14,6 +14,10 @@ fn main() {
 
     println!("== Table 2: sources of yield loss for regular power-down ==\n");
     println!("{}", render_loss_table(&table));
+    println!(
+        "quarantined: {} chips excluded during generation/evaluation",
+        table.quarantined
+    );
     println!("paper (2000 chips): base 138/126/36/23/16 = 339");
     println!("  YAPD 33/0/36/23/16 = 108   VACA 138/34/20/19/15 = 226   Hybrid 33/0/7/11/13 = 64");
     println!();

@@ -40,6 +40,11 @@ fn main() {
     // Constraints from a reference iid population (the spec is set by the
     // product, not by this wafer).
     let reference = Population::generate(2000, seed);
+    eprintln!(
+        "reference population: {} chips, {} quarantined",
+        reference.len(),
+        reference.quarantine().len()
+    );
     let constraints = YieldConstraints::derive(&reference, ConstraintSpec::NOMINAL);
     let hybrid = Hybrid::new(PowerDownKind::Vertical);
     let cal = reference.calibration();

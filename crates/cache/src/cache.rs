@@ -1,6 +1,7 @@
 //! The functional set-associative cache with true-LRU replacement.
 
 use crate::config::{CacheConfig, ReplacementPolicy};
+use crate::error::CacheConfigError;
 use crate::stats::CacheStats;
 
 /// One cache line's bookkeeping.
@@ -71,7 +72,7 @@ impl SetAssocCache {
     /// # Errors
     ///
     /// Returns the configuration's validation message if it is inconsistent.
-    pub fn new(config: CacheConfig) -> Result<Self, String> {
+    pub fn new(config: CacheConfig) -> Result<Self, CacheConfigError> {
         config.validate()?;
         let lines = vec![Line::default(); config.sets * config.ways];
         let plru = vec![0u64; config.sets];
@@ -129,7 +130,7 @@ impl SetAssocCache {
             if way < mid {
                 state |= 1 << node; // bit set = right half is colder
                 hi = mid;
-                node = node * 2;
+                node *= 2;
             } else {
                 state &= !(1 << node);
                 lo = mid;
@@ -153,7 +154,7 @@ impl SetAssocCache {
                 node = node * 2 + 1;
             } else {
                 hi = mid;
-                node = node * 2;
+                node *= 2;
             }
         }
         lo
@@ -497,7 +498,7 @@ mod tests {
         for i in 0..1000u64 {
             cache.access(i * 32, AccessKind::Read);
         }
-        assert_eq!(cache.occupancy(), 512.min(1000));
+        assert_eq!(cache.occupancy(), 512);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! per-way enables (YAPD), per-way latencies (VACA) and the H-YAPD
 //! horizontal-region disable with its diagonal post-decoder remap.
 
+use crate::error::{CacheConfigError, CacheConfigIssue};
 use std::fmt;
 
 /// Block replacement policy.
@@ -165,48 +166,46 @@ impl CacheConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the violated invariant.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the [`CacheConfigError`] naming this cache and the
+    /// violated invariant.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        let fail = |issue: CacheConfigIssue| {
+            Err(CacheConfigError {
+                cache: self.name.clone(),
+                issue,
+            })
+        };
         if !self.sets.is_power_of_two() {
-            return Err(format!("{}: set count must be a power of two", self.name));
+            return fail(CacheConfigIssue::NonPowerOfTwoSets);
         }
         if !self.block_bytes.is_power_of_two() {
-            return Err(format!("{}: block size must be a power of two", self.name));
+            return fail(CacheConfigIssue::NonPowerOfTwoBlock);
         }
         if self.ways == 0 {
-            return Err(format!("{}: associativity must be nonzero", self.name));
+            return fail(CacheConfigIssue::ZeroWays);
         }
         if self.way_latency.len() != self.ways || self.way_enabled.len() != self.ways {
-            return Err(format!(
-                "{}: per-way vectors must match the associativity",
-                self.name
-            ));
+            return fail(CacheConfigIssue::MismatchedWayVectors);
         }
         if self.way_latency.contains(&0) {
-            return Err(format!("{}: hit latency must be nonzero", self.name));
+            return fail(CacheConfigIssue::ZeroHitLatency);
         }
         if let Some(h) = self.disabled_h_region {
             if h >= self.address_regions {
-                return Err(format!("{}: disabled region out of range", self.name));
+                return fail(CacheConfigIssue::DisabledRegionOutOfRange);
             }
             if self.address_regions == 0 || !self.sets.is_multiple_of(self.address_regions) {
-                return Err(format!(
-                    "{}: address regions must evenly divide the sets",
-                    self.name
-                ));
+                return fail(CacheConfigIssue::UnevenAddressRegions);
             }
         }
         if !self.way_enabled.iter().any(|&e| e) {
-            return Err(format!("{}: at least one way must stay enabled", self.name));
+            return fail(CacheConfigIssue::AllWaysDisabled);
         }
         if (0..self.sets).any(|s| self.available_ways(s) == 0) {
-            return Err(format!("{}: some set has no available way", self.name));
+            return fail(CacheConfigIssue::UnreachableSet);
         }
         if self.replacement == ReplacementPolicy::TreePlru && !self.ways.is_power_of_two() {
-            return Err(format!(
-                "{}: tree PLRU needs a power-of-two associativity",
-                self.name
-            ));
+            return fail(CacheConfigIssue::TreePlruNeedsPowerOfTwo);
         }
         Ok(())
     }

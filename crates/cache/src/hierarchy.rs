@@ -6,6 +6,7 @@
 
 use crate::cache::{AccessKind, SetAssocCache};
 use crate::config::CacheConfig;
+use crate::error::HierarchyError;
 
 /// Configuration of the full hierarchy.
 ///
@@ -51,12 +52,12 @@ impl HierarchyConfig {
     /// # Errors
     ///
     /// Returns the first failing level's message.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), HierarchyError> {
         self.l1i.validate()?;
         self.l1d.validate()?;
         self.l2.validate()?;
         if self.memory_latency == 0 {
-            return Err("memory latency must be nonzero".into());
+            return Err(HierarchyError::ZeroMemoryLatency);
         }
         Ok(())
     }
@@ -108,8 +109,8 @@ impl MemoryHierarchy {
     ///
     /// # Errors
     ///
-    /// Returns the failing cache's validation message.
-    pub fn new(config: HierarchyConfig) -> Result<Self, String> {
+    /// Returns the [`HierarchyError`] identifying the failing cache.
+    pub fn new(config: HierarchyConfig) -> Result<Self, HierarchyError> {
         config.validate()?;
         Ok(MemoryHierarchy {
             l1i: SetAssocCache::new(config.l1i)?,

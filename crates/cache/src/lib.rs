@@ -16,19 +16,21 @@
 //! let mut cache = SetAssocCache::new(cfg)?;
 //! cache.access(0x40, AccessKind::Read);
 //! assert_eq!(cache.config().available_ways(0), 3);
-//! # Ok::<(), String>(())
+//! # Ok::<(), yac_cache::CacheConfigError>(())
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod error;
 pub mod config;
 pub mod hierarchy;
 pub mod stats;
 
 pub use cache::{AccessKind, AccessOutcome, SetAssocCache};
 pub use config::{CacheConfig, ReplacementPolicy};
+pub use error::{CacheConfigError, CacheConfigIssue, HierarchyError};
 pub use hierarchy::{DataAccess, HierarchyConfig, MemoryHierarchy};
 pub use stats::CacheStats;
 

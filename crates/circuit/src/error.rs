@@ -1,0 +1,242 @@
+//! Typed errors for the circuit layer.
+//!
+//! Part of the workspace-wide fault-tolerance taxonomy: every validation
+//! that used to return `Result<(), String>` or `assert!` on its inputs now
+//! reports a dedicated enum variant, with `Display` text identical to the
+//! legacy message so anything matching on the strings keeps working. The
+//! umbrella [`CircuitError`] lets [`crate::CacheCircuitModel::new`] report
+//! whichever layer rejected its inputs.
+
+use std::error::Error;
+use std::fmt;
+
+/// A rejected [`crate::CacheGeometry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// Some dimension (ways, banks, rows, columns, block bytes) is zero.
+    ZeroDimension,
+    /// `bitline_segments` is zero or does not divide `rows_per_bank`.
+    UnevenBitlineSegments,
+    /// A way's bit count is not a whole number of bytes.
+    FractionalBytes,
+    /// `ways * block_bytes` does not tile the capacity.
+    UnevenBlocks,
+    /// The set count is not a power of two.
+    NonPowerOfTwoSets,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GeometryError::ZeroDimension => "all geometry dimensions must be nonzero",
+            GeometryError::UnevenBitlineSegments => {
+                "bitline segments must evenly divide the rows of a bank"
+            }
+            GeometryError::FractionalBytes => "a way must hold a whole number of bytes",
+            GeometryError::UnevenBlocks => "blocks must tile the capacity exactly",
+            GeometryError::NonPowerOfTwoSets => {
+                "set count must be a power of two for simple indexing"
+            }
+        })
+    }
+}
+
+impl Error for GeometryError {}
+
+/// A rejected [`crate::Calibration`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// Wire/cell/logic delay shares leave no room for each other.
+    BadDelayShares,
+    /// `worst_cell_vt_boost_mv` outside `[0, 200)`.
+    BadWorstCellBoost,
+    /// `peripheral_leak_share` outside `[0, 1)`.
+    BadPeripheralLeakShare,
+    /// `hyapd_peripheral_shutoff` outside `[0, 1]`.
+    BadHyapdShutoff,
+    /// `hyapd_delay_overhead` outside `[0, 0.5)`.
+    BadHyapdOverhead,
+    /// `thermal_feedback` outside `[0, 2)`.
+    BadThermalFeedback,
+    /// `thermal_threshold` outside `[0.5, 5)`.
+    BadThermalThreshold,
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CalibrationError::BadDelayShares => {
+                "delay shares must be nonnegative and sum to at most 1"
+            }
+            CalibrationError::BadWorstCellBoost => "worst-cell Vt boost must lie in [0, 200) mV",
+            CalibrationError::BadPeripheralLeakShare => {
+                "peripheral leakage share must lie in [0, 1)"
+            }
+            CalibrationError::BadHyapdShutoff => "H-YAPD peripheral shutoff must lie in [0, 1]",
+            CalibrationError::BadHyapdOverhead => "H-YAPD delay overhead must lie in [0, 0.5)",
+            CalibrationError::BadThermalFeedback => "thermal feedback must lie in [0, 2)",
+            CalibrationError::BadThermalThreshold => "thermal threshold must lie in [0.5, 5)",
+        })
+    }
+}
+
+impl Error for CalibrationError {}
+
+/// A rejected [`crate::network::RcNetwork`] element.
+///
+/// The `Display` strings match the panic messages of the infallible
+/// builder methods, which forward to the `try_*` variants and panic with
+/// this error's text.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetworkError {
+    /// A node capacitance is negative, NaN or infinite.
+    BadCapacitance(f64),
+    /// A resistor value is nonpositive, NaN or infinite.
+    BadResistance(f64),
+    /// A driver resistance is nonpositive, NaN or infinite.
+    BadDriverResistance(f64),
+    /// A ladder was requested with zero stages.
+    EmptyLadder,
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::BadCapacitance(_) => f.write_str("capacitance must be >= 0"),
+            NetworkError::BadResistance(_) => f.write_str("resistance must be positive"),
+            NetworkError::BadDriverResistance(_) => {
+                f.write_str("driver resistance must be positive")
+            }
+            NetworkError::EmptyLadder => f.write_str("a ladder needs at least one stage"),
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+/// A rejected wire-model input (see [`crate::wire`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireError {
+    /// A geometric parameter of the wire cross-section is not positive
+    /// and finite.
+    BadParameter {
+        /// The human name of the parameter ("metal width", etc.).
+        name: &'static str,
+        /// The bad value.
+        value: f64,
+    },
+    /// The relative wire length is not positive and finite.
+    BadLength(f64),
+    /// The relative driver resistance is not positive and finite.
+    BadDriver(f64),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadParameter { name, value } => {
+                write!(f, "wire {name} must be positive and finite, got {value}")
+            }
+            WireError::BadLength(v) => {
+                write!(f, "wire length must be positive and finite, got {v}")
+            }
+            WireError::BadDriver(v) => {
+                write!(f, "driver resistance must be positive and finite, got {v}")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Any error the circuit layer can report; produced by
+/// [`crate::CacheCircuitModel::new`] and convertible from each layer's
+/// specific error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CircuitError {
+    /// The cache geometry was rejected.
+    Geometry(GeometryError),
+    /// The calibration constants were rejected.
+    Calibration(CalibrationError),
+    /// An RC-network element was rejected.
+    Network(NetworkError),
+    /// A wire-model input was rejected.
+    Wire(WireError),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::Geometry(e) => e.fmt(f),
+            CircuitError::Calibration(e) => e.fmt(f),
+            CircuitError::Network(e) => e.fmt(f),
+            CircuitError::Wire(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for CircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CircuitError::Geometry(e) => Some(e),
+            CircuitError::Calibration(e) => Some(e),
+            CircuitError::Network(e) => Some(e),
+            CircuitError::Wire(e) => Some(e),
+        }
+    }
+}
+
+impl From<GeometryError> for CircuitError {
+    fn from(e: GeometryError) -> Self {
+        CircuitError::Geometry(e)
+    }
+}
+
+impl From<CalibrationError> for CircuitError {
+    fn from(e: CalibrationError) -> Self {
+        CircuitError::Calibration(e)
+    }
+}
+
+impl From<NetworkError> for CircuitError {
+    fn from(e: NetworkError) -> Self {
+        CircuitError::Network(e)
+    }
+}
+
+impl From<WireError> for CircuitError {
+    fn from(e: WireError) -> Self {
+        CircuitError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_strings() {
+        assert_eq!(
+            GeometryError::ZeroDimension.to_string(),
+            "all geometry dimensions must be nonzero"
+        );
+        assert_eq!(
+            CalibrationError::BadDelayShares.to_string(),
+            "delay shares must be nonnegative and sum to at most 1"
+        );
+        assert_eq!(
+            NetworkError::BadResistance(0.0).to_string(),
+            "resistance must be positive"
+        );
+    }
+
+    #[test]
+    fn umbrella_preserves_message_and_source() {
+        let e = CircuitError::from(GeometryError::NonPowerOfTwoSets);
+        assert_eq!(
+            e.to_string(),
+            "set count must be a power of two for simple indexing"
+        );
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

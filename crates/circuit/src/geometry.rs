@@ -3,6 +3,8 @@
 //! 64 × 128 bits with bitlines partitioned in two — the Amrutur–Horowitz
 //! style organisation the paper's HSPICE deck implements.
 
+use crate::error::GeometryError;
+
 /// Physical organisation of one cache.
 ///
 /// # Examples
@@ -80,27 +82,27 @@ impl CacheGeometry {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the violated invariant.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the [`GeometryError`] naming the violated invariant.
+    pub fn validate(&self) -> Result<(), GeometryError> {
         if self.ways == 0
             || self.banks_per_way == 0
             || self.rows_per_bank == 0
             || self.cols_per_bank == 0
             || self.block_bytes == 0
         {
-            return Err("all geometry dimensions must be nonzero".into());
+            return Err(GeometryError::ZeroDimension);
         }
         if self.bitline_segments == 0 || !self.rows_per_bank.is_multiple_of(self.bitline_segments) {
-            return Err("bitline segments must evenly divide the rows of a bank".into());
+            return Err(GeometryError::UnevenBitlineSegments);
         }
         if !self.bits_per_way().is_multiple_of(8) {
-            return Err("a way must hold a whole number of bytes".into());
+            return Err(GeometryError::FractionalBytes);
         }
         if !self.capacity_bytes().is_multiple_of(self.ways * self.block_bytes) {
-            return Err("blocks must tile the capacity exactly".into());
+            return Err(GeometryError::UnevenBlocks);
         }
         if !self.sets().is_power_of_two() {
-            return Err("set count must be a power of two for simple indexing".into());
+            return Err(GeometryError::NonPowerOfTwoSets);
         }
         Ok(())
     }

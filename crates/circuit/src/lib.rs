@@ -31,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod device;
+pub mod error;
 pub mod geometry;
 pub mod model;
 pub mod network;
@@ -38,6 +39,7 @@ pub mod stages;
 pub mod tech;
 pub mod wire;
 
+pub use error::{CalibrationError, CircuitError, GeometryError, NetworkError, WireError};
 pub use geometry::CacheGeometry;
 pub use model::{CacheCircuitModel, CacheCircuitResult, CacheVariant, WayCircuitResult};
 pub use tech::{Calibration, Technology};

@@ -7,6 +7,7 @@
 //! *normalised*: a delay of 1.0 is the nominal near-bank critical path, a
 //! way leakage of 1.0 is the nominal leakage of one way.
 
+use crate::error::CircuitError;
 use crate::geometry::CacheGeometry;
 use crate::stages::{cell_delay_factor, logic_delay_factor, wire_delay_factor};
 use crate::tech::{Calibration, Technology};
@@ -109,14 +110,14 @@ impl CacheCircuitModel {
     ///
     /// # Errors
     ///
-    /// Returns the underlying validation message if the calibration shares
-    /// or geometry dimensions are inconsistent.
+    /// Returns the [`CircuitError`] identifying whether the calibration
+    /// shares or the geometry dimensions are inconsistent.
     pub fn new(
         tech: Technology,
         calibration: Calibration,
         geometry: CacheGeometry,
         variant: CacheVariant,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, CircuitError> {
         calibration.validate()?;
         geometry.validate()?;
         Ok(CacheCircuitModel {

@@ -8,6 +8,8 @@
 //! used by [`crate::wire`] track the solver across the full variation
 //! range.
 
+use crate::error::NetworkError;
+
 /// Handle to a node of an [`RcNetwork`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(usize);
@@ -49,34 +51,73 @@ impl RcNetwork {
     ///
     /// # Panics
     ///
-    /// Panics if the capacitance is negative or not finite.
+    /// Panics if the capacitance is negative or not finite. Use
+    /// [`RcNetwork::try_add_node`] to handle the error instead.
     pub fn add_node(&mut self, cap: f64) -> NodeId {
-        assert!(cap.is_finite() && cap >= 0.0, "capacitance must be >= 0");
+        self.try_add_node(cap).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`RcNetwork::add_node`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::BadCapacitance`] if the capacitance is
+    /// negative or not finite.
+    pub fn try_add_node(&mut self, cap: f64) -> Result<NodeId, NetworkError> {
+        if !(cap.is_finite() && cap >= 0.0) {
+            return Err(NetworkError::BadCapacitance(cap));
+        }
         self.caps.push(cap);
-        NodeId(self.caps.len() - 1)
+        Ok(NodeId(self.caps.len() - 1))
     }
 
     /// Connects two nodes with a resistor (ohms).
     ///
     /// # Panics
     ///
-    /// Panics if the resistance is not positive and finite.
+    /// Panics if the resistance is not positive and finite. Use
+    /// [`RcNetwork::try_connect`] to handle the error instead.
     pub fn connect(&mut self, a: NodeId, b: NodeId, r: f64) {
-        assert!(r.is_finite() && r > 0.0, "resistance must be positive");
+        self.try_connect(a, b, r).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible counterpart of [`RcNetwork::connect`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::BadResistance`] if the resistance is not
+    /// positive and finite.
+    pub fn try_connect(&mut self, a: NodeId, b: NodeId, r: f64) -> Result<(), NetworkError> {
+        if !(r.is_finite() && r > 0.0) {
+            return Err(NetworkError::BadResistance(r));
+        }
         self.resistors.push((a.0, b.0, r));
+        Ok(())
     }
 
     /// Connects a node to the step source through a driver resistance.
     ///
     /// # Panics
     ///
-    /// Panics if the resistance is not positive and finite.
+    /// Panics if the resistance is not positive and finite. Use
+    /// [`RcNetwork::try_drive`] to handle the error instead.
     pub fn drive(&mut self, node: NodeId, driver_r: f64) {
-        assert!(
-            driver_r.is_finite() && driver_r > 0.0,
-            "driver resistance must be positive"
-        );
+        self.try_drive(node, driver_r)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible counterpart of [`RcNetwork::drive`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::BadDriverResistance`] if the resistance is
+    /// not positive and finite.
+    pub fn try_drive(&mut self, node: NodeId, driver_r: f64) -> Result<(), NetworkError> {
+        if !(driver_r.is_finite() && driver_r > 0.0) {
+            return Err(NetworkError::BadDriverResistance(driver_r));
+        }
         self.sources.push((node.0, 1.0 / driver_r));
+        Ok(())
     }
 
     /// Number of nodes.
@@ -92,26 +133,46 @@ impl RcNetwork {
     ///
     /// # Panics
     ///
-    /// Panics if `stages` is zero or any value is non-positive.
+    /// Panics if `stages` is zero or any value is non-positive. Use
+    /// [`RcNetwork::try_ladder`] to handle the error instead.
     #[must_use]
     pub fn ladder(driver_r: f64, stages: usize, r_total: f64, c_total: f64, c_load: f64) -> (Self, NodeId) {
-        assert!(stages > 0, "a ladder needs at least one stage");
+        Self::try_ladder(driver_r, stages, r_total, c_total, c_load)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`RcNetwork::ladder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::EmptyLadder`] for zero stages, or the
+    /// element error for a non-physical resistance or capacitance.
+    pub fn try_ladder(
+        driver_r: f64,
+        stages: usize,
+        r_total: f64,
+        c_total: f64,
+        c_load: f64,
+    ) -> Result<(Self, NodeId), NetworkError> {
+        if stages == 0 {
+            return Err(NetworkError::EmptyLadder);
+        }
         let mut net = RcNetwork::new();
         let c_seg = c_total / stages as f64;
         let r_seg = r_total / stages as f64;
-        let first = net.add_node(c_seg);
-        net.drive(first, driver_r);
+        let first = net.try_add_node(c_seg)?;
+        net.try_drive(first, driver_r)?;
         let mut prev = first;
         for i in 1..stages {
             let extra = if i == stages - 1 { c_load } else { 0.0 };
-            let node = net.add_node(c_seg + extra);
-            net.connect(prev, node, r_seg);
+            let node = net.try_add_node(c_seg + extra)?;
+            net.try_connect(prev, node, r_seg)?;
             prev = node;
         }
         if stages == 1 {
             net.caps[first.0] += c_load;
         }
-        (net, prev)
+        Ok((net, prev))
     }
 
     /// The Elmore (first-moment) delay from the source to `node`:
@@ -406,5 +467,37 @@ mod tests {
         let a = net.add_node(1.0);
         let b = net.add_node(1.0);
         net.connect(a, b, 0.0);
+    }
+
+    #[test]
+    fn try_variants_report_typed_errors() {
+        use crate::error::NetworkError;
+        let mut net = RcNetwork::new();
+        assert_eq!(
+            net.try_add_node(-1.0),
+            Err(NetworkError::BadCapacitance(-1.0))
+        );
+        let a = net.try_add_node(1.0).unwrap();
+        let b = net.try_add_node(1.0).unwrap();
+        assert_eq!(
+            net.try_connect(a, b, f64::NAN).map_err(|e| e.to_string()),
+            Err("resistance must be positive".to_string())
+        );
+        assert_eq!(
+            net.try_drive(a, 0.0),
+            Err(NetworkError::BadDriverResistance(0.0))
+        );
+        assert_eq!(
+            RcNetwork::try_ladder(1.0, 0, 1.0, 1.0, 0.0).unwrap_err(),
+            NetworkError::EmptyLadder
+        );
+    }
+
+    #[test]
+    fn try_ladder_matches_infallible_ladder() {
+        let (net_a, end_a) = RcNetwork::ladder(0.8, 6, 1.0, 2.0, 0.3);
+        let (net_b, end_b) = RcNetwork::try_ladder(0.8, 6, 1.0, 2.0, 0.3).unwrap();
+        assert_eq!(end_a, end_b);
+        assert_eq!(net_a.elmore_delay(end_a), net_b.elmore_delay(end_b));
     }
 }

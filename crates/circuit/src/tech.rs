@@ -8,6 +8,8 @@
 //! paper's constraints are defined on the simulated population's own
 //! mean/σ.
 
+use crate::error::CalibrationError;
+
 /// Fixed 45 nm technology parameters (the "PTM card" substitute).
 ///
 /// # Examples
@@ -168,32 +170,32 @@ impl Calibration {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the violated invariant.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the [`CalibrationError`] naming the violated invariant.
+    pub fn validate(&self) -> Result<(), CalibrationError> {
         let logic_share = 1.0 - self.wire_delay_share - self.cell_delay_share;
         if !(0.0..=1.0).contains(&self.wire_delay_share)
             || !(0.0..=1.0).contains(&self.cell_delay_share)
             || logic_share < 0.0
         {
-            return Err("delay shares must be nonnegative and sum to at most 1".into());
+            return Err(CalibrationError::BadDelayShares);
         }
         if !(0.0..200.0).contains(&self.worst_cell_vt_boost_mv) {
-            return Err("worst-cell Vt boost must lie in [0, 200) mV".into());
+            return Err(CalibrationError::BadWorstCellBoost);
         }
         if !(0.0..1.0).contains(&self.peripheral_leak_share) {
-            return Err("peripheral leakage share must lie in [0, 1)".into());
+            return Err(CalibrationError::BadPeripheralLeakShare);
         }
         if !(0.0..=1.0).contains(&self.hyapd_peripheral_shutoff) {
-            return Err("H-YAPD peripheral shutoff must lie in [0, 1]".into());
+            return Err(CalibrationError::BadHyapdShutoff);
         }
         if !(0.0..0.5).contains(&self.hyapd_delay_overhead) {
-            return Err("H-YAPD delay overhead must lie in [0, 0.5)".into());
+            return Err(CalibrationError::BadHyapdOverhead);
         }
         if !(0.0..2.0).contains(&self.thermal_feedback) {
-            return Err("thermal feedback must lie in [0, 2)".into());
+            return Err(CalibrationError::BadThermalFeedback);
         }
         if !(0.5..5.0).contains(&self.thermal_threshold) {
-            return Err("thermal threshold must lie in [0.5, 5)".into());
+            return Err(CalibrationError::BadThermalThreshold);
         }
         Ok(())
     }

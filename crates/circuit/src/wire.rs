@@ -6,8 +6,28 @@
 //! thickness `H`, and its coupling capacitance on `T` and the line space
 //! `S = pitch − W` (line space is not an independent parameter).
 
+use crate::error::WireError;
 use crate::tech::Technology;
 use yac_variation::{Parameter, ParameterSet};
+
+/// Checks the wire-relevant parameters of `params` are physical.
+///
+/// The infallible factor functions below clamp degenerate inputs for
+/// robustness on the hot path; this guard gives callers that would rather
+/// reject than clamp (e.g. the quarantine pipeline) a way to find out.
+fn check_wire_params(params: &ParameterSet) -> Result<(), WireError> {
+    let checks = [
+        ("metal width", params.metal_width_um),
+        ("metal thickness", params.metal_thickness_um),
+        ("ILD thickness", params.ild_thickness_um),
+    ];
+    for (name, value) in checks {
+        if !(value.is_finite() && value > 0.0) {
+            return Err(WireError::BadParameter { name, value });
+        }
+    }
+    Ok(())
+}
 
 /// Resistance factor per unit length relative to nominal: `R ∝ 1/(W·T)`.
 ///
@@ -27,6 +47,18 @@ pub fn resistance_per_um_factor(params: &ParameterSet) -> f64 {
     (w_nom / params.metal_width_um.max(1e-6)) * (t_nom / params.metal_thickness_um.max(1e-6))
 }
 
+/// Validating counterpart of [`resistance_per_um_factor`]: rejects
+/// non-physical wire geometry instead of clamping it.
+///
+/// # Errors
+///
+/// Returns [`WireError::BadParameter`] if a wire dimension is not
+/// positive and finite.
+pub fn try_resistance_per_um_factor(params: &ParameterSet) -> Result<f64, WireError> {
+    check_wire_params(params)?;
+    Ok(resistance_per_um_factor(params))
+}
+
 /// Capacitance factor per unit length relative to nominal, combining the
 /// area term `∝ W/H` and the coupling term `∝ T/S` with the technology's
 /// weighting coefficients.
@@ -43,6 +75,20 @@ pub fn capacitance_per_um_factor(tech: &Technology, params: &ParameterSet) -> f6
     let area = tech.cap_area_coeff * params.metal_width_um / params.ild_thickness_um.max(1e-6);
     let coup = tech.cap_coupling_coeff * params.metal_thickness_um / s;
     (area + coup) / (area_nom + coup_nom)
+}
+
+/// Validating counterpart of [`capacitance_per_um_factor`].
+///
+/// # Errors
+///
+/// Returns [`WireError::BadParameter`] if a wire dimension is not
+/// positive and finite.
+pub fn try_capacitance_per_um_factor(
+    tech: &Technology,
+    params: &ParameterSet,
+) -> Result<f64, WireError> {
+    check_wire_params(params)?;
+    Ok(capacitance_per_um_factor(tech, params))
 }
 
 /// Elmore delay factor of a distributed RC line of relative length
@@ -79,6 +125,28 @@ pub fn elmore_factor(
     const WIRE_WEIGHT: f64 = 0.4;
     (DRIVER_WEIGHT * driver_r * c * length + WIRE_WEIGHT * r * c * length * length)
         / (DRIVER_WEIGHT + WIRE_WEIGHT)
+}
+
+/// Validating counterpart of [`elmore_factor`].
+///
+/// # Errors
+///
+/// Returns the [`WireError`] identifying the rejected input: a
+/// non-physical wire dimension, length, or driver resistance.
+pub fn try_elmore_factor(
+    tech: &Technology,
+    params: &ParameterSet,
+    length: f64,
+    driver_r: f64,
+) -> Result<f64, WireError> {
+    check_wire_params(params)?;
+    if !(length.is_finite() && length > 0.0) {
+        return Err(WireError::BadLength(length));
+    }
+    if !(driver_r.is_finite() && driver_r > 0.0) {
+        return Err(WireError::BadDriver(driver_r));
+    }
+    Ok(elmore_factor(tech, params, length, driver_r))
 }
 
 #[cfg(test)]
@@ -148,6 +216,44 @@ mod tests {
         p.metal_width_um = tech().wire_pitch_um; // zero space
         let c = capacitance_per_um_factor(&tech(), &p);
         assert!(c.is_finite() && c > 0.0);
+    }
+
+    #[test]
+    fn try_variants_reject_non_physical_inputs() {
+        let t = tech();
+        let mut p = ParameterSet::nominal();
+        p.metal_width_um = f64::INFINITY;
+        assert!(matches!(
+            try_resistance_per_um_factor(&p),
+            Err(crate::error::WireError::BadParameter {
+                name: "metal width",
+                ..
+            })
+        ));
+        assert!(try_capacitance_per_um_factor(&t, &p).is_err());
+        let good = ParameterSet::nominal();
+        assert!(matches!(
+            try_elmore_factor(&t, &good, f64::NAN, 1.0),
+            Err(crate::error::WireError::BadLength(_))
+        ));
+        assert!(matches!(
+            try_elmore_factor(&t, &good, 1.0, 0.0),
+            Err(crate::error::WireError::BadDriver(_))
+        ));
+    }
+
+    #[test]
+    fn try_variants_agree_with_infallible_on_good_inputs() {
+        let t = tech();
+        let p = ParameterSet::nominal().with_offset_sigmas(Parameter::MetalWidth, 2.0);
+        assert_eq!(
+            try_resistance_per_um_factor(&p).unwrap(),
+            resistance_per_um_factor(&p)
+        );
+        assert_eq!(
+            try_elmore_factor(&t, &p, 1.3, 0.8).unwrap(),
+            elmore_factor(&t, &p, 1.3, 0.8)
+        );
     }
 
     #[test]

@@ -27,16 +27,25 @@ impl LossBreakdown {
         }
     }
 
-    fn count(&mut self, reason: LossReason) {
+    /// Counts one lost chip, rejecting a delay reason whose
+    /// `violating_ways` does not fit this breakdown's way count. (The old
+    /// behaviour silently resized the histogram — an out-of-range
+    /// classification is corrupt data and belongs in the quarantine
+    /// ledger, not an invented bucket.)
+    fn count(&mut self, reason: LossReason) -> Result<(), InvalidLossReason> {
         match reason {
             LossReason::Leakage => self.leakage += 1,
             LossReason::Delay { violating_ways } => {
-                if violating_ways > self.delay.len() {
-                    self.delay.resize(violating_ways, 0);
+                if violating_ways == 0 || violating_ways > self.delay.len() {
+                    return Err(InvalidLossReason {
+                        violating_ways,
+                        ways: self.delay.len(),
+                    });
                 }
                 self.delay[violating_ways - 1] += 1;
             }
         }
+        Ok(())
     }
 
     /// Total chips lost.
@@ -45,6 +54,28 @@ impl LossBreakdown {
         self.leakage + self.delay.iter().sum::<usize>()
     }
 }
+
+/// A classification that does not fit the loss histogram: `violating_ways`
+/// outside `1..=ways`. Chips reporting this are quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLossReason {
+    /// The out-of-range way count.
+    pub violating_ways: usize,
+    /// The histogram's way count.
+    pub ways: usize,
+}
+
+impl std::fmt::Display for InvalidLossReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "classification reported {} violating ways on a {}-way cache",
+            self.violating_ways, self.ways
+        )
+    }
+}
+
+impl std::error::Error for InvalidLossReason {}
 
 /// One scheme's losses, row-aligned with the base case.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,12 +94,16 @@ pub struct LossTable {
     pub base_variant: CacheVariant,
     /// The constraint recipe in force.
     pub spec_name: String,
-    /// Population size.
+    /// Population size (chips that were actually classified).
     pub total_chips: usize,
     /// Chips lost in the base case, bucketed by reason.
     pub base: LossBreakdown,
     /// Remaining losses per scheme, in the base case's row buckets.
     pub schemes: Vec<SchemeLosses>,
+    /// Chips excluded from the table entirely: quarantined during
+    /// generation/evaluation, plus any whose classification did not fit
+    /// the loss histogram. Not part of `total_chips`.
+    pub quarantined: usize,
 }
 
 impl LossTable {
@@ -120,18 +155,27 @@ pub fn loss_table(
     let mut base = LossBreakdown::new(ways);
     let mut per_scheme: Vec<LossBreakdown> =
         schemes.iter().map(|_| LossBreakdown::new(ways)).collect();
+    let mut analysis_quarantined = 0usize;
 
     for chip in &population.chips {
         let Some(reason) = classify(chip.result(base_variant), constraints) else {
             continue;
         };
-        base.count(reason);
+        if base.count(reason).is_err() {
+            // A classification that doesn't fit the histogram is corrupt
+            // data; exclude the chip from the table instead of inventing
+            // a bucket for it.
+            analysis_quarantined += 1;
+            continue;
+        }
         for (scheme, losses) in schemes.iter().zip(&mut per_scheme) {
             if !scheme
                 .apply(chip, constraints, population.calibration())
                 .ships()
             {
-                losses.count(reason);
+                losses
+                    .count(reason)
+                    .expect("scheme histogram matches the base histogram");
             }
         }
     }
@@ -139,7 +183,8 @@ pub fn loss_table(
     LossTable {
         base_variant,
         spec_name: constraints.spec.name.to_owned(),
-        total_chips: population.len(),
+        total_chips: population.len() - analysis_quarantined,
+        quarantined: population.quarantine().len() + analysis_quarantined,
         base,
         schemes: schemes
             .iter()
@@ -491,11 +536,28 @@ mod tests {
     #[test]
     fn loss_breakdown_counts_and_totals() {
         let mut b = LossBreakdown::new(4);
-        b.count(LossReason::Leakage);
-        b.count(LossReason::Delay { violating_ways: 1 });
-        b.count(LossReason::Delay { violating_ways: 4 });
+        b.count(LossReason::Leakage).unwrap();
+        b.count(LossReason::Delay { violating_ways: 1 }).unwrap();
+        b.count(LossReason::Delay { violating_ways: 4 }).unwrap();
         assert_eq!(b.leakage, 1);
         assert_eq!(b.delay, vec![1, 0, 0, 1]);
         assert_eq!(b.total(), 3);
+    }
+
+    #[test]
+    fn loss_breakdown_rejects_out_of_range_reasons() {
+        let mut b = LossBreakdown::new(4);
+        let err = b
+            .count(LossReason::Delay { violating_ways: 5 })
+            .unwrap_err();
+        assert_eq!(err.violating_ways, 5);
+        assert_eq!(err.ways, 4);
+        let err0 = b
+            .count(LossReason::Delay { violating_ways: 0 })
+            .unwrap_err();
+        assert_eq!(err0.violating_ways, 0);
+        // The rejected counts left the histogram untouched.
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.delay.len(), 4);
     }
 }

@@ -1,0 +1,547 @@
+//! Checkpoint/resume for long population studies.
+//!
+//! The paper's studies evaluate 2000 chips; a killed run should not have
+//! to recompute the chips it already finished. [`run_checkpointed`]
+//! writes the completed chip evaluations (and the quarantine ledger) to a
+//! plain-text checkpoint file every `every` chips, and a later call with
+//! the same configuration and path resumes from the highest completed
+//! index.
+//!
+//! The format stores every `f64` as the 16-hex-digit image of its IEEE
+//! bits, so a resumed run's population — and therefore every report
+//! rendered from it — is byte-identical to an uninterrupted run's.
+//! Chips are computed per-index from the same SplitMix64 stream as
+//! [`crate::Population::generate_with`], with the same fault isolation.
+
+use crate::chip::{evaluate_isolated, ChipSample, Population, PopulationConfig};
+use crate::quarantine::QuarantineLedger;
+use std::fmt;
+use std::path::Path;
+use yac_circuit::{CacheCircuitResult, WayCircuitResult};
+use yac_variation::MonteCarlo;
+
+/// Format version tag; bump when the line layout changes.
+const MAGIC: &str = "YAC-CHECKPOINT v1";
+
+/// An error from the checkpointed-study machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StudyError {
+    /// The checkpoint file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error message.
+        message: String,
+    },
+    /// The checkpoint file does not parse.
+    Corrupt {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        what: String,
+    },
+    /// The checkpoint belongs to a different study (seed or chip count
+    /// disagree with the configuration).
+    Mismatch(String),
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Io { path, message } => write!(f, "checkpoint {path}: {message}"),
+            StudyError::Corrupt { line, what } => {
+                write!(f, "corrupt checkpoint at line {line}: {what}")
+            }
+            StudyError::Mismatch(what) => write!(f, "checkpoint mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
+
+/// The persisted state of a partially completed study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointState {
+    /// The study seed.
+    pub seed: u64,
+    /// The total chip count the study was asked for.
+    pub chips: usize,
+    /// Chip indices `0..done` have been computed (classified or
+    /// quarantined).
+    pub done: usize,
+    /// Completed chip evaluations, ascending by index.
+    pub completed: Vec<ChipSample>,
+    /// Chips quarantined so far.
+    pub quarantine: QuarantineLedger,
+}
+
+impl CheckpointState {
+    /// A fresh state for a study of `chips` chips under `seed`.
+    #[must_use]
+    pub fn fresh(seed: u64, chips: usize) -> Self {
+        CheckpointState {
+            seed,
+            chips,
+            done: 0,
+            completed: Vec::new(),
+            quarantine: QuarantineLedger::new(),
+        }
+    }
+
+    /// Whether every chip has been computed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.done >= self.chips
+    }
+}
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_f64(token: &str, line: usize) -> Result<f64, StudyError> {
+    u64::from_str_radix(token, 16)
+        .map(f64::from_bits)
+        .map_err(|_| StudyError::Corrupt {
+            line,
+            what: format!("bad f64 bits {token:?}"),
+        })
+}
+
+fn parse_usize(token: &str, line: usize) -> Result<usize, StudyError> {
+    token.parse().map_err(|_| StudyError::Corrupt {
+        line,
+        what: format!("bad integer {token:?}"),
+    })
+}
+
+fn push_result(out: &mut String, r: &CacheCircuitResult) {
+    use fmt::Write;
+    let _ = write!(
+        out,
+        " {} {} {} {}",
+        f64_hex(r.delay),
+        f64_hex(r.heat),
+        f64_hex(r.leakage),
+        r.ways.len()
+    );
+    for w in &r.ways {
+        let _ = write!(
+            out,
+            " {} {} {} {}",
+            f64_hex(w.delay),
+            f64_hex(w.peripheral_leakage),
+            f64_hex(w.leakage),
+            w.region_delay.len()
+        );
+        for &d in &w.region_delay {
+            let _ = write!(out, " {}", f64_hex(d));
+        }
+        for &l in &w.region_cell_leakage {
+            let _ = write!(out, " {}", f64_hex(l));
+        }
+    }
+}
+
+fn take<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+) -> Result<&'a str, StudyError> {
+    tokens.next().ok_or(StudyError::Corrupt {
+        line,
+        what: "truncated record".into(),
+    })
+}
+
+fn parse_result<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+) -> Result<CacheCircuitResult, StudyError> {
+    let delay = parse_f64(take(tokens, line)?, line)?;
+    let heat = parse_f64(take(tokens, line)?, line)?;
+    let leakage = parse_f64(take(tokens, line)?, line)?;
+    let nways = parse_usize(take(tokens, line)?, line)?;
+    let mut ways = Vec::with_capacity(nways);
+    for _ in 0..nways {
+        let way_delay = parse_f64(take(tokens, line)?, line)?;
+        let peripheral_leakage = parse_f64(take(tokens, line)?, line)?;
+        let way_leakage = parse_f64(take(tokens, line)?, line)?;
+        let nregions = parse_usize(take(tokens, line)?, line)?;
+        let mut region_delay = Vec::with_capacity(nregions);
+        for _ in 0..nregions {
+            region_delay.push(parse_f64(take(tokens, line)?, line)?);
+        }
+        let mut region_cell_leakage = Vec::with_capacity(nregions);
+        for _ in 0..nregions {
+            region_cell_leakage.push(parse_f64(take(tokens, line)?, line)?);
+        }
+        ways.push(WayCircuitResult {
+            region_delay,
+            delay: way_delay,
+            region_cell_leakage,
+            peripheral_leakage,
+            leakage: way_leakage,
+        });
+    }
+    Ok(CacheCircuitResult {
+        ways,
+        delay,
+        heat,
+        leakage,
+    })
+}
+
+/// Serialises a state to the checkpoint text format.
+#[must_use]
+pub fn render_checkpoint(state: &CheckpointState) -> String {
+    use fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "seed {:016x}", state.seed);
+    let _ = writeln!(out, "chips {}", state.chips);
+    let _ = writeln!(out, "done {}", state.done);
+    for chip in &state.completed {
+        let mut line = format!("C {}", chip.index);
+        push_result(&mut line, &chip.regular);
+        push_result(&mut line, &chip.horizontal);
+        let _ = writeln!(out, "{line}");
+    }
+    for q in state.quarantine.entries() {
+        let _ = writeln!(
+            out,
+            "Q {} {:016x} {}",
+            q.index,
+            q.seed,
+            q.error.replace('\n', " ")
+        );
+    }
+    let _ = writeln!(out, "END");
+    out
+}
+
+/// Parses the checkpoint text format back into a state.
+///
+/// # Errors
+///
+/// Returns [`StudyError::Corrupt`] naming the offending line.
+pub fn parse_checkpoint(text: &str) -> Result<CheckpointState, StudyError> {
+    let mut lines = text.lines().enumerate();
+    let corrupt = |line: usize, what: &str| StudyError::Corrupt {
+        line,
+        what: what.to_string(),
+    };
+    let (_, magic) = lines.next().ok_or_else(|| corrupt(1, "empty file"))?;
+    if magic != MAGIC {
+        return Err(corrupt(1, "bad magic"));
+    }
+
+    let mut header = |name: &str| -> Result<String, StudyError> {
+        let (n, l) = lines
+            .next()
+            .ok_or_else(|| corrupt(0, "truncated header"))?;
+        l.strip_prefix(name)
+            .and_then(|v| v.strip_prefix(' '))
+            .map(str::to_string)
+            .ok_or_else(|| corrupt(n + 1, &format!("expected {name} header")))
+    };
+    let seed = u64::from_str_radix(&header("seed")?, 16)
+        .map_err(|_| corrupt(2, "bad seed"))?;
+    let chips = header("chips")?
+        .parse()
+        .map_err(|_| corrupt(3, "bad chip count"))?;
+    let done = header("done")?
+        .parse()
+        .map_err(|_| corrupt(4, "bad done count"))?;
+
+    let mut state = CheckpointState {
+        seed,
+        chips,
+        done,
+        completed: Vec::new(),
+        quarantine: QuarantineLedger::new(),
+    };
+    let mut ended = false;
+    for (n, l) in lines {
+        let line = n + 1;
+        if ended {
+            return Err(corrupt(line, "content after END"));
+        }
+        if l == "END" {
+            ended = true;
+            continue;
+        }
+        if let Some(rest) = l.strip_prefix("C ") {
+            let mut tokens = rest.split_ascii_whitespace();
+            let index = take(&mut tokens, line)?
+                .parse()
+                .map_err(|_| corrupt(line, "bad chip index"))?;
+            let regular = parse_result(&mut tokens, line)?;
+            let horizontal = parse_result(&mut tokens, line)?;
+            if tokens.next().is_some() {
+                return Err(corrupt(line, "trailing tokens on chip record"));
+            }
+            state.completed.push(ChipSample {
+                index,
+                regular,
+                horizontal,
+            });
+        } else if let Some(rest) = l.strip_prefix("Q ") {
+            let mut tokens = rest.splitn(3, ' ');
+            let index = take(&mut tokens, line)?
+                .parse()
+                .map_err(|_| corrupt(line, "bad quarantine index"))?;
+            let q_seed = u64::from_str_radix(take(&mut tokens, line)?, 16)
+                .map_err(|_| corrupt(line, "bad quarantine seed"))?;
+            let error = take(&mut tokens, line)?.to_string();
+            state.quarantine.record(index, q_seed, error);
+        } else {
+            return Err(corrupt(line, "unrecognised record"));
+        }
+    }
+    if !ended {
+        return Err(corrupt(text.lines().count(), "missing END marker"));
+    }
+    Ok(state)
+}
+
+fn read_state(path: &Path) -> Result<Option<CheckpointState>, StudyError> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse_checkpoint(&text).map(Some),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(StudyError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        }),
+    }
+}
+
+fn write_state(path: &Path, state: &CheckpointState) -> Result<(), StudyError> {
+    let io_err = |e: std::io::Error| StudyError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    };
+    // Write-then-rename so a kill mid-write leaves the previous
+    // checkpoint intact rather than a truncated file.
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, render_checkpoint(state)).map_err(io_err)?;
+    std::fs::rename(&tmp, path).map_err(io_err)
+}
+
+/// Loads (or initialises) the state for `config` at `path`, verifying it
+/// belongs to the same study.
+fn load_or_fresh(path: &Path, config: &PopulationConfig) -> Result<CheckpointState, StudyError> {
+    match read_state(path)? {
+        None => Ok(CheckpointState::fresh(config.seed, config.chips)),
+        Some(state) => {
+            if state.seed != config.seed {
+                return Err(StudyError::Mismatch(format!(
+                    "checkpoint seed {:#x} != study seed {:#x}",
+                    state.seed, config.seed
+                )));
+            }
+            if state.chips != config.chips {
+                return Err(StudyError::Mismatch(format!(
+                    "checkpoint is for {} chips, study wants {}",
+                    state.chips, config.chips
+                )));
+            }
+            Ok(state)
+        }
+    }
+}
+
+/// Advances `state` by at most `budget` chips, with the same per-chip
+/// fault isolation as [`Population::generate_with`].
+fn advance(state: &mut CheckpointState, config: &PopulationConfig, mc: &MonteCarlo, budget: usize) {
+    let end = state.chips.min(state.done + budget);
+    for index in state.done as u64..end as u64 {
+        match mc.sample_one_checked(config.seed, index, config.faults.as_ref()) {
+            Ok(die) => match evaluate_isolated(config, &die) {
+                Ok((regular, horizontal)) => state.completed.push(ChipSample {
+                    index,
+                    regular,
+                    horizontal,
+                }),
+                Err(error) => state.quarantine.record(index, config.seed, error),
+            },
+            Err(error) => state
+                .quarantine
+                .record(index, config.seed, error.to_string()),
+        }
+    }
+    state.done = end;
+}
+
+fn into_population(state: CheckpointState, config: &PopulationConfig) -> Population {
+    Population::from_parts(
+        state.completed,
+        state.quarantine,
+        *config.regular_model.calibration(),
+        state.seed,
+    )
+}
+
+/// Runs (or resumes) a checkpointed population study to completion,
+/// persisting progress to `path` every `every` chips.
+///
+/// # Errors
+///
+/// Returns a [`StudyError`] if the checkpoint cannot be read, parsed or
+/// written, or belongs to a different study.
+///
+/// # Panics
+///
+/// Panics if the variation configuration is invalid.
+pub fn run_checkpointed(
+    config: &PopulationConfig,
+    path: &Path,
+    every: usize,
+) -> Result<Population, StudyError> {
+    run_checkpointed_budget(config, path, every, None)
+        .map(|p| p.expect("unbounded run always completes"))
+}
+
+/// Like [`run_checkpointed`] but computing at most `max_new_chips` new
+/// chips in this call; returns `Ok(None)` if the study is still
+/// incomplete afterwards (the checkpoint holds the progress).
+///
+/// A bounded call is how tests simulate a killed run; driving it with
+/// `None` completes the study.
+///
+/// # Errors
+///
+/// Returns a [`StudyError`] if the checkpoint cannot be read, parsed or
+/// written, or belongs to a different study.
+///
+/// # Panics
+///
+/// Panics if the variation configuration is invalid.
+pub fn run_checkpointed_budget(
+    config: &PopulationConfig,
+    path: &Path,
+    every: usize,
+    max_new_chips: Option<usize>,
+) -> Result<Option<Population>, StudyError> {
+    let every = every.max(1);
+    let mc = MonteCarlo::new(config.variation);
+    let mut state = load_or_fresh(path, config)?;
+    let mut remaining = max_new_chips.unwrap_or(usize::MAX);
+    while !state.is_complete() && remaining > 0 {
+        let step = every.min(remaining);
+        advance(&mut state, config, &mc, step);
+        remaining -= step.min(remaining);
+        write_state(path, &state)?;
+    }
+    if state.is_complete() {
+        Ok(Some(into_population(state, config)))
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::table2;
+    use crate::constraints::{ConstraintSpec, YieldConstraints};
+    use crate::report::render_loss_table;
+    use yac_variation::FaultPlan;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("yac-checkpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn small_config(chips: usize, seed: u64) -> PopulationConfig {
+        let mut cfg = PopulationConfig::paper(seed);
+        cfg.chips = chips;
+        cfg
+    }
+
+    #[test]
+    fn checkpoint_text_roundtrips_exactly() {
+        let cfg = small_config(6, 11);
+        let mc = MonteCarlo::new(cfg.variation);
+        let mut state = CheckpointState::fresh(11, 6);
+        advance(&mut state, &cfg, &mc, 6);
+        state.quarantine.record(99, 11, "synthetic entry".into());
+        let text = render_checkpoint(&state);
+        let parsed = parse_checkpoint(&text).unwrap();
+        assert_eq!(parsed, state);
+        // Byte-identical re-render: the format is canonical.
+        assert_eq!(render_checkpoint(&parsed), text);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected_with_line_numbers() {
+        assert!(matches!(
+            parse_checkpoint("not a checkpoint\n"),
+            Err(StudyError::Corrupt { line: 1, .. })
+        ));
+        let good = render_checkpoint(&CheckpointState::fresh(1, 2));
+        let truncated = good.replace("END\n", "");
+        assert!(matches!(
+            parse_checkpoint(&truncated),
+            Err(StudyError::Corrupt { .. })
+        ));
+        let garbled = good.replace("END", "X 1 2");
+        assert!(parse_checkpoint(&garbled).is_err());
+    }
+
+    #[test]
+    fn fresh_run_matches_generate_with() {
+        let cfg = small_config(40, 5);
+        let path = tmp_path("fresh.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let pop = run_checkpointed(&cfg, &path, 16).unwrap();
+        let direct = Population::generate_with(&cfg);
+        assert_eq!(pop.chips, direct.chips);
+        assert_eq!(pop.quarantine(), direct.quarantine());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn killed_run_resumes_to_byte_identical_report() {
+        let plan = FaultPlan::new(0.08, 3).unwrap();
+        let mut cfg = small_config(90, 13);
+        cfg.faults = Some(plan);
+        let path = tmp_path("killed.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        // Uninterrupted reference run (no checkpoint file involved).
+        let reference = Population::generate_with(&cfg);
+
+        // "Kill" the study after 35 chips, then resume it.
+        let partial = run_checkpointed_budget(&cfg, &path, 10, Some(35)).unwrap();
+        assert!(partial.is_none(), "study must not be complete yet");
+        let resumed = run_checkpointed(&cfg, &path, 10).unwrap();
+
+        assert_eq!(resumed.chips, reference.chips);
+        assert_eq!(resumed.quarantine(), reference.quarantine());
+        let constraints = YieldConstraints::derive(&reference, ConstraintSpec::NOMINAL);
+        let report_ref = render_loss_table(&table2(&reference, &constraints));
+        let report_res = render_loss_table(&table2(&resumed, &constraints));
+        assert_eq!(report_ref, report_res, "reports must be byte-identical");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_refused() {
+        let cfg = small_config(12, 7);
+        let path = tmp_path("mismatch.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let _ = run_checkpointed_budget(&cfg, &path, 4, Some(4)).unwrap();
+        let other_seed = small_config(12, 8);
+        assert!(matches!(
+            run_checkpointed(&other_seed, &path, 4),
+            Err(StudyError::Mismatch(_))
+        ));
+        let other_count = small_config(13, 7);
+        assert!(matches!(
+            run_checkpointed(&other_count, &path, 4),
+            Err(StudyError::Mismatch(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -6,8 +6,10 @@
 //! process variation parameters used in the previous simulations" (§5.1).
 //! [`ChipSample`] therefore carries both circuit evaluations of one die.
 
+use crate::quarantine::QuarantineLedger;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use yac_circuit::{CacheCircuitModel, CacheCircuitResult, CacheVariant, Calibration};
-use yac_variation::{MonteCarlo, VariationConfig};
+use yac_variation::{CacheVariation, FaultPlan, MonteCarlo, VariationConfig};
 
 /// One manufactured chip: the same die evaluated under both cache
 /// organisations.
@@ -51,10 +53,14 @@ pub struct PopulationConfig {
     pub regular_model: CacheCircuitModel,
     /// Circuit model for the H-YAPD organisation.
     pub horizontal_model: CacheCircuitModel,
+    /// Optional deterministic fault-injection plan; corrupted chips land
+    /// in the population's quarantine ledger instead of its chip list.
+    pub faults: Option<FaultPlan>,
 }
 
 impl PopulationConfig {
-    /// The paper's study shape: 2000 chips, calibrated models.
+    /// The paper's study shape: 2000 chips, calibrated models, no fault
+    /// injection.
     #[must_use]
     pub fn paper(seed: u64) -> Self {
         PopulationConfig {
@@ -63,6 +69,7 @@ impl PopulationConfig {
             variation: VariationConfig::default(),
             regular_model: CacheCircuitModel::regular(),
             horizontal_model: CacheCircuitModel::horizontal(),
+            faults: None,
         }
     }
 }
@@ -82,8 +89,11 @@ impl PopulationConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Population {
-    /// All simulated chips, in Monte Carlo stream order.
+    /// All simulated chips, in Monte Carlo stream order. When a fault plan
+    /// or an evaluation failure quarantines chips, their stream indices
+    /// are simply absent here — `chips[i].index` is not necessarily `i`.
     pub chips: Vec<ChipSample>,
+    quarantine: QuarantineLedger,
     calibration: Calibration,
     seed: u64,
 }
@@ -100,26 +110,80 @@ impl Population {
 
     /// Generates a population from an explicit configuration.
     ///
+    /// Sampling and circuit evaluation are fault-isolated per chip: a die
+    /// the fault plan corrupts, a sampler panic, or a circuit evaluation
+    /// that panics or produces non-finite results quarantines that one
+    /// chip (see [`Population::quarantine`]) and the rest of the
+    /// population is unaffected.
+    ///
     /// # Panics
     ///
     /// Panics if the variation configuration is invalid.
     #[must_use]
     pub fn generate_with(config: &PopulationConfig) -> Self {
         let mc = MonteCarlo::new(config.variation);
-        let dies = mc.generate(config.chips, config.seed);
-        let chips = dies
-            .iter()
-            .enumerate()
-            .map(|(i, die)| ChipSample {
-                index: i as u64,
-                regular: config.regular_model.evaluate(die),
-                horizontal: config.horizontal_model.evaluate(die),
-            })
-            .collect();
+        let outcome = mc.generate_checked(config.chips, config.seed, config.faults.as_ref());
+        let mut quarantine = QuarantineLedger::from_failures(&outcome.failures);
+        let mut chips = Vec::with_capacity(outcome.dies.len());
+        for (index, die) in &outcome.dies {
+            match evaluate_isolated(config, die) {
+                Ok((regular, horizontal)) => chips.push(ChipSample {
+                    index: *index,
+                    regular,
+                    horizontal,
+                }),
+                Err(error) => quarantine.record(*index, config.seed, error),
+            }
+        }
         Population {
             chips,
+            quarantine,
             calibration: *config.regular_model.calibration(),
             seed: config.seed,
+        }
+    }
+
+    /// Assembles a population from parts already generated elsewhere
+    /// (the checkpoint/resume machinery).
+    pub(crate) fn from_parts(
+        chips: Vec<ChipSample>,
+        quarantine: QuarantineLedger,
+        calibration: Calibration,
+        seed: u64,
+    ) -> Self {
+        Population {
+            chips,
+            quarantine,
+            calibration,
+            seed,
+        }
+    }
+
+    /// The ledger of chips that failed generation or evaluation.
+    #[must_use]
+    pub fn quarantine(&self) -> &QuarantineLedger {
+        &self.quarantine
+    }
+
+    /// A copy of this population keeping only the chips whose stream
+    /// index appears in `indices` (the quarantine ledger is cleared — the
+    /// restriction is an explicit selection, not a failure).
+    ///
+    /// Used to compare studies: a fault-injected run's clean survivors
+    /// must match an uninjected run restricted to the same indices.
+    #[must_use]
+    pub fn restricted_to(&self, indices: &[u64]) -> Self {
+        let keep: std::collections::HashSet<u64> = indices.iter().copied().collect();
+        Population {
+            chips: self
+                .chips
+                .iter()
+                .filter(|c| keep.contains(&c.index))
+                .cloned()
+                .collect(),
+            quarantine: QuarantineLedger::new(),
+            calibration: self.calibration,
+            seed: self.seed,
         }
     }
 
@@ -162,6 +226,39 @@ impl Population {
             .map(|c| c.result(variant).leakage)
             .collect()
     }
+}
+
+/// Evaluates one die under both circuit models with panic isolation and a
+/// finiteness check on the results, so one pathological die cannot tear
+/// down the generation or smuggle NaNs into the yield analysis.
+pub(crate) fn evaluate_isolated(
+    config: &PopulationConfig,
+    die: &CacheVariation,
+) -> Result<(CacheCircuitResult, CacheCircuitResult), String> {
+    let results = catch_unwind(AssertUnwindSafe(|| {
+        (
+            config.regular_model.evaluate(die),
+            config.horizontal_model.evaluate(die),
+        )
+    }))
+    .map_err(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_string());
+        format!("circuit evaluation panicked: {msg}")
+    })?;
+    for (variant, result) in [("regular", &results.0), ("horizontal", &results.1)] {
+        if !(result.delay.is_finite() && result.leakage.is_finite()) {
+            return Err(format!(
+                "{variant} evaluation produced non-finite results \
+                 (delay {}, leakage {})",
+                result.delay, result.leakage
+            ));
+        }
+    }
+    Ok(results)
 }
 
 #[cfg(test)]
@@ -221,5 +318,55 @@ mod tests {
         for (i, chip) in pop.chips.iter().enumerate() {
             assert_eq!(chip.index, i as u64);
         }
+    }
+
+    #[test]
+    fn clean_generation_has_empty_quarantine() {
+        let pop = Population::generate(25, 4);
+        assert!(pop.quarantine().is_empty());
+        assert_eq!(pop.len(), 25);
+    }
+
+    #[test]
+    fn fault_plan_quarantines_exactly_the_planned_chips() {
+        let plan = FaultPlan::new(0.10, 17).unwrap();
+        let mut cfg = PopulationConfig::paper(21);
+        cfg.chips = 120;
+        cfg.faults = Some(plan);
+        let pop = Population::generate_with(&cfg);
+        let expected = plan.injected_indices(21, 120);
+        assert!(!expected.is_empty(), "10% of 120 should hit something");
+        assert_eq!(pop.quarantine().indices(), expected);
+        assert_eq!(pop.len() + pop.quarantine().len(), 120);
+        for chip in &pop.chips {
+            assert!(!expected.contains(&chip.index));
+        }
+    }
+
+    #[test]
+    fn surviving_chips_match_the_uninjected_run() {
+        let plan = FaultPlan::new(0.10, 17).unwrap();
+        let mut cfg = PopulationConfig::paper(21);
+        cfg.chips = 80;
+        cfg.faults = Some(plan);
+        let injected = Population::generate_with(&cfg);
+
+        cfg.faults = None;
+        let clean = Population::generate_with(&cfg);
+        let survivors: Vec<u64> = injected.chips.iter().map(|c| c.index).collect();
+        let restricted = clean.restricted_to(&survivors);
+        assert_eq!(injected.chips, restricted.chips);
+        assert!(restricted.quarantine().is_empty());
+    }
+
+    #[test]
+    fn restricted_to_keeps_only_requested_indices() {
+        let pop = Population::generate(10, 2);
+        let sub = pop.restricted_to(&[1, 3, 8]);
+        assert_eq!(
+            sub.chips.iter().map(|c| c.index).collect::<Vec<_>>(),
+            vec![1, 3, 8]
+        );
+        assert_eq!(sub.seed(), pop.seed());
     }
 }

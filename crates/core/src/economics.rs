@@ -53,17 +53,37 @@ impl PriceModel {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the violated invariant.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the [`PriceError`] naming the violated invariant.
+    pub fn validate(&self) -> Result<(), PriceError> {
         if !(self.full_price.is_finite() && self.full_price > 0.0) {
-            return Err("full price must be positive".into());
+            return Err(PriceError::NonPositivePrice);
         }
         if !(0.0..1.0).contains(&self.degradation_discount_per_pct) {
-            return Err("discount slope must lie in [0, 1)".into());
+            return Err(PriceError::BadDiscountSlope);
         }
         Ok(())
     }
 }
+
+/// A rejected [`PriceModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriceError {
+    /// The full price is not positive and finite.
+    NonPositivePrice,
+    /// The degradation discount slope is outside `[0, 1)`.
+    BadDiscountSlope,
+}
+
+impl std::fmt::Display for PriceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PriceError::NonPositivePrice => "full price must be positive",
+            PriceError::BadDiscountSlope => "discount slope must lie in [0, 1)",
+        })
+    }
+}
+
+impl std::error::Error for PriceError {}
 
 /// Revenue of one shipping policy over the batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,7 +165,7 @@ pub fn revenue_report(
     perf: &Table6,
     price: &PriceModel,
 ) -> RevenueReport {
-    price.validate().expect("valid price model");
+    price.validate().unwrap_or_else(|e| panic!("{e}"));
     assert!(!losses.schemes.is_empty(), "loss table carries no schemes");
 
     let total = losses.total_chips;

@@ -32,12 +32,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod chip;
 pub mod confidence;
 pub mod economics;
 pub mod classify;
 pub mod constraints;
 pub mod perf;
+pub mod quarantine;
 pub mod report;
 pub mod schemes;
 pub mod sensitivity;
@@ -45,15 +47,19 @@ pub mod testing;
 
 pub use analysis::{
     constraint_sweep, fig8_scatter, full_study, loss_table, saved_config_census, table2, table3,
-    FullStudy, LossBreakdown, LossTable, ScatterPoint, SchemeLosses,
+    FullStudy, InvalidLossReason, LossBreakdown, LossTable, ScatterPoint, SchemeLosses,
 };
+pub use checkpoint::{run_checkpointed, run_checkpointed_budget, CheckpointState, StudyError};
+pub use economics::PriceError;
 pub use chip::{ChipSample, Population, PopulationConfig};
 pub use classify::{classify, LossReason, WayCycleCensus};
 pub use constraints::{ConstraintSpec, YieldConstraints};
+pub use quarantine::{QuarantineEntry, QuarantineLedger};
 pub use report::{render_constraint_sweep, render_loss_table};
 pub use perf::{
-    adaptive_comparison, render_degradation, render_table6, suite_degradation, table6,
-    AdaptiveComparison, PerfOptions, SuiteDegradation, Table6, Table6Row,
+    adaptive_comparison, render_degradation, render_table6, suite_cpis_isolated,
+    suite_degradation, table6, AdaptiveComparison, BenchmarkFailure, PerfOptions,
+    SuiteDegradation, Table6, Table6Row,
 };
 pub use schemes::{
     DisabledUnit, HYapd, Hybrid, HybridPolicy, NaiveBinning, PowerDownKind, RepairedCache,

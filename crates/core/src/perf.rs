@@ -123,14 +123,53 @@ pub fn benchmark_cpi(
 
 /// CPI of every SPEC2000-like benchmark on the given L1D, in suite order.
 /// Benchmarks run on separate threads.
+///
+/// # Panics
+///
+/// Panics if any benchmark worker fails; use [`suite_cpis_isolated`] to
+/// quarantine failures instead.
 #[must_use]
 pub fn suite_cpis(
     l1d: &CacheConfig,
     pipeline: &PipelineConfig,
     opts: &PerfOptions,
 ) -> Vec<(&'static str, f64)> {
+    let (cpis, failures) = suite_cpis_isolated(l1d, pipeline, opts);
+    assert!(
+        failures.is_empty(),
+        "benchmark worker failed: {}",
+        failures
+            .iter()
+            .map(|f| format!("{}: {}", f.benchmark, f.error))
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+    cpis
+}
+
+/// One benchmark worker that could not produce a usable CPI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkFailure {
+    /// The benchmark's name.
+    pub benchmark: &'static str,
+    /// Why it failed (panic message or a description of the bad result).
+    pub error: String,
+}
+
+/// Fault-isolated variant of [`suite_cpis`]: each benchmark runs on its
+/// own thread, and a worker that panics or reports a non-finite CPI is
+/// quarantined into the failure list instead of tearing down the suite.
+///
+/// The CPI list keeps suite order, with failed benchmarks absent.
+#[must_use]
+pub fn suite_cpis_isolated(
+    l1d: &CacheConfig,
+    pipeline: &PipelineConfig,
+    opts: &PerfOptions,
+) -> (Vec<(&'static str, f64)>, Vec<BenchmarkFailure>) {
     let profiles = spec2000::all_profiles();
     let mut out = Vec::with_capacity(profiles.len());
+    let mut failures = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = profiles
             .into_iter()
@@ -146,10 +185,27 @@ pub fn suite_cpis(
             })
             .collect();
         for (name, h) in handles {
-            out.push((name, h.join().expect("benchmark worker")));
+            match h.join() {
+                Ok(cpi) if cpi.is_finite() && cpi > 0.0 => out.push((name, cpi)),
+                Ok(cpi) => failures.push(BenchmarkFailure {
+                    benchmark: name,
+                    error: format!("non-finite or non-positive CPI ({cpi})"),
+                }),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".to_string());
+                    failures.push(BenchmarkFailure {
+                        benchmark: name,
+                        error: format!("worker panicked: {msg}"),
+                    });
+                }
+            }
         }
     });
-    out
+    (out, failures)
 }
 
 /// Per-benchmark CPI degradation of a repaired configuration relative to a

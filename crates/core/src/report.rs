@@ -47,6 +47,9 @@ pub fn render_loss_table(table: &LossTable) -> String {
         let _ = write!(out, "{:>10}", s.losses.total());
     }
     out.push('\n');
+    if table.quarantined > 0 {
+        let _ = writeln!(out, "{:<28}{:>8}", "Quarantined", table.quarantined);
+    }
     let _ = write!(out, "{:<28}{:>8}", "Yield [%]", "");
     for (i, _) in table.schemes.iter().enumerate() {
         let _ = write!(out, "{:>10.1}", 100.0 * table.yield_fraction(Some(i)));

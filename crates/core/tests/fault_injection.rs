@@ -1,0 +1,58 @@
+//! End-to-end robustness acceptance test: a fault plan corrupting 5 % of a
+//! 500-chip population completes, quarantines exactly the injected chips,
+//! and leaves the clean 95 % with loss-table results identical to an
+//! uninjected run restricted to the same chips.
+
+use yac_core::{render_loss_table, table2, ConstraintSpec, Population, PopulationConfig, YieldConstraints};
+use yac_variation::FaultPlan;
+
+#[test]
+fn five_percent_injection_on_500_chips_is_fully_accounted() {
+    let plan = FaultPlan::new(0.05, 2006).unwrap();
+    let mut cfg = PopulationConfig::paper(42);
+    cfg.chips = 500;
+    cfg.faults = Some(plan);
+    let injected = Population::generate_with(&cfg);
+
+    // The run completes and reports exactly the injected chips.
+    let expected = plan.injected_indices(42, 500);
+    assert!(!expected.is_empty(), "5% of 500 must hit something");
+    assert_eq!(injected.quarantine().indices(), expected);
+    assert_eq!(injected.len() + injected.quarantine().len(), 500);
+
+    // The clean survivors equal the uninjected run restricted to them.
+    cfg.faults = None;
+    let clean = Population::generate_with(&cfg);
+    let survivors: Vec<u64> = injected.chips.iter().map(|c| c.index).collect();
+    let restricted = clean.restricted_to(&survivors);
+    assert_eq!(injected.chips, restricted.chips);
+
+    // Both populations hold the same chips, so the derived constraints and
+    // every loss-table number are identical; only the quarantine row tells
+    // the runs apart.
+    let constraints = YieldConstraints::derive(&injected, ConstraintSpec::NOMINAL);
+    assert_eq!(
+        constraints,
+        YieldConstraints::derive(&restricted, ConstraintSpec::NOMINAL)
+    );
+    let from_injected = table2(&injected, &constraints);
+    let from_restricted = table2(&restricted, &constraints);
+    assert_eq!(from_injected.base, from_restricted.base);
+    assert_eq!(from_injected.schemes, from_restricted.schemes);
+    assert_eq!(from_injected.total_chips, from_restricted.total_chips);
+    assert_eq!(from_injected.quarantined, expected.len());
+    assert_eq!(from_restricted.quarantined, 0);
+
+    // The rendered reports differ only by the quarantine row.
+    let text_injected = render_loss_table(&from_injected);
+    let text_restricted = render_loss_table(&from_restricted);
+    let without_quarantine: Vec<&str> = text_injected
+        .lines()
+        .filter(|l| !l.starts_with("Quarantined"))
+        .collect();
+    assert!(text_injected.contains("Quarantined"));
+    assert_eq!(
+        without_quarantine,
+        text_restricted.lines().collect::<Vec<_>>()
+    );
+}

@@ -1,5 +1,6 @@
 //! Configuration of the simulated out-of-order core (§5.2 of the paper).
 
+use crate::error::ConfigError;
 use yac_workload::OpClass;
 
 /// Core configuration.
@@ -111,33 +112,33 @@ impl PipelineConfig {
     /// # Errors
     ///
     /// Returns a message naming the violated invariant.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.width == 0 {
-            return Err("width must be nonzero".into());
+            return Err(ConfigError::ZeroWidth);
         }
         if self.rob_size < self.width || self.iq_size == 0 || self.lsq_size == 0 {
-            return Err("queues must be large enough for one fetch group".into());
+            return Err(ConfigError::QueuesTooSmall);
         }
         if self.iq_size > self.rob_size {
-            return Err("issue queue cannot exceed the ROB".into());
+            return Err(ConfigError::IqExceedsRob);
         }
         if self.assumed_load_latency == 0 {
-            return Err("assumed load latency must be nonzero".into());
+            return Err(ConfigError::ZeroLoadLatency);
         }
         if self.mem_ports == 0 || self.int_alu == 0 || self.fp_add == 0 {
-            return Err("functional-unit pools must be nonzero".into());
+            return Err(ConfigError::ZeroFunctionalUnits);
         }
         if self.int_mul == 0 || self.fp_mul == 0 {
-            return Err("multiplier pools must be nonzero".into());
+            return Err(ConfigError::ZeroMultipliers);
         }
         if self.fetch_queue < self.width {
-            return Err("fetch queue must hold one fetch group".into());
+            return Err(ConfigError::FetchQueueTooSmall);
         }
         if self.predictor_bits == 0 || self.predictor_bits > 24 {
-            return Err("predictor bits must lie in 1..=24".into());
+            return Err(ConfigError::BadPredictorBits);
         }
         if self.store_forwarding && self.forward_latency == 0 {
-            return Err("forward latency must be nonzero".into());
+            return Err(ConfigError::ZeroForwardLatency);
         }
         Ok(())
     }

@@ -29,11 +29,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod error;
 pub mod predictor;
 pub mod sim;
 pub mod stats;
 
 pub use config::PipelineConfig;
+pub use error::ConfigError;
 pub use predictor::BranchPredictor;
 pub use sim::Pipeline;
 pub use stats::SimStats;

@@ -21,6 +21,7 @@
 //! than fetched and squashed, and FP divides are treated as pipelined.
 
 use crate::config::PipelineConfig;
+use crate::error::ConfigError;
 use crate::predictor::BranchPredictor;
 use crate::stats::SimStats;
 use std::collections::VecDeque;
@@ -154,12 +155,12 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Returns the configuration's validation message if it is
-    /// inconsistent.
-    pub fn new(cfg: PipelineConfig, mem: MemoryHierarchy) -> Result<Self, String> {
+    /// Returns the [`ConfigError`] if the configuration is inconsistent
+    /// or too deep for the simulator's wakeup horizon.
+    pub fn new(cfg: PipelineConfig, mem: MemoryHierarchy) -> Result<Self, ConfigError> {
         cfg.validate()?;
         if (cfg.sched_to_exec + cfg.bypass_depth + 2) as usize >= ARRIVAL_HORIZON {
-            return Err("schedule-to-execute depth exceeds the arrival horizon".into());
+            return Err(ConfigError::DepthExceedsHorizon);
         }
         let fu_limits = [
             cfg.int_alu as u16,

@@ -1,0 +1,232 @@
+//! Typed errors for the variation substrate.
+//!
+//! Part of the workspace-wide fault-tolerance taxonomy: configuration
+//! problems are [`ConfigError`]s (programmer-facing, caught at study
+//! setup), while per-die problems discovered during Monte Carlo sampling
+//! are [`SampleError`]s (data-facing, quarantined by the generators in
+//! [`crate::montecarlo`] instead of aborting the study).
+
+use crate::params::Parameter;
+use std::error::Error;
+use std::fmt;
+
+/// A rejected [`crate::VariationConfig`].
+///
+/// The `Display` messages are identical to the strings the earlier
+/// `Result<(), String>` API produced, so anything matching on them keeps
+/// working.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `ways == 0`.
+    NoWays,
+    /// `regions_per_way == 0`.
+    NoRegions,
+    /// More ways than the 2×2 mesh correlation model supports.
+    TooManyWays,
+    /// `region_systematic_sigma` is negative, NaN or infinite.
+    BadRegionSigma,
+    /// `worst_cell_spread_mv` is negative, NaN or infinite.
+    BadWorstCellSpread,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConfigError::NoWays => "configuration must have at least one way",
+            ConfigError::NoRegions => "configuration must have at least one region per way",
+            ConfigError::TooManyWays => "the 2x2 mesh correlation model supports at most 4 ways",
+            ConfigError::BadRegionSigma => "region systematic sigma must be finite and nonnegative",
+            ConfigError::BadWorstCellSpread => "worst-cell spread must be finite and nonnegative",
+        })
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Where inside a sampled die a bad value was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleSite {
+    /// The way-level base parameter draw.
+    Base,
+    /// The decoder structure refinement.
+    Decoder,
+    /// The precharge structure refinement.
+    Precharge,
+    /// The cell-array structure refinement.
+    CellArray,
+    /// The sense-amplifier structure refinement.
+    SenseAmp,
+    /// The output-driver structure refinement.
+    OutputDriver,
+    /// The cell parameters of one horizontal region.
+    RegionCells(usize),
+    /// The interconnect parameters of one horizontal region.
+    RegionInterconnect(usize),
+}
+
+impl fmt::Display for SampleSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleSite::Base => f.write_str("base"),
+            SampleSite::Decoder => f.write_str("decoder"),
+            SampleSite::Precharge => f.write_str("precharge"),
+            SampleSite::CellArray => f.write_str("cell array"),
+            SampleSite::SenseAmp => f.write_str("sense amp"),
+            SampleSite::OutputDriver => f.write_str("output driver"),
+            SampleSite::RegionCells(r) => write!(f, "region {r} cells"),
+            SampleSite::RegionInterconnect(r) => write!(f, "region {r} interconnect"),
+        }
+    }
+}
+
+/// A die that cannot be handed to the circuit model.
+///
+/// Produced by [`crate::CacheVariation::validate`] and the checked Monte
+/// Carlo generators; a study run quarantines the die and continues.
+///
+/// Equality compares the embedded `f64`s by bit pattern, so two NaN
+/// quarantine records from independent runs compare equal — this is what
+/// lets tests assert outcomes are byte-identical across thread counts.
+#[derive(Debug, Clone)]
+pub enum SampleError {
+    /// The die has no ways at all.
+    NoWays,
+    /// One way has no horizontal regions.
+    NoRegions {
+        /// The offending way index.
+        way: usize,
+    },
+    /// A physical parameter is NaN, infinite, or a nonpositive dimension.
+    BadParameter {
+        /// The offending way index.
+        way: usize,
+        /// Which structure of the way holds the value.
+        site: SampleSite,
+        /// Which of the five variation parameters is bad.
+        parameter: Parameter,
+        /// The bad value, in the parameter's physical unit.
+        value: f64,
+    },
+    /// A region's worst-cell excursion is NaN or infinite.
+    BadWorstCell {
+        /// The offending way index.
+        way: usize,
+        /// The offending region index.
+        region: usize,
+        /// The bad excursion, millivolts.
+        value_mv: f64,
+    },
+    /// The fault plan deterministically dropped this chip.
+    Dropped,
+    /// The sampler panicked; the payload message is preserved.
+    Panicked(String),
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::NoWays => f.write_str("sampled die has no ways"),
+            SampleError::NoRegions { way } => write!(f, "way {way} has no regions"),
+            SampleError::BadParameter {
+                way,
+                site,
+                parameter,
+                value,
+            } => write!(f, "way {way} {site}: {parameter} is not physical ({value})"),
+            SampleError::BadWorstCell {
+                way,
+                region,
+                value_mv,
+            } => write!(
+                f,
+                "way {way} region {region}: worst-cell excursion is not finite ({value_mv} mV)"
+            ),
+            SampleError::Dropped => f.write_str("chip dropped by fault plan"),
+            SampleError::Panicked(msg) => write!(f, "sampler panicked: {msg}"),
+        }
+    }
+}
+
+impl PartialEq for SampleError {
+    fn eq(&self, other: &Self) -> bool {
+        use SampleError::{BadParameter, BadWorstCell, Dropped, NoRegions, NoWays, Panicked};
+        match (self, other) {
+            (NoWays, NoWays) | (Dropped, Dropped) => true,
+            (NoRegions { way: a }, NoRegions { way: b }) => a == b,
+            (
+                BadParameter {
+                    way: w1,
+                    site: s1,
+                    parameter: p1,
+                    value: v1,
+                },
+                BadParameter {
+                    way: w2,
+                    site: s2,
+                    parameter: p2,
+                    value: v2,
+                },
+            ) => w1 == w2 && s1 == s2 && p1 == p2 && v1.to_bits() == v2.to_bits(),
+            (
+                BadWorstCell {
+                    way: w1,
+                    region: r1,
+                    value_mv: v1,
+                },
+                BadWorstCell {
+                    way: w2,
+                    region: r2,
+                    value_mv: v2,
+                },
+            ) => w1 == w2 && r1 == r2 && v1.to_bits() == v2.to_bits(),
+            (Panicked(a), Panicked(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for SampleError {}
+
+impl Error for SampleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_error_messages_match_legacy_strings() {
+        assert_eq!(
+            ConfigError::NoWays.to_string(),
+            "configuration must have at least one way"
+        );
+        assert_eq!(
+            ConfigError::TooManyWays.to_string(),
+            "the 2x2 mesh correlation model supports at most 4 ways"
+        );
+        assert_eq!(
+            ConfigError::BadWorstCellSpread.to_string(),
+            "worst-cell spread must be finite and nonnegative"
+        );
+    }
+
+    #[test]
+    fn sample_error_display_names_the_location() {
+        let e = SampleError::BadParameter {
+            way: 2,
+            site: SampleSite::RegionCells(3),
+            parameter: Parameter::ThresholdVoltage,
+            value: f64::NAN,
+        };
+        let text = e.to_string();
+        assert!(text.contains("way 2"));
+        assert!(text.contains("region 3 cells"));
+        assert!(text.contains("threshold voltage"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_error<E: Error>(_: &E) {}
+        takes_error(&ConfigError::NoWays);
+        takes_error(&SampleError::Dropped);
+    }
+}

@@ -1,0 +1,253 @@
+//! Deterministic fault injection for Monte Carlo robustness testing.
+//!
+//! A [`FaultPlan`] perturbs a configurable fraction of sampled
+//! [`CacheVariation`]s with the degenerate values a production pipeline
+//! must survive: NaN threshold voltages, infinite metal widths, tail
+//! excursions so extreme the physical dimension goes nonpositive, and
+//! chips that vanish outright. Which chips are hit — and how — is keyed
+//! off the same SplitMix64 stream as the samples themselves, so a plan is
+//! byte-identical across runs and thread counts, and tests can predict
+//! exactly which indices must end up quarantined.
+
+use crate::error::SampleError;
+use crate::montecarlo::mix_seed;
+use crate::params::Parameter;
+use crate::sample::CacheVariation;
+use std::error::Error;
+use std::fmt;
+
+/// Domain separator keeping fault draws independent of sample draws that
+/// share the same study seed.
+const FAULT_STREAM: u64 = 0xfa17_fa17_fa17_fa17;
+
+/// A rejected fault rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidRateError(f64);
+
+impl fmt::Display for InvalidRateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault rate must lie in [0, 1], got {}", self.0)
+    }
+}
+
+impl Error for InvalidRateError {}
+
+/// The kinds of corruption a [`FaultPlan`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A region's cell threshold voltage becomes NaN.
+    NanThresholdVoltage,
+    /// The way-level metal width becomes +∞.
+    InfiniteMetalWidth,
+    /// A region interconnect parameter takes a tail excursion so extreme
+    /// (−40σ) the dimension goes nonpositive.
+    ExtremeTail,
+    /// The chip is dropped from the population entirely.
+    DropChip,
+}
+
+impl FaultKind {
+    const ALL: [FaultKind; 4] = [
+        FaultKind::NanThresholdVoltage,
+        FaultKind::InfiniteMetalWidth,
+        FaultKind::ExtremeTail,
+        FaultKind::DropChip,
+    ];
+}
+
+/// A deterministic plan for corrupting a fraction of a population.
+///
+/// # Examples
+///
+/// ```
+/// use yac_variation::{FaultPlan, MonteCarlo, VariationConfig};
+///
+/// let plan = FaultPlan::new(0.05, 99).unwrap();
+/// let mc = MonteCarlo::new(VariationConfig::default());
+/// let out = mc.generate_checked(200, 7, Some(&plan));
+/// let hit = plan.injected_indices(7, 200);
+/// assert_eq!(
+///     out.failures.iter().map(|f| f.index).collect::<Vec<_>>(),
+///     hit,
+///     "exactly the planned chips fail"
+/// );
+/// assert_eq!(out.dies.len() + hit.len(), 200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    rate: f64,
+    salt: u64,
+}
+
+impl FaultPlan {
+    /// A plan corrupting about `rate` of all chips, with `salt`
+    /// distinguishing independent plans over the same study seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRateError`] unless `rate` is finite and in `[0, 1]`.
+    pub fn new(rate: f64, salt: u64) -> Result<Self, InvalidRateError> {
+        if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+            return Err(InvalidRateError(rate));
+        }
+        Ok(FaultPlan { rate, salt })
+    }
+
+    /// The fraction of chips this plan corrupts.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The plan's salt.
+    #[must_use]
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// The fault injected into chip `index` of the stream rooted at
+    /// `seed`, or `None` if the chip is left alone. Pure: depends only on
+    /// `(self, seed, index)`.
+    #[must_use]
+    pub fn fault_for(&self, seed: u64, index: u64) -> Option<FaultKind> {
+        let draw = mix_seed(seed ^ self.salt ^ FAULT_STREAM, index);
+        let unit = (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if unit >= self.rate {
+            return None;
+        }
+        Some(FaultKind::ALL[(draw & 0xffff) as usize % FaultKind::ALL.len()])
+    }
+
+    /// All chip indices in `0..count` this plan corrupts, ascending.
+    #[must_use]
+    pub fn injected_indices(&self, seed: u64, count: usize) -> Vec<u64> {
+        (0..count as u64)
+            .filter(|&i| self.fault_for(seed, i).is_some())
+            .collect()
+    }
+
+    /// Applies this plan to a freshly sampled die.
+    ///
+    /// Mutates `die` in place for value corruptions and returns the kind
+    /// injected. [`FaultKind::DropChip`] performs no mutation — the caller
+    /// discards the die.
+    pub fn corrupt(&self, die: &mut CacheVariation, seed: u64, index: u64) -> Option<FaultKind> {
+        let kind = self.fault_for(seed, index)?;
+        // An independent draw selects the victim way/region so the choice
+        // doesn't correlate with the kind selection bits.
+        let pick = mix_seed(seed ^ self.salt ^ FAULT_STREAM.rotate_left(17), index);
+        let way = (pick as usize) % die.ways.len().max(1);
+        match kind {
+            FaultKind::NanThresholdVoltage => {
+                if let Some(w) = die.ways.get_mut(way) {
+                    let region = ((pick >> 16) as usize) % w.regions.len().max(1);
+                    if let Some(r) = w.regions.get_mut(region) {
+                        r.cell_array.v_t_mv = f64::NAN;
+                    }
+                }
+            }
+            FaultKind::InfiniteMetalWidth => {
+                if let Some(w) = die.ways.get_mut(way) {
+                    w.base.metal_width_um = f64::INFINITY;
+                }
+            }
+            FaultKind::ExtremeTail => {
+                if let Some(w) = die.ways.get_mut(way) {
+                    let region = ((pick >> 16) as usize) % w.regions.len().max(1);
+                    if let Some(r) = w.regions.get_mut(region) {
+                        let p = Parameter::MetalThickness;
+                        r.interconnect.metal_thickness_um = p.nominal() - 40.0 * p.sigma();
+                    }
+                }
+            }
+            FaultKind::DropChip => {}
+        }
+        Some(kind)
+    }
+}
+
+/// The quarantine record produced when injecting `kind` into a die: the
+/// error its validation is guaranteed to report.
+///
+/// Exposed so tests can assert not just *that* an injected chip was
+/// quarantined but *why*.
+#[must_use]
+pub fn expected_error_class(kind: FaultKind) -> fn(&SampleError) -> bool {
+    match kind {
+        FaultKind::NanThresholdVoltage | FaultKind::InfiniteMetalWidth | FaultKind::ExtremeTail => {
+            |e| matches!(e, SampleError::BadParameter { .. })
+        }
+        FaultKind::DropChip => |e| matches!(e, SampleError::Dropped),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::VariationConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn die(seed: u64) -> CacheVariation {
+        CacheVariation::sample(&VariationConfig::default(), &mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn rate_is_validated() {
+        assert!(FaultPlan::new(-0.1, 0).is_err());
+        assert!(FaultPlan::new(1.1, 0).is_err());
+        assert!(FaultPlan::new(f64::NAN, 0).is_err());
+        assert!(FaultPlan::new(0.0, 0).is_ok());
+        assert!(FaultPlan::new(1.0, 0).is_ok());
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let plan = FaultPlan::new(0.0, 5).unwrap();
+        assert!(plan.injected_indices(3, 1000).is_empty());
+    }
+
+    #[test]
+    fn full_rate_injects_everything() {
+        let plan = FaultPlan::new(1.0, 5).unwrap();
+        assert_eq!(plan.injected_indices(3, 50).len(), 50);
+    }
+
+    #[test]
+    fn fault_selection_is_deterministic_and_salted() {
+        let a = FaultPlan::new(0.2, 1).unwrap();
+        let b = FaultPlan::new(0.2, 2).unwrap();
+        assert_eq!(a.injected_indices(9, 500), a.injected_indices(9, 500));
+        assert_ne!(a.injected_indices(9, 500), b.injected_indices(9, 500));
+        assert_ne!(a.injected_indices(9, 500), a.injected_indices(10, 500));
+    }
+
+    #[test]
+    fn rate_is_approximately_honoured() {
+        let plan = FaultPlan::new(0.05, 0).unwrap();
+        let hits = plan.injected_indices(2006, 10_000).len();
+        assert!((350..650).contains(&hits), "5% of 10k ≈ 500, got {hits}");
+    }
+
+    #[test]
+    fn every_corruption_kind_fails_validation() {
+        // Scan indices until each kind has been seen at least once.
+        let plan = FaultPlan::new(1.0, 42).unwrap();
+        let mut seen = [false; 4];
+        for i in 0..64u64 {
+            let kind = plan.fault_for(7, i).expect("rate 1.0 always injects");
+            let mut d = die(i);
+            let injected = plan.corrupt(&mut d, 7, i).unwrap();
+            assert_eq!(injected, kind);
+            match kind {
+                FaultKind::DropChip => assert!(d.validate().is_ok(), "drop leaves the die intact"),
+                _ => {
+                    let err = d.validate().expect_err("corrupted die must fail validation");
+                    assert!(expected_error_class(kind)(&err), "{kind:?} gave {err:?}");
+                }
+            }
+            seen[FaultKind::ALL.iter().position(|k| *k == kind).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all kinds exercised: {seen:?}");
+    }
+}

@@ -30,6 +30,8 @@
 
 pub mod correlation;
 pub mod dist;
+pub mod error;
+pub mod faults;
 pub mod gradient;
 pub mod montecarlo;
 pub mod params;
@@ -38,8 +40,10 @@ pub mod stats;
 pub mod wafer;
 
 pub use correlation::{CorrelationFactor, InvalidFactorError, MeshPosition};
+pub use error::{ConfigError, SampleError, SampleSite};
+pub use faults::{expected_error_class, FaultKind, FaultPlan, InvalidRateError};
 pub use gradient::{GradientConfig, GradientField};
-pub use montecarlo::MonteCarlo;
+pub use montecarlo::{GenerationOutcome, MonteCarlo, SampleFailure};
 pub use params::{Parameter, ParameterSet};
 pub use sample::{CacheVariation, RegionVariation, StructureParams, VariationConfig, WayVariation};
 pub use wafer::{Wafer, WaferConfig, WaferDie};

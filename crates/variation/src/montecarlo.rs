@@ -5,9 +5,12 @@
 //! and the chip index, so the population is byte-identical regardless of
 //! thread count.
 
+use crate::error::{ConfigError, SampleError};
+use crate::faults::{FaultKind, FaultPlan};
 use crate::sample::{CacheVariation, VariationConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Derives a well-mixed 64-bit seed from `(seed, index)` using SplitMix64.
 ///
@@ -48,17 +51,55 @@ pub struct MonteCarlo {
     config: VariationConfig,
 }
 
+/// One quarantined chip from a checked generation run.
+///
+/// Carries everything needed to reproduce the failure in isolation: the
+/// study seed, the chip's stream index, and the typed reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleFailure {
+    /// The chip's index within the study stream.
+    pub index: u64,
+    /// The study seed the stream was rooted at.
+    pub seed: u64,
+    /// Why the chip was quarantined.
+    pub error: SampleError,
+}
+
+/// What a checked generation produced: the valid dies plus a quarantine
+/// list of everything that failed, both ascending by chip index.
+///
+/// `dies.len() + failures.len()` always equals the requested count, and
+/// the partition is byte-identical regardless of thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationOutcome {
+    /// `(index, die)` for every chip that validated.
+    pub dies: Vec<(u64, CacheVariation)>,
+    /// Quarantined chips.
+    pub failures: Vec<SampleFailure>,
+}
+
 impl MonteCarlo {
     /// Creates a generator for the given die configuration.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see
-    /// [`VariationConfig::validate`]).
+    /// [`VariationConfig::validate`]). Use [`MonteCarlo::try_new`] to
+    /// handle the error instead.
     #[must_use]
     pub fn new(config: VariationConfig) -> Self {
         config.validate().expect("invalid variation configuration");
         MonteCarlo { config }
+    }
+
+    /// Fallible counterpart of [`MonteCarlo::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] if the configuration is invalid.
+    pub fn try_new(config: VariationConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(MonteCarlo { config })
     }
 
     /// The configuration the generator was built with.
@@ -107,6 +148,114 @@ impl MonteCarlo {
             .map(|s| s.expect("every slot filled by its worker"))
             .collect()
     }
+
+    /// Samples the die at `index` with full fault isolation.
+    ///
+    /// Three layers of defence, applied in order:
+    ///
+    /// 1. A panicking sampler is caught ([`SampleError::Panicked`]) instead
+    ///    of tearing down the worker thread.
+    /// 2. The optional `plan` injects its deterministic corruption
+    ///    ([`FaultKind::DropChip`] maps to [`SampleError::Dropped`]).
+    /// 3. [`CacheVariation::validate`] rejects any non-physical value
+    ///    before the die can reach circuit evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SampleError`] that quarantines this chip.
+    pub fn sample_one_checked(
+        &self,
+        seed: u64,
+        index: u64,
+        plan: Option<&FaultPlan>,
+    ) -> Result<CacheVariation, SampleError> {
+        let mut die = catch_unwind(AssertUnwindSafe(|| self.sample_one(seed, index)))
+            .map_err(|payload| SampleError::Panicked(panic_message(payload.as_ref())))?;
+        if let Some(plan) = plan {
+            if plan.corrupt(&mut die, seed, index) == Some(FaultKind::DropChip) {
+                return Err(SampleError::Dropped);
+            }
+        }
+        die.validate()?;
+        Ok(die)
+    }
+
+    /// Generates `count` dies with per-chip fault isolation, splitting the
+    /// work across available cores.
+    ///
+    /// Chips that fail are quarantined into
+    /// [`GenerationOutcome::failures`] instead of aborting the run; the
+    /// surviving dies keep their stream indices so downstream consumers
+    /// can line them up against checkpoints and fault plans.
+    #[must_use]
+    pub fn generate_checked(
+        &self,
+        count: usize,
+        seed: u64,
+        plan: Option<&FaultPlan>,
+    ) -> GenerationOutcome {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.generate_checked_threads(count, seed, plan, threads)
+    }
+
+    /// [`MonteCarlo::generate_checked`] with an explicit worker count.
+    ///
+    /// The outcome is byte-identical for every `threads` value — each chip
+    /// owns an independent SplitMix64 stream, so the partition into dies
+    /// and failures depends only on `(count, seed, plan)`.
+    #[must_use]
+    pub fn generate_checked_threads(
+        &self,
+        count: usize,
+        seed: u64,
+        plan: Option<&FaultPlan>,
+        threads: usize,
+    ) -> GenerationOutcome {
+        let threads = threads.clamp(1, count.max(1));
+        let mut slots: Vec<Option<Result<CacheVariation, SampleError>>> = vec![None; count];
+        if threads <= 1 || count < 32 {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(self.sample_one_checked(seed, i as u64, plan));
+            }
+        } else {
+            let chunk = count.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, slot) in slots.chunks_mut(chunk).enumerate() {
+                    let start = t * chunk;
+                    let this = &*self;
+                    scope.spawn(move || {
+                        for (off, s) in slot.iter_mut().enumerate() {
+                            *s = Some(this.sample_one_checked(seed, (start + off) as u64, plan));
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut dies = Vec::with_capacity(count);
+        let mut failures = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            let index = i as u64;
+            match slot.expect("every slot filled by its worker") {
+                Ok(die) => dies.push((index, die)),
+                Err(error) => failures.push(SampleFailure { index, seed, error }),
+            }
+        }
+        GenerationOutcome { dies, failures }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +296,43 @@ mod tests {
     fn generate_zero_returns_empty() {
         let mc = MonteCarlo::new(VariationConfig::default());
         assert!(mc.generate(0, 1).is_empty());
+    }
+
+    #[test]
+    fn checked_generation_without_faults_matches_generate() {
+        let mc = MonteCarlo::new(VariationConfig::default());
+        let out = mc.generate_checked(40, 7, None);
+        assert!(out.failures.is_empty());
+        let plain = mc.generate(40, 7);
+        assert_eq!(out.dies.len(), plain.len());
+        for (slot, (index, die)) in out.dies.iter().enumerate() {
+            assert_eq!(*index, slot as u64);
+            assert_eq!(die, &plain[slot]);
+        }
+    }
+
+    #[test]
+    fn checked_generation_is_thread_count_invariant() {
+        let mc = MonteCarlo::new(VariationConfig::default());
+        let plan = crate::faults::FaultPlan::new(0.25, 11).unwrap();
+        let one = mc.generate_checked_threads(60, 5, Some(&plan), 1);
+        let four = mc.generate_checked_threads(60, 5, Some(&plan), 4);
+        assert_eq!(one, four);
+        assert_eq!(one.dies.len() + one.failures.len(), 60);
+        assert!(!one.failures.is_empty(), "25% of 60 should hit something");
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs_with_typed_errors() {
+        let cfg = VariationConfig {
+            ways: 0,
+            ..VariationConfig::default()
+        };
+        assert_eq!(
+            MonteCarlo::try_new(cfg).unwrap_err(),
+            crate::error::ConfigError::NoWays
+        );
+        assert!(MonteCarlo::try_new(VariationConfig::default()).is_ok());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //!    component on top.
 
 use crate::correlation::{CorrelationFactor, MeshPosition};
+use crate::error::{ConfigError, SampleError, SampleSite};
 use crate::gradient::{GradientConfig, GradientField};
 use crate::params::{Parameter, ParameterSet};
 use rand::Rng;
@@ -154,22 +155,22 @@ impl VariationConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the violated invariant.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the [`ConfigError`] naming the violated invariant.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.ways == 0 {
-            return Err("configuration must have at least one way".into());
+            return Err(ConfigError::NoWays);
         }
         if self.regions_per_way == 0 {
-            return Err("configuration must have at least one region per way".into());
+            return Err(ConfigError::NoRegions);
         }
         if self.ways > 4 {
-            return Err("the 2x2 mesh correlation model supports at most 4 ways".into());
+            return Err(ConfigError::TooManyWays);
         }
         if !(self.region_systematic_sigma.is_finite() && self.region_systematic_sigma >= 0.0) {
-            return Err("region systematic sigma must be finite and nonnegative".into());
+            return Err(ConfigError::BadRegionSigma);
         }
         if !(self.worst_cell_spread_mv.is_finite() && self.worst_cell_spread_mv >= 0.0) {
-            return Err("worst-cell spread must be finite and nonnegative".into());
+            return Err(ConfigError::BadWorstCellSpread);
         }
         Ok(())
     }
@@ -286,6 +287,68 @@ impl CacheVariation {
     pub fn region_count(&self) -> usize {
         self.ways.first().map_or(0, WayVariation::region_count)
     }
+
+    /// Checks that every parameter on the die is physical: finite
+    /// everywhere, and strictly positive for the four dimension-like
+    /// parameters (threshold voltage only has to be finite).
+    ///
+    /// A die straight out of [`CacheVariation::sample`] always passes; the
+    /// checked Monte Carlo generators use this to quarantine dies that a
+    /// fault plan (or a future sampler bug) has corrupted before they can
+    /// poison downstream circuit evaluation with NaNs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SampleError`] found, scanning ways in order and
+    /// within each way: base, structures, then regions.
+    pub fn validate(&self) -> Result<(), SampleError> {
+        fn check(set: &ParameterSet, way: usize, site: SampleSite) -> Result<(), SampleError> {
+            for parameter in Parameter::ALL {
+                let value = set.get(parameter);
+                let physical = if parameter == Parameter::ThresholdVoltage {
+                    value.is_finite()
+                } else {
+                    value.is_finite() && value > 0.0
+                };
+                if !physical {
+                    return Err(SampleError::BadParameter {
+                        way,
+                        site,
+                        parameter,
+                        value,
+                    });
+                }
+            }
+            Ok(())
+        }
+
+        if self.ways.is_empty() {
+            return Err(SampleError::NoWays);
+        }
+        for (w, way) in self.ways.iter().enumerate() {
+            if way.regions.is_empty() {
+                return Err(SampleError::NoRegions { way: w });
+            }
+            check(&way.base, w, SampleSite::Base)?;
+            check(&way.structures.decoder, w, SampleSite::Decoder)?;
+            check(&way.structures.precharge, w, SampleSite::Precharge)?;
+            check(&way.structures.cell_array, w, SampleSite::CellArray)?;
+            check(&way.structures.sense_amp, w, SampleSite::SenseAmp)?;
+            check(&way.structures.output_driver, w, SampleSite::OutputDriver)?;
+            for (r, region) in way.regions.iter().enumerate() {
+                check(&region.cell_array, w, SampleSite::RegionCells(r))?;
+                check(&region.interconnect, w, SampleSite::RegionInterconnect(r))?;
+                if !region.worst_cell_extra_mv.is_finite() {
+                    return Err(SampleError::BadWorstCell {
+                        way: w,
+                        region: r,
+                        value_mv: region.worst_cell_extra_mv,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Die coordinates of the centre of region `r` within the way tile at
@@ -321,8 +384,10 @@ mod tests {
 
     #[test]
     fn config_validation_rejects_degenerate_configs() {
-        let mut cfg = VariationConfig::default();
-        cfg.ways = 0;
+        let mut cfg = VariationConfig {
+            ways: 0,
+            ..VariationConfig::default()
+        };
         assert!(cfg.validate().is_err());
         cfg.ways = 5;
         assert!(cfg.validate().is_err());

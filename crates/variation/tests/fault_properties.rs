@@ -1,0 +1,82 @@
+//! Property tests for the deterministic fault-injection harness: injected
+//! chips are always quarantined (never silently classified), the recorded
+//! error matches the injected fault kind, and the outcome is byte-identical
+//! across thread counts.
+
+use proptest::prelude::*;
+use yac_variation::{
+    expected_error_class, FaultPlan, MonteCarlo, SampleError, VariationConfig,
+};
+
+const CHIPS: usize = 48;
+
+fn mc() -> MonteCarlo {
+    MonteCarlo::new(VariationConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn injected_chips_are_quarantined_never_classified(
+        rate in 0.02f64..0.6,
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let plan = FaultPlan::new(rate, salt).unwrap();
+        let out = mc().generate_checked(CHIPS, seed, Some(&plan));
+        let expected = plan.injected_indices(seed, CHIPS);
+
+        // Exactly the planned chips fail — no more, no fewer.
+        let failed: Vec<u64> = out.failures.iter().map(|f| f.index).collect();
+        prop_assert_eq!(&failed, &expected);
+        prop_assert_eq!(out.dies.len() + expected.len(), CHIPS);
+
+        // No injected chip survives into the classified set, and every
+        // survivor actually passes validation.
+        for (index, die) in &out.dies {
+            prop_assert!(!expected.contains(index), "chip {index} slipped through");
+            prop_assert!(die.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn quarantine_reason_matches_the_injected_fault(
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let plan = FaultPlan::new(1.0, salt).unwrap();
+        let out = mc().generate_checked(12, seed, Some(&plan));
+        prop_assert!(out.dies.is_empty());
+        for failure in &out.failures {
+            let kind = plan
+                .fault_for(seed, failure.index)
+                .expect("rate 1.0 always injects");
+            prop_assert!(
+                expected_error_class(kind)(&failure.error),
+                "chip {}: {:?} recorded {:?}",
+                failure.index,
+                kind,
+                failure.error
+            );
+            prop_assert!(
+                !matches!(failure.error, SampleError::Panicked(_)),
+                "injection must fail validation, not crash the sampler"
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_is_byte_identical_across_thread_counts(
+        rate in 0.0f64..0.6,
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+        threads in 2usize..6,
+    ) {
+        let plan = FaultPlan::new(rate, salt).unwrap();
+        let sequential = mc().generate_checked_threads(CHIPS, seed, Some(&plan), 1);
+        let parallel = mc().generate_checked_threads(CHIPS, seed, Some(&plan), threads);
+        prop_assert_eq!(sequential.failures, parallel.failures);
+        prop_assert_eq!(sequential.dies, parallel.dies);
+    }
+}

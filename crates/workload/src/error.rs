@@ -1,0 +1,100 @@
+//! Typed errors for benchmark profiles.
+//!
+//! Part of the workspace-wide fault-tolerance taxonomy. A rejected
+//! [`crate::BenchmarkProfile`] becomes a [`ProfileError`] pairing the
+//! benchmark's name with the [`ProfileIssue`]; `Display` output matches
+//! the legacy `"{name}: {what}"` strings exactly.
+
+use std::error::Error;
+use std::fmt;
+
+/// The invariant a [`crate::BenchmarkProfile`] violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileIssue {
+    /// One of the named instruction-mix fractions is outside `[0, 1]`.
+    FractionOutOfRange(&'static str),
+    /// The named fractions sum past 100 %.
+    MixExceedsWhole,
+    /// Streaming + random address fractions sum past 100 %.
+    PatternExceedsWhole,
+    /// The working or hot set size is zero.
+    ZeroSet,
+    /// The hot set is larger than the working set.
+    HotSetTooLarge,
+    /// The access stride is zero.
+    ZeroStride,
+    /// `dep_locality` is outside `[0, 1]`.
+    BadDepLocality,
+    /// `dep_decay` is outside `(0, 1]`.
+    BadDepDecay,
+    /// `branch_bias` is outside `[0.5, 1]`.
+    BadBranchBias,
+    /// Zero branch sites.
+    NoBranchSites,
+}
+
+impl fmt::Display for ProfileIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileIssue::FractionOutOfRange(label) => {
+                write!(f, "{label} fraction out of range")
+            }
+            ProfileIssue::MixExceedsWhole => f.write_str("instruction mix exceeds 100%"),
+            ProfileIssue::PatternExceedsWhole => {
+                f.write_str("address pattern fractions exceed 100%")
+            }
+            ProfileIssue::ZeroSet => f.write_str("working/hot set must be nonzero"),
+            ProfileIssue::HotSetTooLarge => f.write_str("hot set cannot exceed the working set"),
+            ProfileIssue::ZeroStride => f.write_str("stride must be nonzero"),
+            ProfileIssue::BadDepLocality => f.write_str("dependency locality out of range"),
+            ProfileIssue::BadDepDecay => f.write_str("dependency decay must lie in (0, 1]"),
+            ProfileIssue::BadBranchBias => f.write_str("branch bias must lie in [0.5, 1]"),
+            ProfileIssue::NoBranchSites => f.write_str("at least one branch site required"),
+        }
+    }
+}
+
+impl Error for ProfileIssue {}
+
+/// A rejected [`crate::BenchmarkProfile`]: which benchmark, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileError {
+    /// The benchmark's configured name (e.g. `"mcf"`).
+    pub benchmark: String,
+    /// The violated invariant.
+    pub issue: ProfileIssue,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.benchmark, self.issue)
+    }
+}
+
+impl Error for ProfileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.issue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_format() {
+        let e = ProfileError {
+            benchmark: "mcf".into(),
+            issue: ProfileIssue::FractionOutOfRange("load"),
+        };
+        assert_eq!(e.to_string(), "mcf: load fraction out of range");
+        assert_eq!(
+            ProfileError {
+                benchmark: "gzip".into(),
+                issue: ProfileIssue::ZeroStride,
+            }
+            .to_string(),
+            "gzip: stride must be nonzero"
+        );
+    }
+}

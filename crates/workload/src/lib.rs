@@ -22,11 +22,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod error;
 pub mod generator;
 pub mod profile;
 pub mod spec2000;
 pub mod uop;
 
+pub use error::{ProfileError, ProfileIssue};
 pub use generator::TraceGenerator;
 pub use profile::{AddressPattern, BenchmarkProfile, InstructionMix, Suite};
 pub use uop::{MicroOp, OpClass};

@@ -1,6 +1,7 @@
 //! Benchmark profiles: the tunable statistical shape of a synthetic
 //! workload.
 
+use crate::error::{ProfileError, ProfileIssue};
 use std::fmt;
 
 /// Which SPEC2000 suite a profile imitates.
@@ -99,9 +100,15 @@ impl BenchmarkProfile {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the violated invariant.
-    pub fn validate(&self) -> Result<(), String> {
-        let err = |what: &str| Err(format!("{}: {what}", self.name));
+    /// Returns the [`ProfileError`] naming this benchmark and the
+    /// violated invariant.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        let err = |issue: ProfileIssue| {
+            Err(ProfileError {
+                benchmark: self.name.to_string(),
+                issue,
+            })
+        };
         let mix = &self.mix;
         for (label, f) in [
             ("load", mix.load),
@@ -113,35 +120,35 @@ impl BenchmarkProfile {
             ("fp_div", mix.fp_div),
         ] {
             if !(0.0..=1.0).contains(&f) {
-                return err(&format!("{label} fraction out of range"));
+                return err(ProfileIssue::FractionOutOfRange(label));
             }
         }
         if mix.named_total() > 1.0 {
-            return err("instruction mix exceeds 100%");
+            return err(ProfileIssue::MixExceedsWhole);
         }
         if self.pattern.streaming + self.pattern.random > 1.0 {
-            return err("address pattern fractions exceed 100%");
+            return err(ProfileIssue::PatternExceedsWhole);
         }
         if self.pattern.working_set_kib == 0 || self.pattern.hot_set_kib == 0 {
-            return err("working/hot set must be nonzero");
+            return err(ProfileIssue::ZeroSet);
         }
         if self.pattern.hot_set_kib > self.pattern.working_set_kib {
-            return err("hot set cannot exceed the working set");
+            return err(ProfileIssue::HotSetTooLarge);
         }
         if self.pattern.stride_bytes == 0 {
-            return err("stride must be nonzero");
+            return err(ProfileIssue::ZeroStride);
         }
         if !(0.0..=1.0).contains(&self.dep_locality) {
-            return err("dependency locality out of range");
+            return err(ProfileIssue::BadDepLocality);
         }
         if !(0.0 < self.dep_decay && self.dep_decay <= 1.0) {
-            return err("dependency decay must lie in (0, 1]");
+            return err(ProfileIssue::BadDepDecay);
         }
         if !(0.5..=1.0).contains(&self.branch_bias) {
-            return err("branch bias must lie in [0.5, 1]");
+            return err(ProfileIssue::BadBranchBias);
         }
         if self.branch_sites == 0 {
-            return err("at least one branch site required");
+            return err(ProfileIssue::NoBranchSites);
         }
         Ok(())
     }

@@ -59,12 +59,13 @@ pub mod prelude {
     };
     pub use yac_core::{
         classify, constraint_sweep, fig8_scatter, full_study, render_constraint_sweep,
-        render_loss_table, table2, table3, ChipSample, ConstraintSpec, DisabledUnit, FullStudy,
-        HYapd, Hybrid, HybridPolicy, LossReason, MeasurementError, NaiveBinning, Population,
-        PowerDownKind, RepairedCache, Scheme, SchemeOutcome, Vaca, WayCycleCensus, Yapd,
+        render_loss_table, run_checkpointed, table2, table3, ChipSample, ConstraintSpec,
+        DisabledUnit, FullStudy, HYapd, Hybrid, HybridPolicy, LossReason, MeasurementError,
+        NaiveBinning, Population, PopulationConfig, PowerDownKind, QuarantineLedger,
+        RepairedCache, Scheme, SchemeOutcome, StudyError, Vaca, WayCycleCensus, Yapd,
         YieldConstraints,
     };
     pub use yac_pipeline::{Pipeline, PipelineConfig, SimStats};
-    pub use yac_variation::{CacheVariation, MonteCarlo, Parameter, VariationConfig};
+    pub use yac_variation::{CacheVariation, FaultPlan, MonteCarlo, Parameter, VariationConfig};
     pub use yac_workload::{spec2000, BenchmarkProfile, MicroOp, OpClass, TraceGenerator};
 }
