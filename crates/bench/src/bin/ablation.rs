@@ -15,9 +15,7 @@
 
 use yac_bench::population_args;
 use yac_circuit::{CacheCircuitModel, CacheGeometry, CacheVariant, Calibration, Technology};
-use yac_core::{
-    table2, table3, ConstraintSpec, Population, PopulationConfig, YieldConstraints,
-};
+use yac_core::{table2, table3, ConstraintSpec, Population, PopulationConfig, YieldConstraints};
 use yac_variation::{GradientConfig, VariationConfig};
 
 struct Ablation {

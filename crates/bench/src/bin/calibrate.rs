@@ -71,8 +71,14 @@ fn main() {
     // Full scheme tables via yac-core.
     let pop = yac_core::Population::generate(chips, seed);
     let c = yac_core::YieldConstraints::derive(&pop, yac_core::ConstraintSpec::NOMINAL);
-    println!("\n{}", yac_core::render_loss_table(&yac_core::table2(&pop, &c)));
+    println!(
+        "\n{}",
+        yac_core::render_loss_table(&yac_core::table2(&pop, &c))
+    );
     println!("paper Table 2: base 138/126/36/23/16=339 | YAPD 33/0/36/23/16=108 | VACA 138/34/20/19/15=226 | Hybrid 33/0/7/11/13=64");
-    println!("\n{}", yac_core::render_loss_table(&yac_core::table3(&pop, &c)));
+    println!(
+        "\n{}",
+        yac_core::render_loss_table(&yac_core::table3(&pop, &c))
+    );
     println!("paper Table 3: base 138/142/33/29/20=362 | H-YAPD 26/0/33/24/17=100 | VACA 138/38/17/21/19=233 | Hybrid 26/0/6/12/16=60");
 }

@@ -10,11 +10,7 @@ use yac_core::perf::{render_degradation, suite_cpis, PerfOptions, SuiteDegradati
 use yac_pipeline::PipelineConfig;
 
 fn binned(extra: u32, opts: &PerfOptions) -> SuiteDegradation {
-    let base = suite_cpis(
-        &CacheConfig::l1d_paper(),
-        &PipelineConfig::paper(),
-        opts,
-    );
+    let base = suite_cpis(&CacheConfig::l1d_paper(), &PipelineConfig::paper(), opts);
     let mut l1d = CacheConfig::l1d_paper();
     l1d.way_latency = vec![4 + extra; 4];
     let mut cfg = PipelineConfig::paper();

@@ -1,0 +1,195 @@
+//! `perf_report` — the calibrated benchmark harness behind the repo's
+//! perf trajectory and CI's `bench-smoke` gate.
+//!
+//! Runs a small-but-representative study end to end with observability
+//! enabled — Monte Carlo sampling, circuit evaluation, classification,
+//! scheme rescue, and a pipeline-simulation stage over the full
+//! SPEC2000-like suite on a healthy and a repaired L1D — then writes a
+//! `yac-perf-report/1` JSON manifest (see `yac_obs::manifest`) with
+//! total wall time, chips/sec and the per-phase breakdown.
+//!
+//! ```text
+//! perf_report [--chips N] [--seed S] [--out PATH] [--label NAME]
+//!             [--baseline PATH] [--max-regress FRAC]
+//! ```
+//!
+//! With `--baseline`, compares this run's `chips_per_sec` against the
+//! baseline manifest and exits non-zero when throughput regressed by
+//! more than `--max-regress` (default 0.20) — the CI gate.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use yac_cache::CacheConfig;
+use yac_core::perf::canonical_l1d;
+use yac_core::{
+    render_loss_table, suite_cpis_isolated, table2, table3, ConstraintSpec, PerfOptions,
+    Population, WayCycleCensus, YieldConstraints,
+};
+use yac_obs::{extract_metric, Metric, Phase, RunManifest};
+use yac_pipeline::PipelineConfig;
+
+struct Args {
+    chips: usize,
+    seed: u64,
+    out: String,
+    label: String,
+    baseline: Option<String>,
+    max_regress: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        chips: 200,
+        seed: 2006,
+        out: "BENCH_PR3.json".to_owned(),
+        label: "perf_report".to_owned(),
+        baseline: None,
+        max_regress: 0.20,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--chips" => {
+                args.chips = value("--chips")?
+                    .parse()
+                    .map_err(|e| format!("--chips: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--out" => args.out = value("--out")?,
+            "--label" => args.label = value("--label")?,
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--max-regress" => {
+                args.max_regress = value("--max-regress")?
+                    .parse()
+                    .map_err(|e| format!("--max-regress: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perf_report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let registry = yac_obs::global();
+    yac_obs::enable();
+    registry.reset();
+    let t0 = Instant::now();
+
+    // Yield half: sample + circuit-eval (inside generate), then
+    // classify + rescue for both cache organisations.
+    eprintln!("perf_report: {} chips, seed {}", args.chips, args.seed);
+    let population = Population::generate(args.chips, args.seed);
+    let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+    let t2 = table2(&population, &constraints);
+    let t3 = table3(&population, &constraints);
+    // Render to exercise the report phase (output discarded; the tables
+    // themselves are checked against results/ by the experiment bins).
+    let _ = render_loss_table(&t2);
+    let _ = render_loss_table(&t3);
+
+    // Perf half: the full benchmark suite on a healthy cache and on the
+    // most common repaired configuration (3-1-0 with the slow way off).
+    let sim_opts = PerfOptions {
+        warmup_uops: 2_000,
+        measure_uops: 10_000,
+        trace_seed: args.seed,
+    };
+    let pipeline = PipelineConfig::paper();
+    let (healthy, fail_healthy) =
+        suite_cpis_isolated(&CacheConfig::l1d_paper(), &pipeline, &sim_opts);
+    let repaired_cfg = canonical_l1d(
+        WayCycleCensus {
+            ways_4: 3,
+            ways_5: 1,
+            ways_6_plus: 0,
+        },
+        true,
+    );
+    let (repaired, fail_repaired) = suite_cpis_isolated(&repaired_cfg, &pipeline, &sim_opts);
+    if !(fail_healthy.is_empty() && fail_repaired.is_empty()) {
+        eprintln!(
+            "perf_report: {} benchmark worker(s) failed",
+            fail_healthy.len() + fail_repaired.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let total_wall_s = t0.elapsed().as_secs_f64();
+    let manifest = RunManifest::capture(&args.label, registry, args.seed, args.chips, total_wall_s);
+
+    // Human-readable summary on stderr; the JSON is the artifact.
+    eprintln!(
+        "perf_report: {:.2}s total, {:.1} chips/s, {} uops committed, {} benchmarks",
+        total_wall_s,
+        manifest.metric("chips_per_sec").unwrap_or(0.0),
+        registry.counter(Metric::UopsCommitted),
+        registry.counter(Metric::BenchmarksSimulated),
+    );
+    for phase in Phase::ALL {
+        eprintln!(
+            "  phase {:<14} {:>9.3}s over {} call(s)",
+            phase.name(),
+            registry.phase_nanos(phase) as f64 / 1e9,
+            registry.phase_calls(phase),
+        );
+    }
+    eprintln!(
+        "  suite mean CPI healthy {:.4}, repaired(3-1-0, way off) {:.4}",
+        healthy.iter().map(|(_, c)| c).sum::<f64>() / healthy.len() as f64,
+        repaired.iter().map(|(_, c)| c).sum::<f64>() / repaired.len() as f64,
+    );
+
+    let json = manifest.to_json();
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("perf_report: writing {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("perf_report: wrote {}", args.out);
+
+    if let Some(baseline_path) = &args.baseline {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("perf_report: reading baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(base_tput) = extract_metric(&baseline, "chips_per_sec") else {
+            eprintln!("perf_report: baseline {baseline_path} has no chips_per_sec metric");
+            return ExitCode::FAILURE;
+        };
+        let cur_tput = manifest.metric("chips_per_sec").unwrap_or(0.0);
+        let regress = if base_tput > 0.0 {
+            (base_tput - cur_tput) / base_tput
+        } else {
+            0.0
+        };
+        eprintln!(
+            "perf_report: throughput {cur_tput:.1} chips/s vs baseline {base_tput:.1} \
+             ({:+.1}%)",
+            -100.0 * regress
+        );
+        if regress > args.max_regress {
+            eprintln!(
+                "perf_report: FAIL — regressed {:.1}% (> {:.0}% allowed)",
+                100.0 * regress,
+                100.0 * args.max_regress
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

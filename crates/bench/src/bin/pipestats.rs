@@ -8,7 +8,12 @@ use yac_cache::{HierarchyConfig, MemoryHierarchy};
 use yac_pipeline::{Pipeline, PipelineConfig};
 use yac_workload::{spec2000, TraceGenerator};
 
-fn run(name: &str, cfg: PipelineConfig, hier: HierarchyConfig, uops: u64) -> yac_pipeline::SimStats {
+fn run(
+    name: &str,
+    cfg: PipelineConfig,
+    hier: HierarchyConfig,
+    uops: u64,
+) -> yac_pipeline::SimStats {
     let mem = MemoryHierarchy::new(hier).expect("valid hierarchy");
     let mut cpu = Pipeline::new(cfg, mem).expect("valid pipeline");
     let trace = TraceGenerator::new(spec2000::profile(name).expect("known benchmark"), 2006);
@@ -23,13 +28,28 @@ fn main() {
 
     println!(
         "{:<10}{:>8}{:>8}{:>8}{:>8}{:>9}{:>9}{:>8}{:>8}{:>8}{:>8}",
-        "bench", "CPI", "l1d%", "bpred%", "ipc", "vreplay", "vbypass", "+v5", "+yapd", "+bin5", "+bin6"
+        "bench",
+        "CPI",
+        "l1d%",
+        "bpred%",
+        "ipc",
+        "vreplay",
+        "vbypass",
+        "+v5",
+        "+yapd",
+        "+bin5",
+        "+bin6"
     );
     let handles: Vec<_> = spec2000::all_profiles()
         .into_iter()
         .map(|p| {
             std::thread::spawn(move || {
-                let base = run(p.name, PipelineConfig::paper(), HierarchyConfig::paper(), uops);
+                let base = run(
+                    p.name,
+                    PipelineConfig::paper(),
+                    HierarchyConfig::paper(),
+                    uops,
+                );
 
                 let mut vaca = HierarchyConfig::paper();
                 vaca.l1d.way_latency = vec![4, 4, 4, 5];

@@ -16,7 +16,9 @@ fn main() {
     println!("== Table 3: sources of yield loss for horizontal power-down ==\n");
     println!("{}", render_loss_table(&table));
     println!("paper (2000 chips): base 138/142/33/29/20 = 362");
-    println!("  H-YAPD 26/0/33/24/17 = 100   VACA 138/38/17/21/19 = 233   Hybrid 26/0/6/12/16 = 60");
+    println!(
+        "  H-YAPD 26/0/33/24/17 = 100   VACA 138/38/17/21/19 = 233   Hybrid 26/0/6/12/16 = 60"
+    );
     println!();
     println!("headline (abstract): H-YAPD reduces yield loss 72.4%, Hybrid-H 83.4%;");
     println!(

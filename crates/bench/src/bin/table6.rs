@@ -30,7 +30,9 @@ fn main() {
     println!("paper (chip counts): 3-1-0:91  2-2-0:16  1-3-0:4  0-4-0:1");
     println!("                     3-0-1:35  2-1-1:13  1-2-1:8  0-3-1:2  4-0-0:105");
     println!("paper (degradation %):");
-    println!("  3-1-0: YAPD 1.08 VACA 1.81 | 2-2-0: VACA 3.32 | 1-3-0: VACA 5.47 | 0-4-0: VACA 6.42");
+    println!(
+        "  3-1-0: YAPD 1.08 VACA 1.81 | 2-2-0: VACA 3.32 | 1-3-0: VACA 5.47 | 0-4-0: VACA 6.42"
+    );
     println!("  3-0-1: YAPD 1.08 | 2-1-1: Hyb 3.65 | 1-2-1: Hyb 5.49 | 0-3-1: Hyb 7.39 | 4-0-0: YAPD 1.08");
     println!("paper (weighted sums): YAPD 1.08, VACA 2.20, Hybrid 1.83");
 }

@@ -21,7 +21,10 @@ fn main() {
         ..WaferConfig::default()
     };
     let wafer = Wafer::sample(&cfg, seed);
-    eprintln!("sampled {} dies (radial drift {radial} sigma)", wafer.dies.len());
+    eprintln!(
+        "sampled {} dies (radial drift {radial} sigma)",
+        wafer.dies.len()
+    );
 
     // Evaluate every die through both cache organisations.
     let regular = CacheCircuitModel::regular();

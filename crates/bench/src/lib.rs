@@ -26,6 +26,7 @@
 //! | `wafer_map` | radial inter-die model, ASCII wafer maps |
 //! | `calibrate` | model-vs-paper calibration report |
 //! | `pipestats` | per-benchmark pipeline diagnostics |
+//! | `perf_report` | instrumented benchmark manifest (`BENCH_*.json`), CI's perf gate |
 
 #![warn(missing_docs)]
 

@@ -288,7 +288,8 @@ impl SetAssocCache {
         let victim_way = self.choose_victim(set);
         let idx = self.line_index(set, victim_way);
         let evicted = self.lines[idx];
-        let writeback = (evicted.valid && evicted.dirty).then(|| self.rebuild_address(evicted.tag, set));
+        let writeback =
+            (evicted.valid && evicted.dirty).then(|| self.rebuild_address(evicted.tag, set));
         // A prefetched block enters cold: least-recently-used among valid
         // lines so a useless prefetch is the first thing evicted.
         let lru_floor = (0..self.config.ways)
@@ -416,9 +417,7 @@ mod tests {
             assert_ne!(out.way, 1);
         }
         // Only 3 of the last 8 blocks can remain in set 0.
-        let resident = (0..8u64)
-            .filter(|&i| cache.probe(i * set_stride))
-            .count();
+        let resident = (0..8u64).filter(|&i| cache.probe(i * set_stride)).count();
         assert_eq!(resident, 3);
     }
 
@@ -436,7 +435,9 @@ mod tests {
         let mut x = 0x1234_5678_u64;
         let mut hits = (0u32, 0u32);
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = (x >> 16) % (64 * 1024);
             let kind = if x & 1 == 0 {
                 AccessKind::Read
@@ -450,7 +451,10 @@ mod tests {
                 hits.1 += 1;
             }
         }
-        assert_eq!(hits.0, hits.1, "identical associativity per set implies identical hit counts");
+        assert_eq!(
+            hits.0, hits.1,
+            "identical associativity per set implies identical hit counts"
+        );
     }
 
     #[test]
@@ -585,7 +589,11 @@ mod tests {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
                 // Zipf-ish reuse over a 24 KB footprint.
                 let r = (x >> 40) % 100;
-                let addr = if r < 70 { (x >> 20) % 8192 } else { (x >> 20) % (24 * 1024) };
+                let addr = if r < 70 {
+                    (x >> 20) % 8192
+                } else {
+                    (x >> 20) % (24 * 1024)
+                };
                 cache.access(addr, AccessKind::Read);
             }
             cache.stats().miss_rate()

@@ -290,7 +290,11 @@ mod tests {
         let mut sorted = blocked_per_region.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), 4, "each region loses a different way: {blocked_per_region:?}");
+        assert_eq!(
+            sorted.len(),
+            4,
+            "each region loses a different way: {blocked_per_region:?}"
+        );
     }
 
     #[test]

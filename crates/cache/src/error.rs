@@ -47,9 +47,7 @@ impl fmt::Display for CacheConfigIssue {
             }
             CacheConfigIssue::ZeroHitLatency => "hit latency must be nonzero",
             CacheConfigIssue::DisabledRegionOutOfRange => "disabled region out of range",
-            CacheConfigIssue::UnevenAddressRegions => {
-                "address regions must evenly divide the sets"
-            }
+            CacheConfigIssue::UnevenAddressRegions => "address regions must evenly divide the sets",
             CacheConfigIssue::AllWaysDisabled => "at least one way must stay enabled",
             CacheConfigIssue::UnreachableSet => "some set has no available way",
             CacheConfigIssue::TreePlruNeedsPowerOfTwo => {

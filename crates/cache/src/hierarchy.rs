@@ -102,6 +102,9 @@ pub struct MemoryHierarchy {
     memory_latency: u32,
     l1d_next_line_prefetch: bool,
     prefetches: u64,
+    /// `(accesses, misses)` already flushed to the observability
+    /// registry, so repeated flushes report deltas only.
+    obs_flushed: (u64, u64),
 }
 
 impl MemoryHierarchy {
@@ -119,6 +122,7 @@ impl MemoryHierarchy {
             memory_latency: config.memory_latency,
             l1d_next_line_prefetch: config.l1d_next_line_prefetch,
             prefetches: 0,
+            obs_flushed: (0, 0),
         })
     }
 
@@ -214,6 +218,29 @@ impl MemoryHierarchy {
         self.l1d.reset_stats();
         self.l2.reset_stats();
         self.prefetches = 0;
+        self.obs_flushed = (0, 0);
+    }
+
+    /// Flushes the hierarchy's aggregate access/miss totals (all three
+    /// levels) to the global observability registry, counting each access
+    /// once across repeated calls. The simulator calls this at the end of
+    /// a run; it is a no-op while observability is disabled.
+    pub fn flush_obs(&mut self) {
+        if !yac_obs::enabled() {
+            return;
+        }
+        let levels = [self.l1i.stats(), self.l1d.stats(), self.l2.stats()];
+        let accesses: u64 = levels.iter().map(|s| s.accesses()).sum();
+        let misses: u64 = levels.iter().map(|s| s.misses()).sum();
+        yac_obs::add(
+            yac_obs::Metric::CacheAccesses,
+            accesses.saturating_sub(self.obs_flushed.0),
+        );
+        yac_obs::add(
+            yac_obs::Metric::CacheMisses,
+            misses.saturating_sub(self.obs_flushed.1),
+        );
+        self.obs_flushed = (accesses, misses);
     }
 }
 

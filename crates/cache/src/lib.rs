@@ -23,8 +23,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
-pub mod error;
 pub mod config;
+pub mod error;
 pub mod hierarchy;
 pub mod stats;
 

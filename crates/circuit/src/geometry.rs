@@ -98,7 +98,10 @@ impl CacheGeometry {
         if !self.bits_per_way().is_multiple_of(8) {
             return Err(GeometryError::FractionalBytes);
         }
-        if !self.capacity_bytes().is_multiple_of(self.ways * self.block_bytes) {
+        if !self
+            .capacity_bytes()
+            .is_multiple_of(self.ways * self.block_bytes)
+        {
             return Err(GeometryError::UnevenBlocks);
         }
         if !self.sets().is_power_of_two() {

@@ -7,11 +7,11 @@
 //! *normalised*: a delay of 1.0 is the nominal near-bank critical path, a
 //! way leakage of 1.0 is the nominal leakage of one way.
 
+use crate::device::leakage_factor;
 use crate::error::CircuitError;
 use crate::geometry::CacheGeometry;
 use crate::stages::{cell_delay_factor, logic_delay_factor, wire_delay_factor};
 use crate::tech::{Calibration, Technology};
-use crate::device::leakage_factor;
 use yac_variation::{CacheVariation, WayVariation};
 
 /// Which physical cache organisation is being evaluated.
@@ -78,7 +78,6 @@ impl CacheCircuitResult {
         self.ways.iter().filter(|w| w.delay > limit).count()
     }
 }
-
 
 /// The analytical cache circuit model.
 ///
@@ -267,9 +266,10 @@ impl CacheCircuitModel {
     /// Panics if the die has no ways.
     #[must_use]
     pub fn evaluate(&self, die: &CacheVariation) -> CacheCircuitResult {
+        let _timer = yac_obs::phase(yac_obs::Phase::CircuitEval);
+        yac_obs::inc(yac_obs::Metric::CircuitEvals);
         assert!(!die.ways.is_empty(), "die must carry at least one way");
-        let ways: Vec<WayCircuitResult> =
-            die.ways.iter().map(|w| self.evaluate_way(w)).collect();
+        let ways: Vec<WayCircuitResult> = die.ways.iter().map(|w| self.evaluate_way(w)).collect();
         let delay = ways.iter().map(|w| w.delay).fold(f64::MIN, f64::max);
 
         let raw: f64 = ways.iter().map(|w| w.leakage).sum();
@@ -444,7 +444,10 @@ mod tests {
         // across ways: the H-YAPD premise).
         let a_with = agreement(&with);
         let a_without = agreement(&without);
-        assert!(a_with > 0.33, "critical regions should align above chance: {a_with}");
+        assert!(
+            a_with > 0.33,
+            "critical regions should align above chance: {a_with}"
+        );
         assert!(a_without > 0.30, "structural alignment alone: {a_without}");
     }
 

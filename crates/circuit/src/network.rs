@@ -136,7 +136,13 @@ impl RcNetwork {
     /// Panics if `stages` is zero or any value is non-positive. Use
     /// [`RcNetwork::try_ladder`] to handle the error instead.
     #[must_use]
-    pub fn ladder(driver_r: f64, stages: usize, r_total: f64, c_total: f64, c_load: f64) -> (Self, NodeId) {
+    pub fn ladder(
+        driver_r: f64,
+        stages: usize,
+        r_total: f64,
+        c_total: f64,
+        c_load: f64,
+    ) -> (Self, NodeId) {
         Self::try_ladder(driver_r, stages, r_total, c_total, c_load)
             .unwrap_or_else(|e| panic!("{e}"))
     }
@@ -294,7 +300,12 @@ fn solve_dense(a: &[Vec<f64>], b: &mut [f64]) -> Vec<f64> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty");
         m.swap(col, pivot);
         b.swap(col, pivot);
@@ -357,7 +368,10 @@ mod tests {
 
         let (net, far) = RcNetwork::ladder(0.01, 64, 1.0, 1.0, 0.0);
         let ratio = net.step_delay_50(far).unwrap() / net.elmore_delay(far).unwrap();
-        assert!((0.70..0.80).contains(&ratio), "wire-dominated ratio {ratio}");
+        assert!(
+            (0.70..0.80).contains(&ratio),
+            "wire-dominated ratio {ratio}"
+        );
         // Either way Elmore is a conservative bound the closed-form model
         // can scale by a constant.
         assert!(ratio < 1.0);

@@ -92,7 +92,9 @@ mod tests {
     fn slow_decoder_slows_logic_and_wire_stages() {
         let t = tech();
         let mut s = nominal_structures();
-        s.decoder = s.decoder.with_offset_sigmas(Parameter::ThresholdVoltage, 3.0);
+        s.decoder = s
+            .decoder
+            .with_offset_sigmas(Parameter::ThresholdVoltage, 3.0);
         assert!(logic_delay_factor(&t, &s) > 1.0);
         assert!(wire_delay_factor(&t, &s, &ParameterSet::nominal()) > 1.0);
     }

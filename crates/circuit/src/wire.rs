@@ -110,12 +110,7 @@ pub fn try_capacitance_per_um_factor(
 /// assert!((nominal - 1.0).abs() < 1e-9);
 /// ```
 #[must_use]
-pub fn elmore_factor(
-    tech: &Technology,
-    params: &ParameterSet,
-    length: f64,
-    driver_r: f64,
-) -> f64 {
+pub fn elmore_factor(tech: &Technology, params: &ParameterSet, length: f64, driver_r: f64) -> f64 {
     let r = resistance_per_um_factor(params);
     let c = capacitance_per_um_factor(tech, params);
     // Weights of driver-limited vs wire-limited components at nominal.
@@ -180,9 +175,7 @@ mod tests {
         let wide = ParameterSet::nominal().with_offset_sigmas(Parameter::MetalWidth, 3.0);
         let narrow = ParameterSet::nominal().with_offset_sigmas(Parameter::MetalWidth, -3.0);
         let t = tech();
-        assert!(
-            capacitance_per_um_factor(&t, &wide) > capacitance_per_um_factor(&t, &narrow)
-        );
+        assert!(capacitance_per_um_factor(&t, &wide) > capacitance_per_um_factor(&t, &narrow));
     }
 
     #[test]

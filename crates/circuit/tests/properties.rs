@@ -8,7 +8,10 @@ use yac_circuit::{CacheCircuitModel, Technology};
 use yac_variation::{CacheVariation, Parameter, ParameterSet, VariationConfig};
 
 fn die(seed: u64) -> CacheVariation {
-    CacheVariation::sample(&VariationConfig::default(), &mut SmallRng::seed_from_u64(seed))
+    CacheVariation::sample(
+        &VariationConfig::default(),
+        &mut SmallRng::seed_from_u64(seed),
+    )
 }
 
 proptest! {

@@ -4,7 +4,7 @@
 use crate::chip::Population;
 use crate::classify::{classify, LossReason, WayCycleCensus};
 use crate::constraints::{ConstraintSpec, YieldConstraints};
-use crate::schemes::{Hybrid, HYapd, PowerDownKind, Scheme, SchemeOutcome, Vaca, Yapd};
+use crate::schemes::{HYapd, Hybrid, PowerDownKind, Scheme, SchemeOutcome, Vaca, Yapd};
 use std::collections::BTreeMap;
 use yac_circuit::CacheVariant;
 
@@ -158,7 +158,11 @@ pub fn loss_table(
     let mut analysis_quarantined = 0usize;
 
     for chip in &population.chips {
-        let Some(reason) = classify(chip.result(base_variant), constraints) else {
+        let reason = {
+            let _timer = yac_obs::phase(yac_obs::Phase::Classify);
+            classify(chip.result(base_variant), constraints)
+        };
+        let Some(reason) = reason else {
             continue;
         };
         if base.count(reason).is_err() {
@@ -168,11 +172,15 @@ pub fn loss_table(
             analysis_quarantined += 1;
             continue;
         }
+        let _timer = yac_obs::phase(yac_obs::Phase::Rescue);
         for (scheme, losses) in schemes.iter().zip(&mut per_scheme) {
-            if !scheme
+            yac_obs::inc(yac_obs::Metric::RescueAttempts);
+            if scheme
                 .apply(chip, constraints, population.calibration())
                 .ships()
             {
+                yac_obs::inc(yac_obs::Metric::RescueSaves);
+            } else {
                 losses
                     .count(reason)
                     .expect("scheme histogram matches the base histogram");
@@ -353,7 +361,10 @@ pub fn saved_config_census(
 ) -> BTreeMap<WayCycleCensus, usize> {
     let mut census = BTreeMap::new();
     for chip in &population.chips {
-        let outcome = scheme.apply(chip, constraints, population.calibration());
+        let outcome = {
+            let _timer = yac_obs::phase(yac_obs::Phase::Rescue);
+            scheme.apply(chip, constraints, population.calibration())
+        };
         if matches!(outcome, SchemeOutcome::Saved(_)) {
             let key = WayCycleCensus::of(chip.result(variant), constraints);
             *census.entry(key).or_insert(0) += 1;
@@ -449,7 +460,10 @@ mod tests {
         );
         let leak_h = t3.schemes[0].losses.leakage as f64;
         let leak_v = t2.schemes[0].losses.leakage as f64;
-        assert!(leak_h <= 1.25 * leak_v, "H-YAPD leakage {leak_h} vs YAPD {leak_v}");
+        assert!(
+            leak_h <= 1.25 * leak_v,
+            "H-YAPD leakage {leak_h} vs YAPD {leak_v}"
+        );
     }
 
     #[test]

@@ -236,16 +236,13 @@ pub fn parse_checkpoint(text: &str) -> Result<CheckpointState, StudyError> {
     }
 
     let mut header = |name: &str| -> Result<String, StudyError> {
-        let (n, l) = lines
-            .next()
-            .ok_or_else(|| corrupt(0, "truncated header"))?;
+        let (n, l) = lines.next().ok_or_else(|| corrupt(0, "truncated header"))?;
         l.strip_prefix(name)
             .and_then(|v| v.strip_prefix(' '))
             .map(str::to_string)
             .ok_or_else(|| corrupt(n + 1, &format!("expected {name} header")))
     };
-    let seed = u64::from_str_radix(&header("seed")?, 16)
-        .map_err(|_| corrupt(2, "bad seed"))?;
+    let seed = u64::from_str_radix(&header("seed")?, 16).map_err(|_| corrupt(2, "bad seed"))?;
     let chips = header("chips")?
         .parse()
         .map_err(|_| corrupt(3, "bad chip count"))?;
@@ -324,7 +321,9 @@ fn write_state(path: &Path, state: &CheckpointState) -> Result<(), StudyError> {
     // checkpoint intact rather than a truncated file.
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, render_checkpoint(state)).map_err(io_err)?;
-    std::fs::rename(&tmp, path).map_err(io_err)
+    std::fs::rename(&tmp, path).map_err(io_err)?;
+    yac_obs::inc(yac_obs::Metric::CheckpointsWritten);
+    Ok(())
 }
 
 /// Loads (or initialises) the state for `config` at `path`, verifying it

@@ -56,11 +56,14 @@ impl fmt::Display for LossReason {
 /// ```
 #[must_use]
 pub fn classify(result: &CacheCircuitResult, c: &YieldConstraints) -> Option<LossReason> {
+    yac_obs::inc(yac_obs::Metric::ChipsClassified);
     let violating_ways = result.ways_violating_delay(c.delay_limit);
     if violating_ways > 0 {
+        yac_obs::inc(yac_obs::Metric::ChipsLost);
         return Some(LossReason::Delay { violating_ways });
     }
     if !c.meets_leakage(result.leakage) {
+        yac_obs::inc(yac_obs::Metric::ChipsLost);
         return Some(LossReason::Leakage);
     }
     None

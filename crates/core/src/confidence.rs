@@ -157,8 +157,10 @@ pub fn confidence_study(chips: usize, seeds: &[u64]) -> ConfidenceReport {
 
     let base: Vec<f64> = t2.iter().map(|t| 100.0 * t.yield_fraction(None)).collect();
     let mut schemes = Vec::new();
-    for (tables, names) in [(&t2, ["YAPD", "VACA", "Hybrid"]), (&t3, ["H-YAPD", "VACA-H", "Hybrid-H"])]
-    {
+    for (tables, names) in [
+        (&t2, ["YAPD", "VACA", "Hybrid"]),
+        (&t3, ["H-YAPD", "VACA-H", "Hybrid-H"]),
+    ] {
         for (i, name) in names.iter().enumerate() {
             let (yields, reductions) = collect(tables, i);
             schemes.push(SchemeConfidence {

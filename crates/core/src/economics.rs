@@ -160,11 +160,7 @@ impl fmt::Display for RevenueReport {
 ///
 /// Panics if the price model is invalid or the loss table has no schemes.
 #[must_use]
-pub fn revenue_report(
-    losses: &LossTable,
-    perf: &Table6,
-    price: &PriceModel,
-) -> RevenueReport {
+pub fn revenue_report(losses: &LossTable, perf: &Table6, price: &PriceModel) -> RevenueReport {
     price.validate().unwrap_or_else(|e| panic!("{e}"));
     assert!(!losses.schemes.is_empty(), "loss table carries no schemes");
 
@@ -183,8 +179,8 @@ pub fn revenue_report(
     for (i, scheme) in losses.schemes.iter().enumerate() {
         let saved = losses.base.total() - scheme.losses.total();
         let degradation = weighted.get(i).copied().unwrap_or(0.0);
-        let revenue = healthy as f64 * price.full_price
-            + saved as f64 * price.repaired_price(degradation);
+        let revenue =
+            healthy as f64 * price.full_price + saved as f64 * price.repaired_price(degradation);
         policies.push(SchemeRevenue {
             name: scheme.name.clone(),
             full_price_chips: healthy,

@@ -34,10 +34,10 @@
 pub mod analysis;
 pub mod checkpoint;
 pub mod chip;
-pub mod confidence;
-pub mod economics;
 pub mod classify;
+pub mod confidence;
 pub mod constraints;
+pub mod economics;
 pub mod perf;
 pub mod quarantine;
 pub mod report;
@@ -50,20 +50,19 @@ pub use analysis::{
     FullStudy, InvalidLossReason, LossBreakdown, LossTable, ScatterPoint, SchemeLosses,
 };
 pub use checkpoint::{run_checkpointed, run_checkpointed_budget, CheckpointState, StudyError};
-pub use economics::PriceError;
 pub use chip::{ChipSample, Population, PopulationConfig};
 pub use classify::{classify, LossReason, WayCycleCensus};
 pub use constraints::{ConstraintSpec, YieldConstraints};
+pub use economics::PriceError;
+pub use perf::{
+    adaptive_comparison, render_degradation, render_table6, suite_cpis_isolated, suite_degradation,
+    table6, AdaptiveComparison, BenchmarkFailure, PerfOptions, SuiteDegradation, Table6, Table6Row,
+};
 pub use quarantine::{QuarantineEntry, QuarantineLedger};
 pub use report::{render_constraint_sweep, render_loss_table};
-pub use perf::{
-    adaptive_comparison, render_degradation, render_table6, suite_cpis_isolated,
-    suite_degradation, table6, AdaptiveComparison, BenchmarkFailure, PerfOptions,
-    SuiteDegradation, Table6, Table6Row,
-};
 pub use schemes::{
-    DisabledUnit, HYapd, Hybrid, HybridPolicy, NaiveBinning, PowerDownKind, RepairedCache,
-    Scheme, SchemeOutcome, Vaca, Yapd,
+    DisabledUnit, HYapd, Hybrid, HybridPolicy, NaiveBinning, PowerDownKind, RepairedCache, Scheme,
+    SchemeOutcome, Vaca, Yapd,
 };
 pub use testing::{MeasurementError, TestOutcome};
 

@@ -180,13 +180,19 @@ pub fn suite_cpis_isolated(
                 let opts = *opts;
                 (
                     name,
-                    scope.spawn(move || benchmark_cpi(p, &l1d, &pipeline, &opts)),
+                    scope.spawn(move || {
+                        let _timer = yac_obs::phase(yac_obs::Phase::PipelineSim);
+                        benchmark_cpi(p, &l1d, &pipeline, &opts)
+                    }),
                 )
             })
             .collect();
         for (name, h) in handles {
             match h.join() {
-                Ok(cpi) if cpi.is_finite() && cpi > 0.0 => out.push((name, cpi)),
+                Ok(cpi) if cpi.is_finite() && cpi > 0.0 => {
+                    yac_obs::inc(yac_obs::Metric::BenchmarksSimulated);
+                    out.push((name, cpi));
+                }
                 Ok(cpi) => failures.push(BenchmarkFailure {
                     benchmark: name,
                     error: format!("non-finite or non-positive CPI ({cpi})"),
@@ -205,6 +211,7 @@ pub fn suite_cpis_isolated(
             }
         }
     });
+    yac_obs::add(yac_obs::Metric::BenchmarkFailures, failures.len() as u64);
     (out, failures)
 }
 
@@ -495,7 +502,7 @@ pub fn render_degradation(title: &str, series: &[(&str, &SuiteDegradation)]) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ConstraintSpec, SchemeOutcome, Scheme};
+    use crate::{ConstraintSpec, Scheme, SchemeOutcome};
 
     fn census(a: u8, b: u8, c: u8) -> WayCycleCensus {
         WayCycleCensus {

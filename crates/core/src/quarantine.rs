@@ -25,7 +25,11 @@ pub struct QuarantineEntry {
 
 impl fmt::Display for QuarantineEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "chip {} (seed {}): {}", self.index, self.seed, self.error)
+        write!(
+            f,
+            "chip {} (seed {}): {}",
+            self.index, self.seed, self.error
+        )
     }
 }
 
@@ -58,10 +62,9 @@ impl QuarantineLedger {
 
     /// Records a failed chip, keeping the ledger sorted by index.
     pub fn record(&mut self, index: u64, seed: u64, error: String) {
+        yac_obs::inc(yac_obs::Metric::ChipsQuarantined);
         let entry = QuarantineEntry { index, seed, error };
-        let at = self
-            .entries
-            .partition_point(|e| e.index <= entry.index);
+        let at = self.entries.partition_point(|e| e.index <= entry.index);
         self.entries.insert(at, entry);
     }
 
@@ -80,7 +83,9 @@ impl QuarantineLedger {
     /// Whether `index` is quarantined.
     #[must_use]
     pub fn contains(&self, index: u64) -> bool {
-        self.entries.binary_search_by_key(&index, |e| e.index).is_ok()
+        self.entries
+            .binary_search_by_key(&index, |e| e.index)
+            .is_ok()
     }
 
     /// Number of quarantined chips.

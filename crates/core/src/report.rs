@@ -18,6 +18,7 @@ use std::fmt::Write as _;
 /// ```
 #[must_use]
 pub fn render_loss_table(table: &LossTable) -> String {
+    let _timer = yac_obs::phase(yac_obs::Phase::Report);
     let mut out = String::new();
     let _ = writeln!(
         out,

@@ -223,6 +223,9 @@ mod tests {
                 }
             }
         }
-        assert!(saved > lost, "H-YAPD should save most leakage chips ({saved} vs {lost})");
+        assert!(
+            saved > lost,
+            "H-YAPD should save most leakage chips ({saved} vs {lost})"
+        );
     }
 }

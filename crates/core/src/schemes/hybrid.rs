@@ -144,11 +144,7 @@ impl Hybrid {
     ) -> SchemeOutcome {
         let result = &chip.regular;
         let max_ok = c.base_cycles + 1;
-        let cycles: Vec<u32> = result
-            .ways
-            .iter()
-            .map(|w| c.cycles_for(w.delay))
-            .collect();
+        let cycles: Vec<u32> = result.ways.iter().map(|w| c.cycles_for(w.delay)).collect();
         let over: Vec<usize> = (0..cycles.len()).filter(|&w| cycles[w] > max_ok).collect();
         if over.len() > 1 {
             return SchemeOutcome::Lost(reason);
@@ -159,9 +155,7 @@ impl Hybrid {
         // or when the adaptive policy says a compute-bound workload would
         // rather lose the capacity than take 5-cycle hits, provided the
         // chip has exactly one slow way to point at.
-        let slow5: Vec<usize> = (0..cycles.len())
-            .filter(|&w| cycles[w] == max_ok)
-            .collect();
+        let slow5: Vec<usize> = (0..cycles.len()).filter(|&w| cycles[w] == max_ok).collect();
         let victim = if let Some(&w) = over.first() {
             Some(w)
         } else if leaky {
@@ -203,11 +197,7 @@ impl Hybrid {
         let result = &chip.horizontal;
         let max_ok = c.base_cycles + 1;
         let budget = c.delay_budget(max_ok);
-        let way_cycles_full: Vec<u32> = result
-            .ways
-            .iter()
-            .map(|w| c.cycles_for(w.delay))
-            .collect();
+        let way_cycles_full: Vec<u32> = result.ways.iter().map(|w| c.cycles_for(w.delay)).collect();
         let leaky = !c.meets_leakage(result.leakage);
         let needs_disable = leaky || way_cycles_full.iter().any(|&cyc| cyc > max_ok);
 
@@ -220,10 +210,7 @@ impl Hybrid {
 
         // Try each region: after disabling it every way must fit in 5
         // cycles and the settled leakage must meet the limit.
-        let regions = result
-            .ways
-            .first()
-            .map_or(0, |w| w.region_delay.len());
+        let regions = result.ways.first().map_or(0, |w| w.region_delay.len());
         let mut best: Option<(usize, Vec<u32>, f64)> = None;
         for r in 0..regions {
             let mut ok = true;
@@ -344,7 +331,11 @@ mod tests {
             let sixes = cycles.iter().filter(|&&x| x >= 6).count();
             if fives >= 1 && sixes == 0 && !leaky {
                 if let SchemeOutcome::Saved(r) = hybrid.apply(chip, &c, pop.calibration()) {
-                    assert!(r.disabled.is_none(), "no disable needed for chip {}", chip.index);
+                    assert!(
+                        r.disabled.is_none(),
+                        "no disable needed for chip {}",
+                        chip.index
+                    );
                     assert_eq!(r.ways_at(5), fives);
                     checked += 1;
                 }

@@ -6,14 +6,14 @@
 //! after repair (with a concrete [`RepairedCache`] configuration that the
 //! performance analysis can simulate), or is discarded.
 
-mod hybrid;
 mod hyapd;
+mod hybrid;
 mod naive;
 mod vaca;
 mod yapd;
 
-pub use hybrid::{Hybrid, HybridPolicy, PowerDownKind};
 pub use hyapd::HYapd;
+pub use hybrid::{Hybrid, HybridPolicy, PowerDownKind};
 pub use naive::NaiveBinning;
 pub use vaca::Vaca;
 pub use yapd::Yapd;
@@ -307,7 +307,10 @@ mod tests {
             assert_eq!(slow.len(), chip.regular.ways_violating_delay(c.delay_limit));
             let leaky = leakiest_way(&chip.regular);
             for (i, w) in chip.regular.ways.iter().enumerate() {
-                assert!(w.leakage <= chip.regular.ways[leaky].leakage + 1e-15, "way {i}");
+                assert!(
+                    w.leakage <= chip.regular.ways[leaky].leakage + 1e-15,
+                    "way {i}"
+                );
             }
         }
     }

@@ -181,12 +181,20 @@ mod tests {
         let count = |s: &Vaca| {
             pop.chips
                 .iter()
-                .filter(|chip| matches!(s.apply(chip, &c, pop.calibration()), SchemeOutcome::Saved(_)))
+                .filter(|chip| {
+                    matches!(
+                        s.apply(chip, &c, pop.calibration()),
+                        SchemeOutcome::Saved(_)
+                    )
+                })
                 .count()
         };
         let a = count(&shallow);
         let b = count(&deep);
-        assert!(b >= a, "deeper buffers cannot save fewer chips ({b} vs {a})");
+        assert!(
+            b >= a,
+            "deeper buffers cannot save fewer chips ({b} vs {a})"
+        );
         assert!(b > a, "the 6+-cycle tail should be reachable with depth 3");
     }
 

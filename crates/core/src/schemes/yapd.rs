@@ -171,8 +171,14 @@ mod tests {
                 }
             }
         }
-        assert!(saved > lost, "YAPD should save most leakage chips ({saved} vs {lost})");
-        assert!(lost > 0, "the extreme leakage tail should survive the repair");
+        assert!(
+            saved > lost,
+            "YAPD should save most leakage chips ({saved} vs {lost})"
+        );
+        assert!(
+            lost > 0,
+            "the extreme leakage tail should survive the repair"
+        );
     }
 
     #[test]

@@ -187,7 +187,11 @@ mod tests {
             .iter()
             .find(|r| r.source == "worst-cell EV")
             .expect("row present");
-        assert!(wc.delay_share > 0.02, "EV tail shapes delay: {}", wc.delay_share);
+        assert!(
+            wc.delay_share > 0.02,
+            "EV tail shapes delay: {}",
+            wc.delay_share
+        );
         assert!(
             wc.leakage_share < 0.05,
             "the worst cell does not move total leakage: {}",
@@ -217,10 +221,7 @@ mod tests {
             }
         }
         // Other axes untouched.
-        assert_eq!(
-            frozen.ways[0].base.l_gate_nm,
-            die.ways[0].base.l_gate_nm
-        );
+        assert_eq!(frozen.ways[0].base.l_gate_nm, die.ways[0].base.l_gate_nm);
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl MeasurementError {
         self.delay_sigma == 0.0 && self.leakage_sigma == 0.0
     }
 
-    fn perturb_result(&self, result: &CacheCircuitResult, rng: &mut SmallRng) -> CacheCircuitResult {
+    fn perturb_result(
+        &self,
+        result: &CacheCircuitResult,
+        rng: &mut SmallRng,
+    ) -> CacheCircuitResult {
         if self.is_ideal() {
             return result.clone();
         }

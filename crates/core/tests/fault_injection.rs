@@ -3,7 +3,9 @@
 //! and leaves the clean 95 % with loss-table results identical to an
 //! uninjected run restricted to the same chips.
 
-use yac_core::{render_loss_table, table2, ConstraintSpec, Population, PopulationConfig, YieldConstraints};
+use yac_core::{
+    render_loss_table, table2, ConstraintSpec, Population, PopulationConfig, YieldConstraints,
+};
 use yac_variation::FaultPlan;
 
 #[test]

@@ -1,0 +1,527 @@
+//! The lock-free metrics registry: named counters, phase timers and
+//! log₂-bucketed latency histograms, all plain atomics.
+//!
+//! Design constraints (enforced by tests):
+//!
+//! * **Zero-cost when disabled** — every hook is one relaxed atomic load
+//!   and a branch; no lock, no allocation, no clock read.
+//! * **Observation only** — nothing in here feeds back into simulation
+//!   state, so enabling metrics can never change a study's results.
+//! * **Thread-safe by construction** — all state is `AtomicU64`;
+//!   concurrent increments from any number of threads sum exactly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Every counter the instrumented crates report.
+///
+/// The `#[repr(usize)]` discriminants index the registry's counter
+/// array, so adding a metric is append-only cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Metric {
+    /// Dies produced by Monte Carlo sampling (valid ones).
+    DiesSampled,
+    /// Dies quarantined during sampling (panic, fault plan, validation).
+    SampleFailures,
+    /// Circuit-model evaluations (two per chip: regular + horizontal).
+    CircuitEvals,
+    /// Chips recorded in a quarantine ledger.
+    ChipsQuarantined,
+    /// Chips classified against yield constraints.
+    ChipsClassified,
+    /// Classified chips that violated a constraint (base-case losses).
+    ChipsLost,
+    /// Scheme rescue attempts (one per scheme per failing chip).
+    RescueAttempts,
+    /// Rescue attempts that saved the chip.
+    RescueSaves,
+    /// Benchmark pipeline simulations completed.
+    BenchmarksSimulated,
+    /// Benchmark workers quarantined (panic or non-finite CPI).
+    BenchmarkFailures,
+    /// Micro-ops committed in measurement windows.
+    UopsCommitted,
+    /// Cycles simulated in measurement windows.
+    SimCycles,
+    /// Synthetic trace generators constructed.
+    TracesCreated,
+    /// Cache accesses (all levels) flushed from hierarchy stats.
+    CacheAccesses,
+    /// Cache misses (all levels) flushed from hierarchy stats.
+    CacheMisses,
+    /// Study checkpoints written to disk.
+    CheckpointsWritten,
+}
+
+impl Metric {
+    /// Number of metrics (the counter array's length).
+    pub const COUNT: usize = 16;
+
+    /// All metrics, in declaration order.
+    pub const ALL: [Metric; Metric::COUNT] = [
+        Metric::DiesSampled,
+        Metric::SampleFailures,
+        Metric::CircuitEvals,
+        Metric::ChipsQuarantined,
+        Metric::ChipsClassified,
+        Metric::ChipsLost,
+        Metric::RescueAttempts,
+        Metric::RescueSaves,
+        Metric::BenchmarksSimulated,
+        Metric::BenchmarkFailures,
+        Metric::UopsCommitted,
+        Metric::SimCycles,
+        Metric::TracesCreated,
+        Metric::CacheAccesses,
+        Metric::CacheMisses,
+        Metric::CheckpointsWritten,
+    ];
+
+    /// The stable snake_case name used in manifests.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::DiesSampled => "dies_sampled",
+            Metric::SampleFailures => "sample_failures",
+            Metric::CircuitEvals => "circuit_evals",
+            Metric::ChipsQuarantined => "chips_quarantined",
+            Metric::ChipsClassified => "chips_classified",
+            Metric::ChipsLost => "chips_lost",
+            Metric::RescueAttempts => "rescue_attempts",
+            Metric::RescueSaves => "rescue_saves",
+            Metric::BenchmarksSimulated => "benchmarks_simulated",
+            Metric::BenchmarkFailures => "benchmark_failures",
+            Metric::UopsCommitted => "uops_committed",
+            Metric::SimCycles => "sim_cycles",
+            Metric::TracesCreated => "traces_created",
+            Metric::CacheAccesses => "cache_accesses",
+            Metric::CacheMisses => "cache_misses",
+            Metric::CheckpointsWritten => "checkpoints_written",
+        }
+    }
+}
+
+/// The pipeline phases a study's wall time is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Monte Carlo variation sampling.
+    Sample,
+    /// Circuit-model evaluation of sampled dies.
+    CircuitEval,
+    /// Constraint classification.
+    Classify,
+    /// Scheme rescue (YAPD / H-YAPD / VACA / Hybrid apply).
+    Rescue,
+    /// Pipeline (CPI) simulation.
+    PipelineSim,
+    /// Report rendering and serialization.
+    Report,
+}
+
+impl Phase {
+    /// Number of phases (the timer arrays' length).
+    pub const COUNT: usize = 6;
+
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Sample,
+        Phase::CircuitEval,
+        Phase::Classify,
+        Phase::Rescue,
+        Phase::PipelineSim,
+        Phase::Report,
+    ];
+
+    /// The stable snake_case name used in manifests.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Sample => "sample",
+            Phase::CircuitEval => "circuit_eval",
+            Phase::Classify => "classify",
+            Phase::Rescue => "rescue",
+            Phase::PipelineSim => "pipeline_sim",
+            Phase::Report => "report",
+        }
+    }
+}
+
+/// Number of log₂ nanosecond buckets (covers 1 ns .. ~584 years).
+pub(crate) const HIST_BUCKETS: usize = 64;
+
+/// A lock-free histogram of durations, bucketed by `log₂(nanos)`.
+///
+/// Bucket `i` holds samples with `floor(log₂(ns)) == i` (bucket 0 also
+/// takes 0 ns samples). Good to a factor of two — plenty for spotting
+/// orders-of-magnitude latency shifts without per-sample allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+impl Histogram {
+    pub(crate) const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, nanos: u64) {
+        let bucket = if nanos == 0 {
+            0
+        } else {
+            63 - nanos.leading_zeros() as usize
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded durations, nanoseconds.
+    #[must_use]
+    pub fn total_nanos(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded duration in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_nanos(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_nanos() as f64 / n as f64
+        }
+    }
+
+    /// Upper bound (in nanoseconds) of the bucket containing the `q`
+    /// quantile, `0.0 <= q <= 1.0`; 0 when empty. A factor-of-two
+    /// estimate, by construction.
+    #[must_use]
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The registry: a fixed array of counters plus per-phase timer state.
+///
+/// All mutation goes through relaxed atomics — safe to share freely
+/// across threads (`&Registry` is all any hook needs).
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    counters: [AtomicU64; Metric::COUNT],
+    phase_ns: [AtomicU64; Phase::COUNT],
+    phase_calls: [AtomicU64; Phase::COUNT],
+    phase_hist: [Histogram; Phase::COUNT],
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A fresh, disabled registry with every counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Registry {
+            enabled: AtomicBool::new(false),
+            counters: [const { AtomicU64::new(0) }; Metric::COUNT],
+            phase_ns: [const { AtomicU64::new(0) }; Phase::COUNT],
+            phase_calls: [const { AtomicU64::new(0) }; Phase::COUNT],
+            phase_hist: [const { Histogram::new() }; Phase::COUNT],
+        }
+    }
+
+    /// Starts collecting.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops collecting (already-recorded values are kept).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether hooks currently record.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Increments `metric` by one. No-op while disabled.
+    #[inline]
+    pub fn inc(&self, metric: Metric) {
+        self.add(metric, 1);
+    }
+
+    /// Adds `n` to `metric`. No-op while disabled.
+    #[inline]
+    pub fn add(&self, metric: Metric, n: u64) {
+        if self.is_enabled() {
+            self.counters[metric as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value of `metric`.
+    #[must_use]
+    pub fn counter(&self, metric: Metric) -> u64 {
+        self.counters[metric as usize].load(Ordering::Relaxed)
+    }
+
+    /// Starts a scoped timer for `phase`. While disabled the guard is
+    /// inert — it does not even read the clock. Guards may nest (same or
+    /// different phases); each guard attributes its own inclusive
+    /// lifetime, so nested time is counted in every enclosing phase.
+    #[inline]
+    pub fn phase(&self, phase: Phase) -> PhaseGuard<'_> {
+        PhaseGuard {
+            registry: self,
+            phase,
+            start: if self.is_enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Runs `f` inside a [`Registry::phase`] guard for `phase`.
+    #[inline]
+    pub fn time<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let _guard = self.phase(phase);
+        f()
+    }
+
+    /// Directly attributes `nanos` to `phase` (one call, one histogram
+    /// sample). Used where a duration is measured externally — e.g. by a
+    /// worker thread that outlives its guard scope. No-op while disabled.
+    pub fn record_phase_nanos(&self, phase: Phase, nanos: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record_phase_nanos_unchecked(phase, nanos);
+    }
+
+    /// [`Registry::record_phase_nanos`] without the enabled check — used
+    /// by guards whose clock was started while collection was on, so a
+    /// mid-flight `disable` doesn't drop a measurement already underway.
+    fn record_phase_nanos_unchecked(&self, phase: Phase, nanos: u64) {
+        self.phase_ns[phase as usize].fetch_add(nanos, Ordering::Relaxed);
+        self.phase_calls[phase as usize].fetch_add(1, Ordering::Relaxed);
+        self.phase_hist[phase as usize].record(nanos);
+    }
+
+    /// Total nanoseconds attributed to `phase` (summed over all guards,
+    /// including concurrent ones — a parallel phase can accumulate more
+    /// than wall-clock time).
+    #[must_use]
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_ns[phase as usize].load(Ordering::Relaxed)
+    }
+
+    /// Number of completed guards for `phase`.
+    #[must_use]
+    pub fn phase_calls(&self, phase: Phase) -> u64 {
+        self.phase_calls[phase as usize].load(Ordering::Relaxed)
+    }
+
+    /// The latency histogram of individual `phase` guard lifetimes.
+    #[must_use]
+    pub fn phase_histogram(&self, phase: Phase) -> &Histogram {
+        &self.phase_hist[phase as usize]
+    }
+
+    /// Zeroes every counter, timer and histogram (the enabled flag is
+    /// left as-is).
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        for p in &self.phase_ns {
+            p.store(0, Ordering::Relaxed);
+        }
+        for p in &self.phase_calls {
+            p.store(0, Ordering::Relaxed);
+        }
+        for h in &self.phase_hist {
+            h.reset();
+        }
+    }
+
+    /// A plain-data copy of every counter and phase timer.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: Metric::ALL.map(|m| self.counter(m)),
+            phase_nanos: Phase::ALL.map(|p| self.phase_nanos(p)),
+            phase_calls: Phase::ALL.map(|p| self.phase_calls(p)),
+        }
+    }
+}
+
+/// A point-in-time, plain-data view of a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values, indexed like [`Metric::ALL`].
+    pub counters: [u64; Metric::COUNT],
+    /// Accumulated per-phase nanoseconds, indexed like [`Phase::ALL`].
+    pub phase_nanos: [u64; Phase::COUNT],
+    /// Completed guard counts, indexed like [`Phase::ALL`].
+    pub phase_calls: [u64; Phase::COUNT],
+}
+
+impl Snapshot {
+    /// Counter value by metric.
+    #[must_use]
+    pub fn counter(&self, metric: Metric) -> u64 {
+        self.counters[metric as usize]
+    }
+
+    /// Accumulated nanoseconds by phase.
+    #[must_use]
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase as usize]
+    }
+}
+
+/// Scoped timer returned by [`Registry::phase`]; attributes its
+/// lifetime on drop.
+#[derive(Debug)]
+#[must_use = "a phase guard records time when dropped; binding it to _ drops it immediately"]
+pub struct PhaseGuard<'a> {
+    registry: &'a Registry,
+    phase: Phase,
+    start: Option<Instant>,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            // Clamp to u64 (585 years of nanos) rather than truncate.
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.registry
+                .record_phase_nanos_unchecked(self.phase, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_and_phase_tables_are_consistent() {
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(*m as usize, i, "{} out of order", m.name());
+        }
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(*p as usize, i, "{} out of order", p.name());
+        }
+        let mut names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Metric::COUNT, "duplicate metric name");
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::new();
+        reg.inc(Metric::CircuitEvals);
+        reg.add(Metric::UopsCommitted, 100);
+        reg.record_phase_nanos(Phase::Sample, 42);
+        reg.time(Phase::Classify, || ());
+        assert_eq!(reg.snapshot(), Registry::new().snapshot());
+    }
+
+    #[test]
+    fn enabling_records_and_reset_clears() {
+        let reg = Registry::new();
+        reg.enable();
+        reg.add(Metric::DiesSampled, 7);
+        reg.record_phase_nanos(Phase::Sample, 1_000);
+        assert_eq!(reg.counter(Metric::DiesSampled), 7);
+        assert_eq!(reg.phase_nanos(Phase::Sample), 1_000);
+        assert_eq!(reg.phase_histogram(Phase::Sample).count(), 1);
+        reg.reset();
+        assert_eq!(reg.counter(Metric::DiesSampled), 0);
+        assert_eq!(reg.phase_nanos(Phase::Sample), 0);
+        assert_eq!(reg.phase_histogram(Phase::Sample).count(), 0);
+        assert!(reg.is_enabled(), "reset must not flip the enabled bit");
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(1024);
+        h.record(1500);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.total_nanos(), 2525);
+        assert!((h.mean_nanos() - 631.25).abs() < 1e-9);
+        // All quantiles land on bucket upper bounds (powers of two).
+        assert_eq!(h.quantile_nanos(0.0), 2);
+        assert_eq!(h.quantile_nanos(1.0), 2048);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Histogram::new();
+        for ns in [10u64, 100, 1_000, 10_000, 100_000] {
+            for _ in 0..20 {
+                h.record(ns);
+            }
+        }
+        let mut last = 0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile_nanos(q);
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn time_returns_the_closure_value() {
+        let reg = Registry::new();
+        reg.enable();
+        let out = reg.time(Phase::Report, || 21 * 2);
+        assert_eq!(out, 42);
+        assert_eq!(reg.phase_calls(Phase::Report), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Concurrency and nesting contracts of the metrics registry.
+
+use yac_obs::{Metric, Phase, Registry};
+
+/// Concurrent increments from N threads sum exactly — no lost updates.
+#[test]
+fn concurrent_increments_sum_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 100_000;
+    let reg = Registry::new();
+    reg.enable();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let reg = &reg;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    reg.inc(Metric::CircuitEvals);
+                    // Mix in adds on a second counter to shake out any
+                    // cross-metric interference.
+                    reg.add(Metric::UopsCommitted, (t as u64 + i) % 3);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        reg.counter(Metric::CircuitEvals),
+        THREADS as u64 * PER_THREAD
+    );
+    let expected: u64 = (0..THREADS as u64)
+        .map(|t| (0..PER_THREAD).map(|i| (t + i) % 3).sum::<u64>())
+        .sum();
+    assert_eq!(reg.counter(Metric::UopsCommitted), expected);
+}
+
+/// Concurrent histogram recording loses no samples and keeps the sum.
+#[test]
+fn concurrent_histogram_recording_is_exact() {
+    const THREADS: u64 = 6;
+    const PER_THREAD: u64 = 50_000;
+    let reg = Registry::new();
+    reg.enable();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let reg = &reg;
+            scope.spawn(move || {
+                for i in 1..=PER_THREAD {
+                    reg.record_phase_nanos(Phase::CircuitEval, i);
+                }
+            });
+        }
+    });
+    let hist = reg.phase_histogram(Phase::CircuitEval);
+    assert_eq!(hist.count(), THREADS * PER_THREAD);
+    assert_eq!(
+        hist.total_nanos(),
+        THREADS * (PER_THREAD * (PER_THREAD + 1) / 2)
+    );
+    assert_eq!(reg.phase_calls(Phase::CircuitEval), THREADS * PER_THREAD);
+}
+
+/// Nested phase guards attribute inclusively: the inner phase's time is
+/// also counted in every enclosing phase, and drop order is handled by
+/// scoping alone.
+#[test]
+fn phase_timers_nest_correctly() {
+    let reg = Registry::new();
+    reg.enable();
+    {
+        let _outer = reg.phase(Phase::Classify);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        {
+            let _inner = reg.phase(Phase::Rescue);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        // Same-phase nesting is allowed too.
+        {
+            let _again = reg.phase(Phase::Classify);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    assert_eq!(reg.phase_calls(Phase::Classify), 2);
+    assert_eq!(reg.phase_calls(Phase::Rescue), 1);
+    let outer = reg.phase_nanos(Phase::Classify);
+    let inner = reg.phase_nanos(Phase::Rescue);
+    assert!(inner >= 4_000_000, "inner slept ≥5ms, recorded {inner}ns");
+    // Outer guard spans the inner one, plus the nested same-phase guard
+    // adds its own lifetime again.
+    assert!(
+        outer > inner,
+        "outer {outer}ns must include inner {inner}ns"
+    );
+    assert!(
+        outer >= 12_000_000,
+        "outer = full scope (≥12ms) + nested re-entry (≥2ms), got {outer}ns"
+    );
+}
+
+/// Toggling collection mid-run keeps earlier data and ignores the gap.
+#[test]
+fn toggling_enabled_gates_recording() {
+    let reg = Registry::new();
+    reg.enable();
+    reg.inc(Metric::DiesSampled);
+    reg.disable();
+    reg.inc(Metric::DiesSampled);
+    {
+        let _g = reg.phase(Phase::Sample);
+    }
+    reg.enable();
+    reg.inc(Metric::DiesSampled);
+    assert_eq!(reg.counter(Metric::DiesSampled), 2);
+    assert_eq!(reg.phase_calls(Phase::Sample), 0);
+}
+
+/// A guard created while enabled records even if collection is switched
+/// off before it drops (its clock was already running).
+#[test]
+fn in_flight_guard_survives_disable() {
+    let reg = Registry::new();
+    reg.enable();
+    let guard = reg.phase(Phase::Report);
+    reg.disable();
+    drop(guard);
+    assert_eq!(reg.phase_calls(Phase::Report), 1);
+}
+
+/// Snapshots are plain data and see exactly the recorded values.
+#[test]
+fn snapshot_reflects_state() {
+    let reg = Registry::new();
+    reg.enable();
+    reg.add(Metric::RescueSaves, 9);
+    reg.record_phase_nanos(Phase::Rescue, 77);
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter(Metric::RescueSaves), 9);
+    assert_eq!(snap.phase_nanos(Phase::Rescue), 77);
+    assert_eq!(snap.phase_calls[Phase::Rescue as usize], 1);
+    // Later mutation doesn't retro-edit the snapshot.
+    reg.add(Metric::RescueSaves, 1);
+    assert_eq!(snap.counter(Metric::RescueSaves), 9);
+}

@@ -254,6 +254,9 @@ impl Pipeline {
                 self.rob.front().map(|e| (e.seq, e.state, e.op.class)),
             );
         }
+        yac_obs::add(yac_obs::Metric::UopsCommitted, self.stats.committed);
+        yac_obs::add(yac_obs::Metric::SimCycles, self.stats.cycles);
+        self.mem.flush_obs();
         self.stats
     }
 
@@ -315,7 +318,9 @@ impl Pipeline {
                     ExecState::Executing { done_at } => match e.announce_at {
                         // Until the expected-completion cycle passes, the
                         // scheduler still believes the assumed latency.
-                        Some(announce) if self.now < announce => Some(announce.max(done_at.min(announce))),
+                        Some(announce) if self.now < announce => {
+                            Some(announce.max(done_at.min(announce)))
+                        }
                         _ => Some(done_at),
                     },
                     ExecState::Done { at } => Some(at),
@@ -367,9 +372,7 @@ impl Pipeline {
     fn older_store_to(&self, seq: u64, addr: u64) -> bool {
         let word = addr & !7;
         self.rob.iter().any(|e| {
-            e.seq < seq
-                && e.op.class == OpClass::Store
-                && e.op.addr.map(|a| a & !7) == Some(word)
+            e.seq < seq && e.op.class == OpClass::Store && e.op.addr.map(|a| a & !7) == Some(word)
         })
     }
 
@@ -415,7 +418,9 @@ impl Pipeline {
         let seqs = std::mem::take(&mut self.completions[slot]);
         for seq in seqs {
             let now = self.now;
-            let Some(e) = self.entry_mut(seq) else { continue };
+            let Some(e) = self.entry_mut(seq) else {
+                continue;
+            };
             debug_assert!(matches!(e.state, ExecState::Executing { .. }));
             e.state = ExecState::Done { at: now };
             let is_branch = e.op.class == OpClass::Branch;
@@ -484,7 +489,10 @@ impl Pipeline {
                 static SHOWN: AtomicU64 = AtomicU64::new(0);
                 if SHOWN.fetch_add(1, Ordering::Relaxed) < 20 {
                     let e = self.entry(seq).unwrap();
-                    eprint!("REPLAY now={} seq={} class={} srcs:", self.now, seq, e.op.class);
+                    eprint!(
+                        "REPLAY now={} seq={} class={} srcs:",
+                        self.now, seq, e.op.class
+                    );
                     for src in e.srcs.iter().flatten() {
                         if let SrcRef::Producer(p) = src {
                             eprint!(" p{}={:?}", p, self.entry(*p).map(|x| x.state));

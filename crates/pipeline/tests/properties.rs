@@ -125,5 +125,8 @@ fn branch_only_traces_exercise_the_predictor() {
     let mut cpu = Pipeline::new(PipelineConfig::paper(), mem).unwrap();
     let stats = cpu.run(ops, 1_000, 2_000);
     assert!(stats.branches > 0);
-    assert!(stats.mispredict_rate() > 0.0, "period-3 pattern defeats 2-bit counters somewhere");
+    assert!(
+        stats.mispredict_rate() > 0.0,
+        "period-3 pattern defeats 2-bit counters somewhere"
+    );
 }

@@ -189,7 +189,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn die(seed: u64) -> CacheVariation {
-        CacheVariation::sample(&VariationConfig::default(), &mut SmallRng::seed_from_u64(seed))
+        CacheVariation::sample(
+            &VariationConfig::default(),
+            &mut SmallRng::seed_from_u64(seed),
+        )
     }
 
     #[test]
@@ -242,7 +245,9 @@ mod tests {
             match kind {
                 FaultKind::DropChip => assert!(d.validate().is_ok(), "drop leaves the die intact"),
                 _ => {
-                    let err = d.validate().expect_err("corrupted die must fail validation");
+                    let err = d
+                        .validate()
+                        .expect_err("corrupted die must fail validation");
                     assert!(expected_error_class(kind)(&err), "{kind:?} gave {err:?}");
                 }
             }

@@ -237,10 +237,7 @@ mod tests {
         let shifted = field.apply(&base, 0.8, 0.2);
         for p in Parameter::ALL {
             let expected = field.offset_sigmas(p, 0.8, 0.2);
-            assert!(
-                (shifted.deviation_sigmas(p) - expected).abs() < 1e-9,
-                "{p}"
-            );
+            assert!((shifted.deviation_sigmas(p) - expected).abs() < 1e-9, "{p}");
         }
     }
 

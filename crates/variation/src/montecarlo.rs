@@ -169,6 +169,7 @@ impl MonteCarlo {
         index: u64,
         plan: Option<&FaultPlan>,
     ) -> Result<CacheVariation, SampleError> {
+        let _timer = yac_obs::phase(yac_obs::Phase::Sample);
         let mut die = catch_unwind(AssertUnwindSafe(|| self.sample_one(seed, index)))
             .map_err(|payload| SampleError::Panicked(panic_message(payload.as_ref())))?;
         if let Some(plan) = plan {
@@ -243,6 +244,8 @@ impl MonteCarlo {
                 Err(error) => failures.push(SampleFailure { index, seed, error }),
             }
         }
+        yac_obs::add(yac_obs::Metric::DiesSampled, dies.len() as u64);
+        yac_obs::add(yac_obs::Metric::SampleFailures, failures.len() as u64);
         GenerationOutcome { dies, failures }
     }
 }

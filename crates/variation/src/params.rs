@@ -50,11 +50,11 @@ impl Parameter {
     #[must_use]
     pub fn nominal(self) -> f64 {
         match self {
-            Parameter::GateLength => 45.0,       // nm
+            Parameter::GateLength => 45.0,        // nm
             Parameter::ThresholdVoltage => 220.0, // mV
-            Parameter::MetalWidth => 0.25,       // um
-            Parameter::MetalThickness => 0.55,   // um
-            Parameter::IldThickness => 0.15,     // um
+            Parameter::MetalWidth => 0.25,        // um
+            Parameter::MetalThickness => 0.55,    // um
+            Parameter::IldThickness => 0.15,      // um
         }
     }
 

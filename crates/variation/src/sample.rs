@@ -414,7 +414,10 @@ mod tests {
         // Fully independent 5-dim draws would average sqrt(2)*E[chi_5] ~ 2.9+;
         // mesh factors below 1 must pull this clearly down.
         assert!(mean < 2.5, "mean way0-way1 distance {mean} too large");
-        assert!(mean > 0.1, "mean way0-way1 distance {mean} implausibly small");
+        assert!(
+            mean > 0.1,
+            "mean way0-way1 distance {mean} implausibly small"
+        );
     }
 
     #[test]

@@ -4,9 +4,7 @@
 //! across thread counts.
 
 use proptest::prelude::*;
-use yac_variation::{
-    expected_error_class, FaultPlan, MonteCarlo, SampleError, VariationConfig,
-};
+use yac_variation::{expected_error_class, FaultPlan, MonteCarlo, SampleError, VariationConfig};
 
 const CHIPS: usize = 48;
 

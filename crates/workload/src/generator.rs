@@ -56,6 +56,7 @@ impl TraceGenerator {
     /// Panics if the profile fails validation.
     #[must_use]
     pub fn new(profile: BenchmarkProfile, seed: u64) -> Self {
+        yac_obs::inc(yac_obs::Metric::TracesCreated);
         profile.validate().expect("invalid benchmark profile");
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         let branch_dirs = (0..profile.branch_sites).map(|_| rng.gen()).collect();
@@ -271,8 +272,14 @@ mod tests {
             let frac = |class: OpClass| {
                 trace.iter().filter(|op| op.class == class).count() as f64 / trace.len() as f64
             };
-            assert!((frac(OpClass::Load) - profile.mix.load).abs() < 0.01, "{name} loads");
-            assert!((frac(OpClass::Store) - profile.mix.store).abs() < 0.01, "{name} stores");
+            assert!(
+                (frac(OpClass::Load) - profile.mix.load).abs() < 0.01,
+                "{name} loads"
+            );
+            assert!(
+                (frac(OpClass::Store) - profile.mix.store).abs() < 0.01,
+                "{name} stores"
+            );
             assert!(
                 (frac(OpClass::Branch) - profile.mix.branch).abs() < 0.01,
                 "{name} branches"
@@ -321,7 +328,10 @@ mod tests {
             total += t + n;
         }
         let rate = f64::from(majority) / f64::from(total);
-        assert!(rate > 0.93, "bias 0.98 should yield high per-site agreement, got {rate}");
+        assert!(
+            rate > 0.93,
+            "bias 0.98 should yield high per-site agreement, got {rate}"
+        );
     }
 
     #[test]

@@ -37,7 +37,12 @@ impl InstructionMix {
     /// Sum of all named fractions (must be ≤ 1).
     #[must_use]
     pub fn named_total(&self) -> f64 {
-        self.load + self.store + self.branch + self.int_mul + self.fp_add + self.fp_mul
+        self.load
+            + self.store
+            + self.branch
+            + self.int_mul
+            + self.fp_add
+            + self.fp_mul
             + self.fp_div
     }
 }

@@ -77,30 +77,78 @@ pub fn all_profiles() -> Vec<BenchmarkProfile> {
         // name, suite, load, store, branch, fp/imul, stream, rand, WS, hot, stride, depLoc, depDecay, bias, sites
         // (stream, rand, stride) are tuned so a 16 KB 4-way L1D sees each
         // benchmark's published miss-rate band; hot sets always fit in L1.
-        profile_entry("bzip2", Int, 0.26, 0.09, 0.13, 0.01, 0.20, 0.007, 1024, 6, 4, 0.92, 0.70, 0.94, 96),
-        profile_entry("crafty", Int, 0.28, 0.08, 0.14, 0.02, 0.08, 0.005, 128, 6, 4, 0.96, 0.75, 0.93, 256),
-        profile_entry("gap", Int, 0.26, 0.11, 0.12, 0.03, 0.15, 0.012, 512, 6, 4, 0.90, 0.70, 0.95, 128),
-        profile_entry("gcc", Int, 0.25, 0.12, 0.16, 0.01, 0.15, 0.035, 768, 6, 4, 0.94, 0.72, 0.91, 512),
-        profile_entry("gzip", Int, 0.22, 0.10, 0.14, 0.01, 0.20, 0.010, 192, 6, 4, 0.96, 0.75, 0.93, 64),
-        profile_entry("mcf", Int, 0.31, 0.09, 0.15, 0.01, 0.05, 0.215, 4096, 6, 4, 0.85, 0.60, 0.92, 96),
-        profile_entry("parser", Int, 0.24, 0.10, 0.16, 0.01, 0.12, 0.026, 384, 6, 4, 0.96, 0.74, 0.92, 192),
-        profile_entry("perlbmk", Int, 0.27, 0.13, 0.15, 0.01, 0.12, 0.011, 256, 6, 4, 0.94, 0.72, 0.94, 384),
-        profile_entry("twolf", Int, 0.25, 0.08, 0.14, 0.02, 0.10, 0.050, 256, 6, 4, 0.96, 0.76, 0.90, 128),
-        profile_entry("vortex", Int, 0.29, 0.14, 0.13, 0.01, 0.14, 0.018, 640, 6, 4, 0.92, 0.70, 0.97, 256),
-        profile_entry("vpr", Int, 0.26, 0.09, 0.13, 0.02, 0.12, 0.036, 320, 6, 4, 0.96, 0.74, 0.91, 128),
-        profile_entry("ammp", Fp, 0.27, 0.09, 0.06, 0.30, 0.25, 0.040, 1536, 6, 4, 0.85, 0.68, 0.98, 48),
-        profile_entry("applu", Fp, 0.25, 0.11, 0.04, 0.35, 0.60, 0.015, 2048, 6, 4, 0.75, 0.62, 0.99, 32),
-        profile_entry("apsi", Fp, 0.24, 0.10, 0.06, 0.32, 0.40, 0.010, 1024, 6, 4, 0.80, 0.65, 0.98, 48),
-        profile_entry("art", Fp, 0.30, 0.07, 0.07, 0.28, 0.70, 0.105, 3072, 6, 8, 0.78, 0.55, 0.96, 32),
-        profile_entry("equake", Fp, 0.29, 0.08, 0.06, 0.30, 0.30, 0.085, 1280, 6, 4, 0.90, 0.72, 0.97, 48),
-        profile_entry("facerec", Fp, 0.25, 0.08, 0.05, 0.33, 0.40, 0.010, 768, 6, 4, 0.80, 0.65, 0.98, 40),
-        profile_entry("fma3d", Fp, 0.26, 0.12, 0.06, 0.30, 0.40, 0.020, 1024, 6, 4, 0.82, 0.66, 0.98, 64),
-        profile_entry("galgel", Fp, 0.24, 0.09, 0.05, 0.36, 0.40, 0.010, 512, 6, 4, 0.78, 0.64, 0.98, 32),
-        profile_entry("lucas", Fp, 0.23, 0.10, 0.03, 0.38, 0.65, 0.010, 2048, 6, 4, 0.72, 0.60, 0.995, 16),
-        profile_entry("mesa", Fp, 0.24, 0.11, 0.08, 0.28, 0.12, 0.005, 192, 6, 4, 0.86, 0.68, 0.97, 96),
-        profile_entry("mgrid", Fp, 0.26, 0.08, 0.03, 0.38, 0.50, 0.008, 2048, 6, 4, 0.74, 0.60, 0.995, 16),
-        profile_entry("swim", Fp, 0.27, 0.10, 0.03, 0.36, 0.55, 0.004, 3072, 6, 8, 0.72, 0.60, 0.995, 16),
-        profile_entry("wupwise", Fp, 0.24, 0.09, 0.05, 0.34, 0.35, 0.006, 1024, 6, 4, 0.78, 0.64, 0.98, 32),
+        profile_entry(
+            "bzip2", Int, 0.26, 0.09, 0.13, 0.01, 0.20, 0.007, 1024, 6, 4, 0.92, 0.70, 0.94, 96,
+        ),
+        profile_entry(
+            "crafty", Int, 0.28, 0.08, 0.14, 0.02, 0.08, 0.005, 128, 6, 4, 0.96, 0.75, 0.93, 256,
+        ),
+        profile_entry(
+            "gap", Int, 0.26, 0.11, 0.12, 0.03, 0.15, 0.012, 512, 6, 4, 0.90, 0.70, 0.95, 128,
+        ),
+        profile_entry(
+            "gcc", Int, 0.25, 0.12, 0.16, 0.01, 0.15, 0.035, 768, 6, 4, 0.94, 0.72, 0.91, 512,
+        ),
+        profile_entry(
+            "gzip", Int, 0.22, 0.10, 0.14, 0.01, 0.20, 0.010, 192, 6, 4, 0.96, 0.75, 0.93, 64,
+        ),
+        profile_entry(
+            "mcf", Int, 0.31, 0.09, 0.15, 0.01, 0.05, 0.215, 4096, 6, 4, 0.85, 0.60, 0.92, 96,
+        ),
+        profile_entry(
+            "parser", Int, 0.24, 0.10, 0.16, 0.01, 0.12, 0.026, 384, 6, 4, 0.96, 0.74, 0.92, 192,
+        ),
+        profile_entry(
+            "perlbmk", Int, 0.27, 0.13, 0.15, 0.01, 0.12, 0.011, 256, 6, 4, 0.94, 0.72, 0.94, 384,
+        ),
+        profile_entry(
+            "twolf", Int, 0.25, 0.08, 0.14, 0.02, 0.10, 0.050, 256, 6, 4, 0.96, 0.76, 0.90, 128,
+        ),
+        profile_entry(
+            "vortex", Int, 0.29, 0.14, 0.13, 0.01, 0.14, 0.018, 640, 6, 4, 0.92, 0.70, 0.97, 256,
+        ),
+        profile_entry(
+            "vpr", Int, 0.26, 0.09, 0.13, 0.02, 0.12, 0.036, 320, 6, 4, 0.96, 0.74, 0.91, 128,
+        ),
+        profile_entry(
+            "ammp", Fp, 0.27, 0.09, 0.06, 0.30, 0.25, 0.040, 1536, 6, 4, 0.85, 0.68, 0.98, 48,
+        ),
+        profile_entry(
+            "applu", Fp, 0.25, 0.11, 0.04, 0.35, 0.60, 0.015, 2048, 6, 4, 0.75, 0.62, 0.99, 32,
+        ),
+        profile_entry(
+            "apsi", Fp, 0.24, 0.10, 0.06, 0.32, 0.40, 0.010, 1024, 6, 4, 0.80, 0.65, 0.98, 48,
+        ),
+        profile_entry(
+            "art", Fp, 0.30, 0.07, 0.07, 0.28, 0.70, 0.105, 3072, 6, 8, 0.78, 0.55, 0.96, 32,
+        ),
+        profile_entry(
+            "equake", Fp, 0.29, 0.08, 0.06, 0.30, 0.30, 0.085, 1280, 6, 4, 0.90, 0.72, 0.97, 48,
+        ),
+        profile_entry(
+            "facerec", Fp, 0.25, 0.08, 0.05, 0.33, 0.40, 0.010, 768, 6, 4, 0.80, 0.65, 0.98, 40,
+        ),
+        profile_entry(
+            "fma3d", Fp, 0.26, 0.12, 0.06, 0.30, 0.40, 0.020, 1024, 6, 4, 0.82, 0.66, 0.98, 64,
+        ),
+        profile_entry(
+            "galgel", Fp, 0.24, 0.09, 0.05, 0.36, 0.40, 0.010, 512, 6, 4, 0.78, 0.64, 0.98, 32,
+        ),
+        profile_entry(
+            "lucas", Fp, 0.23, 0.10, 0.03, 0.38, 0.65, 0.010, 2048, 6, 4, 0.72, 0.60, 0.995, 16,
+        ),
+        profile_entry(
+            "mesa", Fp, 0.24, 0.11, 0.08, 0.28, 0.12, 0.005, 192, 6, 4, 0.86, 0.68, 0.97, 96,
+        ),
+        profile_entry(
+            "mgrid", Fp, 0.26, 0.08, 0.03, 0.38, 0.50, 0.008, 2048, 6, 4, 0.74, 0.60, 0.995, 16,
+        ),
+        profile_entry(
+            "swim", Fp, 0.27, 0.10, 0.03, 0.36, 0.55, 0.004, 3072, 6, 8, 0.72, 0.60, 0.995, 16,
+        ),
+        profile_entry(
+            "wupwise", Fp, 0.24, 0.09, 0.05, 0.34, 0.35, 0.006, 1024, 6, 4, 0.78, 0.64, 0.98, 32,
+        ),
     ]
 }
 

@@ -63,12 +63,7 @@ fn main() {
     println!("{:<28}{:>10}{:>10}", "scheme", "losses", "yield%");
     for depth in 1..=4 {
         let vaca = Vaca::with_buffer_depth(CacheVariant::Regular, depth);
-        let t = loss_table(
-            &population,
-            &constraints,
-            CacheVariant::Regular,
-            &[&vaca],
-        );
+        let t = loss_table(&population, &constraints, CacheVariant::Regular, &[&vaca]);
         println!(
             "VACA, {}-entry buffers      {:>10}{:>9.1}%",
             depth,

@@ -26,12 +26,15 @@ fn run(label: &str, benchmark: &str, hier: HierarchyConfig, assumed: u32) -> Sim
 }
 
 fn main() {
-    let benchmark = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "gzip".to_owned());
+    let benchmark = std::env::args().nth(1).unwrap_or_else(|| "gzip".to_owned());
     println!("benchmark: {benchmark} (200k synthetic micro-ops)\n");
 
-    let base = run("healthy 4x4-cycle cache", &benchmark, HierarchyConfig::paper(), 4);
+    let base = run(
+        "healthy 4x4-cycle cache",
+        &benchmark,
+        HierarchyConfig::paper(),
+        4,
+    );
 
     let mut vaca = HierarchyConfig::paper();
     vaca.l1d.way_latency = vec![4, 4, 4, 5];

@@ -41,13 +41,9 @@ fn main() {
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::env::temp_dir().join("robustness-example.ckpt"));
     let _ = std::fs::remove_file(&path);
-    let killed = yield_aware_cache::core::checkpoint::run_checkpointed_budget(
-        &cfg,
-        &path,
-        50,
-        Some(150),
-    )
-    .expect("checkpointing works");
+    let killed =
+        yield_aware_cache::core::checkpoint::run_checkpointed_budget(&cfg, &path, 50, Some(150))
+            .expect("checkpointing works");
     println!(
         "killed after 150 chips: complete = {} (checkpoint at {})",
         killed.is_some(),

@@ -25,10 +25,7 @@ fn main() {
         CacheVariant::Regular,
         &[&bin5, &bin6, &vaca, &hybrid],
     );
-    println!(
-        "{:<22}{:>10}{:>10}",
-        "policy", "losses", "yield%"
-    );
+    println!("{:<22}{:>10}{:>10}", "policy", "losses", "yield%");
     println!(
         "{:<22}{:>10}{:>9.1}%",
         "none (base)",

@@ -16,7 +16,10 @@
 //!   SimpleScalar substitute, §4.3/§5.2);
 //! * [`core`] — the paper's contribution: the YAPD, H-YAPD, VACA and
 //!   Hybrid schemes, yield constraints and the full experiment suite
-//!   (Tables 2–6, Figures 8–10).
+//!   (Tables 2–6, Figures 8–10);
+//! * [`obs`] — zero-cost-when-off observability: the metrics registry,
+//!   phase timers and benchmark run manifests every layer above reports
+//!   into (DESIGN.md §9).
 //!
 //! # Quick start
 //!
@@ -46,6 +49,7 @@
 pub use yac_cache as cache;
 pub use yac_circuit as circuit;
 pub use yac_core as core;
+pub use yac_obs as obs;
 pub use yac_pipeline as pipeline;
 pub use yac_variation as variation;
 pub use yac_workload as workload;
@@ -61,10 +65,10 @@ pub mod prelude {
         classify, constraint_sweep, fig8_scatter, full_study, render_constraint_sweep,
         render_loss_table, run_checkpointed, table2, table3, ChipSample, ConstraintSpec,
         DisabledUnit, FullStudy, HYapd, Hybrid, HybridPolicy, LossReason, MeasurementError,
-        NaiveBinning, Population, PopulationConfig, PowerDownKind, QuarantineLedger,
-        RepairedCache, Scheme, SchemeOutcome, StudyError, Vaca, WayCycleCensus, Yapd,
-        YieldConstraints,
+        NaiveBinning, Population, PopulationConfig, PowerDownKind, QuarantineLedger, RepairedCache,
+        Scheme, SchemeOutcome, StudyError, Vaca, WayCycleCensus, Yapd, YieldConstraints,
     };
+    pub use yac_obs::{Metric, Phase, Registry, RunManifest};
     pub use yac_pipeline::{Pipeline, PipelineConfig, SimStats};
     pub use yac_variation::{CacheVariation, FaultPlan, MonteCarlo, Parameter, VariationConfig};
     pub use yac_workload::{spec2000, BenchmarkProfile, MicroOp, OpClass, TraceGenerator};

@@ -64,7 +64,8 @@ fn hybrid_dominates_its_components_end_to_end() {
     let vaca = Vaca::default();
     for chip in &population.chips {
         let h = hybrid.apply(chip, &constraints, cal).ships();
-        if Yapd.apply(chip, &constraints, cal).ships() || vaca.apply(chip, &constraints, cal).ships()
+        if Yapd.apply(chip, &constraints, cal).ships()
+            || vaca.apply(chip, &constraints, cal).ships()
         {
             assert!(h, "hybrid must save chip {}", chip.index);
         }

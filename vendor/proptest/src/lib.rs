@@ -167,7 +167,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter rejected 1024 consecutive samples: {}", self.whence)
+            panic!(
+                "prop_filter rejected 1024 consecutive samples: {}",
+                self.whence
+            )
         }
     }
 

@@ -174,10 +174,7 @@ pub mod rngs {
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -235,6 +232,9 @@ mod tests {
         for _ in 0..1000 {
             seen[r.gen_range(0usize..7)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "small ranges must cover all values");
+        assert!(
+            seen.iter().all(|&s| s),
+            "small ranges must cover all values"
+        );
     }
 }
