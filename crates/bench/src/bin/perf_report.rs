@@ -11,21 +11,29 @@
 //! ```text
 //! perf_report [--chips N] [--seed S] [--out PATH] [--label NAME]
 //!             [--baseline PATH] [--max-regress FRAC]
+//!             [--workers N] [--no-pipeline]
 //! ```
 //!
 //! With `--baseline`, compares this run's `chips_per_sec` against the
 //! baseline manifest and exits non-zero when throughput regressed by
 //! more than `--max-regress` (default 0.20) — the CI gate.
+//!
+//! With `--workers N` (N ≥ 1) the population is generated on the
+//! supervised parallel executor; the manifest gains loss-figure metrics
+//! (`table2_base_losses`, `table2_hybrid_losses`, `table3_base_losses`)
+//! that CI asserts are identical across worker counts. `--no-pipeline`
+//! skips the pipeline-simulation half for fast equivalence runs.
 
 use std::process::ExitCode;
 use std::time::Instant;
 use yac_cache::CacheConfig;
 use yac_core::perf::canonical_l1d;
 use yac_core::{
-    render_loss_table, suite_cpis_isolated, table2, table3, ConstraintSpec, PerfOptions,
-    Population, WayCycleCensus, YieldConstraints,
+    render_loss_table, run_supervised, suite_cpis_isolated, table2, table3, ConstraintSpec,
+    ExecutorConfig, LossTable, PerfOptions, Population, PopulationConfig, WayCycleCensus,
+    YieldConstraints,
 };
-use yac_obs::{extract_metric, Metric, Phase, RunManifest};
+use yac_obs::{extract_metric, ManifestMetric, Metric, Phase, RunManifest};
 use yac_pipeline::PipelineConfig;
 
 struct Args {
@@ -35,6 +43,10 @@ struct Args {
     label: String,
     baseline: Option<String>,
     max_regress: f64,
+    /// 0 = the serial `Population::generate` path; N ≥ 1 = the
+    /// supervised executor with N workers.
+    workers: usize,
+    pipeline: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +57,8 @@ fn parse_args() -> Result<Args, String> {
         label: "perf_report".to_owned(),
         baseline: None,
         max_regress: 0.20,
+        workers: 0,
+        pipeline: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,10 +82,32 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-regress: {e}"))?;
             }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--no-pipeline" => args.pipeline = false,
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(args)
+}
+
+/// The loss figures CI compares across worker counts.
+fn loss_metrics(t2: &LossTable, t3: &LossTable) -> Vec<ManifestMetric> {
+    [
+        ("table2_base_losses", t2.base.total()),
+        ("table2_hybrid_losses", t2.schemes[2].losses.total()),
+        ("table3_base_losses", t3.base.total()),
+    ]
+    .into_iter()
+    .map(|(name, value)| ManifestMetric {
+        name: name.to_owned(),
+        value: value as f64,
+        unit: "chips".to_owned(),
+    })
+    .collect()
 }
 
 fn main() -> ExitCode {
@@ -90,8 +126,39 @@ fn main() -> ExitCode {
 
     // Yield half: sample + circuit-eval (inside generate), then
     // classify + rescue for both cache organisations.
-    eprintln!("perf_report: {} chips, seed {}", args.chips, args.seed);
-    let population = Population::generate(args.chips, args.seed);
+    eprintln!(
+        "perf_report: {} chips, seed {}{}",
+        args.chips,
+        args.seed,
+        if args.workers > 0 {
+            format!(", {} worker(s)", args.workers)
+        } else {
+            String::new()
+        }
+    );
+    let population = if args.workers > 0 {
+        let mut cfg = PopulationConfig::paper(args.seed);
+        cfg.chips = args.chips;
+        let exec = ExecutorConfig::with_workers(args.workers);
+        let outcome = match run_supervised(&cfg, &exec) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("perf_report: supervised run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if outcome.is_degraded() {
+            eprintln!(
+                "perf_report: {} shard(s) degraded, {} chips missing, yield {}",
+                outcome.degraded.len(),
+                outcome.missing_chips(),
+                outcome.yield_interval
+            );
+        }
+        outcome.population
+    } else {
+        Population::generate(args.chips, args.seed)
+    };
     let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
     let t2 = table2(&population, &constraints);
     let t3 = table3(&population, &constraints);
@@ -102,33 +169,42 @@ fn main() -> ExitCode {
 
     // Perf half: the full benchmark suite on a healthy cache and on the
     // most common repaired configuration (3-1-0 with the slow way off).
-    let sim_opts = PerfOptions {
-        warmup_uops: 2_000,
-        measure_uops: 10_000,
-        trace_seed: args.seed,
-    };
-    let pipeline = PipelineConfig::paper();
-    let (healthy, fail_healthy) =
-        suite_cpis_isolated(&CacheConfig::l1d_paper(), &pipeline, &sim_opts);
-    let repaired_cfg = canonical_l1d(
-        WayCycleCensus {
-            ways_4: 3,
-            ways_5: 1,
-            ways_6_plus: 0,
-        },
-        true,
-    );
-    let (repaired, fail_repaired) = suite_cpis_isolated(&repaired_cfg, &pipeline, &sim_opts);
-    if !(fail_healthy.is_empty() && fail_repaired.is_empty()) {
-        eprintln!(
-            "perf_report: {} benchmark worker(s) failed",
-            fail_healthy.len() + fail_repaired.len()
+    // Skipped with --no-pipeline (the fast CI equivalence runs).
+    let mut healthy = Vec::new();
+    let mut repaired = Vec::new();
+    if args.pipeline {
+        let sim_opts = PerfOptions {
+            warmup_uops: 2_000,
+            measure_uops: 10_000,
+            trace_seed: args.seed,
+        };
+        let pipeline = PipelineConfig::paper();
+        let (h, fail_healthy) =
+            suite_cpis_isolated(&CacheConfig::l1d_paper(), &pipeline, &sim_opts);
+        let repaired_cfg = canonical_l1d(
+            WayCycleCensus {
+                ways_4: 3,
+                ways_5: 1,
+                ways_6_plus: 0,
+            },
+            true,
         );
-        return ExitCode::FAILURE;
+        let (r, fail_repaired) = suite_cpis_isolated(&repaired_cfg, &pipeline, &sim_opts);
+        if !(fail_healthy.is_empty() && fail_repaired.is_empty()) {
+            eprintln!(
+                "perf_report: {} benchmark worker(s) failed",
+                fail_healthy.len() + fail_repaired.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        healthy = h;
+        repaired = r;
     }
 
     let total_wall_s = t0.elapsed().as_secs_f64();
-    let manifest = RunManifest::capture(&args.label, registry, args.seed, args.chips, total_wall_s);
+    let mut manifest =
+        RunManifest::capture(&args.label, registry, args.seed, args.chips, total_wall_s);
+    manifest.metrics.extend(loss_metrics(&t2, &t3));
 
     // Human-readable summary on stderr; the JSON is the artifact.
     eprintln!(
@@ -146,11 +222,25 @@ fn main() -> ExitCode {
             registry.phase_calls(phase),
         );
     }
-    eprintln!(
-        "  suite mean CPI healthy {:.4}, repaired(3-1-0, way off) {:.4}",
-        healthy.iter().map(|(_, c)| c).sum::<f64>() / healthy.len() as f64,
-        repaired.iter().map(|(_, c)| c).sum::<f64>() / repaired.len() as f64,
-    );
+    if args.workers > 0 {
+        // Busy time across all workers vs. workers × wall clock.
+        let busy_s = registry.phase_nanos(Phase::ShardExec) as f64 / 1e9;
+        let capacity_s = args.workers as f64 * total_wall_s;
+        eprintln!(
+            "  worker utilization {:.1}% ({} retries, {} timeouts, {} degraded)",
+            100.0 * busy_s / capacity_s.max(f64::MIN_POSITIVE),
+            registry.counter(Metric::ShardRetries),
+            registry.counter(Metric::ShardTimeouts),
+            registry.counter(Metric::DegradedShards),
+        );
+    }
+    if !healthy.is_empty() && !repaired.is_empty() {
+        eprintln!(
+            "  suite mean CPI healthy {:.4}, repaired(3-1-0, way off) {:.4}",
+            healthy.iter().map(|(_, c)| c).sum::<f64>() / healthy.len() as f64,
+            repaired.iter().map(|(_, c)| c).sum::<f64>() / repaired.len() as f64,
+        );
+    }
 
     let json = manifest.to_json();
     if let Err(e) = std::fs::write(&args.out, &json) {

@@ -310,16 +310,59 @@ impl FullStudy {
 #[must_use]
 pub fn full_study(chips: usize, seed: u64) -> FullStudy {
     let population = Population::generate(chips, seed);
-    let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+    study_from_population(&population, seed)
+}
+
+/// Builds the complete yield study (Tables 2–5) from an
+/// already-generated population — the shared tail of [`full_study`] and
+/// [`full_study_workers`].
+///
+/// # Panics
+///
+/// Panics if the population is empty (no constraints can be derived).
+#[must_use]
+pub fn study_from_population(population: &Population, seed: u64) -> FullStudy {
+    let constraints = YieldConstraints::derive(population, ConstraintSpec::NOMINAL);
     let sweep_specs = [ConstraintSpec::RELAXED, ConstraintSpec::STRICT];
     FullStudy {
         seed,
         constraints,
-        table2: table2(&population, &constraints),
-        table3: table3(&population, &constraints),
-        table4: constraint_sweep(&population, PowerDownKind::Vertical, &sweep_specs),
-        table5: constraint_sweep(&population, PowerDownKind::Horizontal, &sweep_specs),
+        table2: table2(population, &constraints),
+        table3: table3(population, &constraints),
+        table4: constraint_sweep(population, PowerDownKind::Vertical, &sweep_specs),
+        table5: constraint_sweep(population, PowerDownKind::Horizontal, &sweep_specs),
     }
+}
+
+/// [`full_study`] on the supervised parallel executor
+/// ([`crate::executor::run_supervised`]) with `workers` threads.
+///
+/// The result is identical — bit-for-bit — to [`full_study`] for any
+/// worker count, because every chip is sampled from its own
+/// counter-based stream and merged in index order.
+///
+/// # Errors
+///
+/// Returns [`crate::StudyError::Config`] when the variation
+/// configuration is invalid, and [`crate::StudyError::Mismatch`] when
+/// shards degraded and left the population empty.
+pub fn full_study_workers(
+    chips: usize,
+    seed: u64,
+    workers: usize,
+) -> Result<FullStudy, crate::StudyError> {
+    let mut cfg = crate::chip::PopulationConfig::paper(seed);
+    cfg.chips = chips;
+    let exec = crate::executor::ExecutorConfig::with_workers(workers);
+    let outcome = crate::executor::run_supervised(&cfg, &exec)?;
+    if outcome.population.is_empty() {
+        return Err(crate::StudyError::Mismatch(format!(
+            "no chips survived: {} of {} chips degraded",
+            outcome.missing_chips(),
+            chips
+        )));
+    }
+    Ok(study_from_population(&outcome.population, seed))
 }
 
 /// One point of the Figure 8 scatter: a chip's access latency and

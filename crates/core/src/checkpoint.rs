@@ -12,16 +12,36 @@
 //! rendered from it — is byte-identical to an uninterrupted run's.
 //! Chips are computed per-index from the same SplitMix64 stream as
 //! [`crate::Population::generate_with`], with the same fault isolation.
+//!
+//! # Format v2
+//!
+//! Version 2 (written by everything since the supervised executor landed)
+//! extends v1 in two ways, and v1 files still parse:
+//!
+//! * **Shard records.** `S start len` marks a completed shard and
+//!   `D start len attempts error` a degraded one, so a killed *parallel*
+//!   run ([`crate::executor::run_checkpointed_workers`]) resumes at shard
+//!   granularity without recomputing finished shards. For shard-granular
+//!   checkpoints `done` counts the chips covered by recorded shards (not
+//!   necessarily a contiguous prefix).
+//! * **A CRC32 trailer.** The final line `CRC xxxxxxxx` holds the IEEE
+//!   CRC32 of every preceding byte (up to and including the `END` line's
+//!   newline); [`parse_checkpoint`] verifies it, so a torn write or
+//!   bit-rotted file is rejected as [`StudyError::Corrupt`] instead of
+//!   resuming from silently wrong state. The temp file is `sync_all`ed
+//!   before the rename, making the write-then-rename durable.
 
 use crate::chip::{evaluate_isolated, ChipSample, Population, PopulationConfig};
 use crate::quarantine::QuarantineLedger;
 use std::fmt;
 use std::path::Path;
 use yac_circuit::{CacheCircuitResult, WayCircuitResult};
-use yac_variation::MonteCarlo;
+use yac_variation::{ConfigError, MonteCarlo};
 
 /// Format version tag; bump when the line layout changes.
-const MAGIC: &str = "YAC-CHECKPOINT v1";
+const MAGIC: &str = "YAC-CHECKPOINT v2";
+/// The previous format (no shard records, no CRC trailer); still parsed.
+const MAGIC_V1: &str = "YAC-CHECKPOINT v1";
 
 /// An error from the checkpointed-study machinery.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,16 +53,18 @@ pub enum StudyError {
         /// The underlying I/O error message.
         message: String,
     },
-    /// The checkpoint file does not parse.
+    /// The checkpoint file does not parse (or fails its CRC).
     Corrupt {
         /// 1-based line number of the offending line.
         line: usize,
         /// What was wrong with it.
         what: String,
     },
-    /// The checkpoint belongs to a different study (seed or chip count
-    /// disagree with the configuration).
+    /// The checkpoint belongs to a different study (seed, chip count or
+    /// shard layout disagree with the configuration).
     Mismatch(String),
+    /// The study configuration itself is invalid.
+    Config(ConfigError),
 }
 
 impl fmt::Display for StudyError {
@@ -53,11 +75,37 @@ impl fmt::Display for StudyError {
                 write!(f, "corrupt checkpoint at line {line}: {what}")
             }
             StudyError::Mismatch(what) => write!(f, "checkpoint mismatch: {what}"),
+            StudyError::Config(e) => write!(f, "invalid study configuration: {e}"),
         }
     }
 }
 
 impl std::error::Error for StudyError {}
+
+/// What became of one shard of a supervised parallel run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// Every chip in the shard was computed (classified or quarantined).
+    Done,
+    /// The shard exhausted its retry budget; its chips are missing.
+    Degraded {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last failure (panic message or deadline report).
+        error: String,
+    },
+}
+
+/// One shard's outcome, as persisted in a v2 checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRecord {
+    /// First chip index of the shard.
+    pub start: u64,
+    /// Number of chips in the shard.
+    pub len: usize,
+    /// Whether the shard completed or was recorded degraded.
+    pub status: ShardStatus,
+}
 
 /// The persisted state of a partially completed study.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,13 +114,17 @@ pub struct CheckpointState {
     pub seed: u64,
     /// The total chip count the study was asked for.
     pub chips: usize,
-    /// Chip indices `0..done` have been computed (classified or
-    /// quarantined).
+    /// Chips accounted for so far. Chip-granular (serial) checkpoints
+    /// have computed the contiguous prefix `0..done`; shard-granular ones
+    /// count the chips covered by [`CheckpointState::shards`].
     pub done: usize,
     /// Completed chip evaluations, ascending by index.
     pub completed: Vec<ChipSample>,
     /// Chips quarantined so far.
     pub quarantine: QuarantineLedger,
+    /// Shard outcomes of a supervised parallel run, ascending by start
+    /// index. Empty for chip-granular (serial) checkpoints.
+    pub shards: Vec<ShardRecord>,
 }
 
 impl CheckpointState {
@@ -85,14 +137,28 @@ impl CheckpointState {
             done: 0,
             completed: Vec::new(),
             quarantine: QuarantineLedger::new(),
+            shards: Vec::new(),
         }
     }
 
-    /// Whether every chip has been computed.
+    /// Whether every chip has been accounted for.
     #[must_use]
     pub fn is_complete(&self) -> bool {
         self.done >= self.chips
     }
+}
+
+/// IEEE CRC32 (the zlib/PNG polynomial), bitwise.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
 }
 
 fn f64_hex(v: f64) -> String {
@@ -191,7 +257,7 @@ fn parse_result<'a>(
     })
 }
 
-/// Serialises a state to the checkpoint text format.
+/// Serialises a state to the (v2) checkpoint text format.
 #[must_use]
 pub fn render_checkpoint(state: &CheckpointState) -> String {
     use fmt::Write;
@@ -215,25 +281,88 @@ pub fn render_checkpoint(state: &CheckpointState) -> String {
             q.error.replace('\n', " ")
         );
     }
+    for s in &state.shards {
+        match &s.status {
+            ShardStatus::Done => {
+                let _ = writeln!(out, "S {} {}", s.start, s.len);
+            }
+            ShardStatus::Degraded { attempts, error } => {
+                let _ = writeln!(
+                    out,
+                    "D {} {} {} {}",
+                    s.start,
+                    s.len,
+                    attempts,
+                    error.replace('\n', " ")
+                );
+            }
+        }
+    }
     let _ = writeln!(out, "END");
+    let _ = writeln!(out, "CRC {:08x}", crc32(out.as_bytes()));
     out
+}
+
+/// Verifies the `CRC xxxxxxxx` trailer of a v2 checkpoint and returns the
+/// covered body (everything up to and including the `END` line).
+fn split_crc_trailer(text: &str) -> Result<&str, StudyError> {
+    let last_line = text.lines().count();
+    let corrupt = |what: &str| StudyError::Corrupt {
+        line: last_line,
+        what: what.to_string(),
+    };
+    let stripped = text
+        .strip_suffix('\n')
+        .ok_or_else(|| corrupt("missing trailing newline"))?;
+    let (body, trailer) = stripped
+        .rsplit_once('\n')
+        .ok_or_else(|| corrupt("missing CRC trailer"))?;
+    let hex = trailer
+        .strip_prefix("CRC ")
+        .ok_or_else(|| corrupt("expected CRC trailer"))?;
+    let stated = u32::from_str_radix(hex, 16).map_err(|_| corrupt("bad CRC digits"))?;
+    let covered = &text[..body.len() + 1];
+    let actual = crc32(covered.as_bytes());
+    if actual != stated {
+        return Err(corrupt(&format!(
+            "CRC mismatch: stated {stated:08x}, computed {actual:08x} \
+             (torn write or bit rot)"
+        )));
+    }
+    Ok(covered)
 }
 
 /// Parses the checkpoint text format back into a state.
 ///
+/// Both the current v2 format (with shard records and a CRC32 trailer)
+/// and the legacy v1 format are accepted.
+///
 /// # Errors
 ///
-/// Returns [`StudyError::Corrupt`] naming the offending line.
+/// Returns [`StudyError::Corrupt`] naming the offending line — including
+/// a failed CRC check, which rejects torn or bit-rotted v2 files.
 pub fn parse_checkpoint(text: &str) -> Result<CheckpointState, StudyError> {
+    let magic = text.lines().next().ok_or(StudyError::Corrupt {
+        line: 1,
+        what: "empty file".to_string(),
+    })?;
+    match magic {
+        MAGIC => parse_body(split_crc_trailer(text)?, 2),
+        MAGIC_V1 => parse_body(text, 1),
+        _ => Err(StudyError::Corrupt {
+            line: 1,
+            what: "bad magic".to_string(),
+        }),
+    }
+}
+
+fn parse_body(text: &str, version: u8) -> Result<CheckpointState, StudyError> {
     let mut lines = text.lines().enumerate();
     let corrupt = |line: usize, what: &str| StudyError::Corrupt {
         line,
         what: what.to_string(),
     };
-    let (_, magic) = lines.next().ok_or_else(|| corrupt(1, "empty file"))?;
-    if magic != MAGIC {
-        return Err(corrupt(1, "bad magic"));
-    }
+    lines.next(); // The magic line, already verified by the caller.
 
     let mut header = |name: &str| -> Result<String, StudyError> {
         let (n, l) = lines.next().ok_or_else(|| corrupt(0, "truncated header"))?;
@@ -256,6 +385,7 @@ pub fn parse_checkpoint(text: &str) -> Result<CheckpointState, StudyError> {
         done,
         completed: Vec::new(),
         quarantine: QuarantineLedger::new(),
+        shards: Vec::new(),
     };
     let mut ended = false;
     for (n, l) in lines {
@@ -291,6 +421,37 @@ pub fn parse_checkpoint(text: &str) -> Result<CheckpointState, StudyError> {
                 .map_err(|_| corrupt(line, "bad quarantine seed"))?;
             let error = take(&mut tokens, line)?.to_string();
             state.quarantine.record(index, q_seed, error);
+        } else if version >= 2 && l.starts_with("S ") {
+            let rest = &l[2..];
+            let mut tokens = rest.split_ascii_whitespace();
+            let start = take(&mut tokens, line)?
+                .parse()
+                .map_err(|_| corrupt(line, "bad shard start"))?;
+            let len = parse_usize(take(&mut tokens, line)?, line)?;
+            if tokens.next().is_some() {
+                return Err(corrupt(line, "trailing tokens on shard record"));
+            }
+            state.shards.push(ShardRecord {
+                start,
+                len,
+                status: ShardStatus::Done,
+            });
+        } else if version >= 2 && l.starts_with("D ") {
+            let rest = &l[2..];
+            let mut tokens = rest.splitn(4, ' ');
+            let start = take(&mut tokens, line)?
+                .parse()
+                .map_err(|_| corrupt(line, "bad shard start"))?;
+            let len = parse_usize(take(&mut tokens, line)?, line)?;
+            let attempts = take(&mut tokens, line)?
+                .parse()
+                .map_err(|_| corrupt(line, "bad attempt count"))?;
+            let error = take(&mut tokens, line)?.to_string();
+            state.shards.push(ShardRecord {
+                start,
+                len,
+                status: ShardStatus::Degraded { attempts, error },
+            });
         } else {
             return Err(corrupt(line, "unrecognised record"));
         }
@@ -301,7 +462,7 @@ pub fn parse_checkpoint(text: &str) -> Result<CheckpointState, StudyError> {
     Ok(state)
 }
 
-fn read_state(path: &Path) -> Result<Option<CheckpointState>, StudyError> {
+pub(crate) fn read_state(path: &Path) -> Result<Option<CheckpointState>, StudyError> {
     match std::fs::read_to_string(path) {
         Ok(text) => parse_checkpoint(&text).map(Some),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
@@ -312,23 +473,35 @@ fn read_state(path: &Path) -> Result<Option<CheckpointState>, StudyError> {
     }
 }
 
-fn write_state(path: &Path, state: &CheckpointState) -> Result<(), StudyError> {
+pub(crate) fn write_state(path: &Path, state: &CheckpointState) -> Result<(), StudyError> {
     let io_err = |e: std::io::Error| StudyError::Io {
         path: path.display().to_string(),
         message: e.to_string(),
     };
-    // Write-then-rename so a kill mid-write leaves the previous
-    // checkpoint intact rather than a truncated file.
+    // Write, sync, then rename: a kill mid-write leaves the previous
+    // checkpoint intact, and the fsync makes sure the rename cannot
+    // publish a file whose data is still in the page cache only.
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, render_checkpoint(state)).map_err(io_err)?;
+    {
+        use std::io::Write;
+        let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+        file.write_all(render_checkpoint(state).as_bytes())
+            .map_err(io_err)?;
+        file.sync_all().map_err(io_err)?;
+    }
     std::fs::rename(&tmp, path).map_err(io_err)?;
     yac_obs::inc(yac_obs::Metric::CheckpointsWritten);
     Ok(())
 }
 
 /// Loads (or initialises) the state for `config` at `path`, verifying it
-/// belongs to the same study.
-fn load_or_fresh(path: &Path, config: &PopulationConfig) -> Result<CheckpointState, StudyError> {
+/// belongs to the same study. Parse and I/O errors are surfaced, never
+/// swallowed into a fresh state — a corrupt checkpoint must be dealt
+/// with explicitly, not silently recomputed over.
+pub(crate) fn load_or_fresh(
+    path: &Path,
+    config: &PopulationConfig,
+) -> Result<CheckpointState, StudyError> {
     match read_state(path)? {
         None => Ok(CheckpointState::fresh(config.seed, config.chips)),
         Some(state) => {
@@ -386,11 +559,8 @@ fn into_population(state: CheckpointState, config: &PopulationConfig) -> Populat
 /// # Errors
 ///
 /// Returns a [`StudyError`] if the checkpoint cannot be read, parsed or
-/// written, or belongs to a different study.
-///
-/// # Panics
-///
-/// Panics if the variation configuration is invalid.
+/// written, belongs to a different study, or the variation configuration
+/// is invalid ([`StudyError::Config`]).
 pub fn run_checkpointed(
     config: &PopulationConfig,
     path: &Path,
@@ -410,11 +580,10 @@ pub fn run_checkpointed(
 /// # Errors
 ///
 /// Returns a [`StudyError`] if the checkpoint cannot be read, parsed or
-/// written, or belongs to a different study.
-///
-/// # Panics
-///
-/// Panics if the variation configuration is invalid.
+/// written, belongs to a different study (including a shard-granular
+/// checkpoint from a supervised parallel run, which must be resumed with
+/// [`crate::executor::run_checkpointed_workers`]), or the variation
+/// configuration is invalid ([`StudyError::Config`]).
 pub fn run_checkpointed_budget(
     config: &PopulationConfig,
     path: &Path,
@@ -422,8 +591,15 @@ pub fn run_checkpointed_budget(
     max_new_chips: Option<usize>,
 ) -> Result<Option<Population>, StudyError> {
     let every = every.max(1);
-    let mc = MonteCarlo::new(config.variation);
+    let mc = MonteCarlo::try_new(config.variation).map_err(StudyError::Config)?;
     let mut state = load_or_fresh(path, config)?;
+    if !state.shards.is_empty() {
+        return Err(StudyError::Mismatch(
+            "checkpoint is shard-granular (written by a supervised parallel \
+             run); resume it with run_checkpointed_workers"
+                .into(),
+        ));
+    }
     let mut remaining = max_new_chips.unwrap_or(usize::MAX);
     while !state.is_complete() && remaining > 0 {
         let step = every.min(remaining);
@@ -459,17 +635,58 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_the_standard_check_value() {
+        // The IEEE CRC32 check value for "123456789" (ITU-T V.42 / zlib).
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
     fn checkpoint_text_roundtrips_exactly() {
         let cfg = small_config(6, 11);
         let mc = MonteCarlo::new(cfg.variation);
         let mut state = CheckpointState::fresh(11, 6);
         advance(&mut state, &cfg, &mc, 6);
         state.quarantine.record(99, 11, "synthetic entry".into());
+        state.shards.push(ShardRecord {
+            start: 0,
+            len: 6,
+            status: ShardStatus::Done,
+        });
+        state.shards.push(ShardRecord {
+            start: 6,
+            len: 6,
+            status: ShardStatus::Degraded {
+                attempts: 3,
+                error: "injected shard fault".into(),
+            },
+        });
         let text = render_checkpoint(&state);
         let parsed = parse_checkpoint(&text).unwrap();
         assert_eq!(parsed, state);
         // Byte-identical re-render: the format is canonical.
         assert_eq!(render_checkpoint(&parsed), text);
+    }
+
+    #[test]
+    fn v1_checkpoints_still_parse() {
+        let cfg = small_config(4, 11);
+        let mc = MonteCarlo::new(cfg.variation);
+        let mut state = CheckpointState::fresh(11, 4);
+        advance(&mut state, &cfg, &mc, 4);
+        // Reconstruct the v1 text: v2 body minus the CRC trailer, with
+        // the old magic.
+        let v2 = render_checkpoint(&state);
+        let body = split_crc_trailer(&v2).unwrap();
+        let v1 = body.replacen(MAGIC, MAGIC_V1, 1);
+        let parsed = parse_checkpoint(&v1).unwrap();
+        assert_eq!(parsed, state);
+        // ... but v1 must not smuggle in v2 shard records.
+        let with_shard = v1.replace("END\n", "S 0 4\nEND\n");
+        assert!(matches!(
+            parse_checkpoint(&with_shard),
+            Err(StudyError::Corrupt { .. })
+        ));
     }
 
     #[test]
@@ -479,6 +696,7 @@ mod tests {
             Err(StudyError::Corrupt { line: 1, .. })
         ));
         let good = render_checkpoint(&CheckpointState::fresh(1, 2));
+        // Dropping the END line invalidates the CRC.
         let truncated = good.replace("END\n", "");
         assert!(matches!(
             parse_checkpoint(&truncated),
@@ -486,6 +704,35 @@ mod tests {
         ));
         let garbled = good.replace("END", "X 1 2");
         assert!(parse_checkpoint(&garbled).is_err());
+        // Chopping off the CRC trailer is detected too.
+        let lines: Vec<&str> = good.lines().collect();
+        let no_crc = format!("{}\n", lines[..lines.len() - 1].join("\n"));
+        assert!(matches!(
+            parse_checkpoint(&no_crc),
+            Err(StudyError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn single_bit_rot_fails_the_crc() {
+        let cfg = small_config(3, 19);
+        let mc = MonteCarlo::new(cfg.variation);
+        let mut state = CheckpointState::fresh(19, 3);
+        advance(&mut state, &cfg, &mc, 3);
+        let good = render_checkpoint(&state);
+        assert!(parse_checkpoint(&good).is_ok());
+        // Flip one hex digit inside a chip record. The line still parses
+        // as a valid f64 image, so only the CRC can catch it.
+        let at = good.find("C 0 ").unwrap() + 4;
+        let mut rotted = good.clone().into_bytes();
+        rotted[at] = if rotted[at] == b'0' { b'1' } else { b'0' };
+        let rotted = String::from_utf8(rotted).unwrap();
+        assert_ne!(rotted, good);
+        let err = parse_checkpoint(&rotted).unwrap_err();
+        assert!(
+            matches!(&err, StudyError::Corrupt { what, .. } if what.contains("CRC mismatch")),
+            "want CRC mismatch, got {err}"
+        );
     }
 
     #[test]
@@ -542,5 +789,16 @@ mod tests {
             Err(StudyError::Mismatch(_))
         ));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn invalid_variation_config_is_an_error_not_a_panic() {
+        let mut cfg = small_config(4, 7);
+        cfg.variation.ways = 0;
+        let path = tmp_path("invalid-config.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let err = run_checkpointed(&cfg, &path, 4).unwrap_err();
+        assert!(matches!(err, StudyError::Config(_)), "got {err}");
+        assert!(!path.exists(), "no checkpoint may be written");
     }
 }

@@ -12,6 +12,80 @@ use crate::constraints::{ConstraintSpec, YieldConstraints};
 use std::fmt;
 use yac_variation::stats::Summary;
 
+/// A yield estimate with an explicit uncertainty interval.
+///
+/// Produced by [`yield_interval`] for supervised runs, where degraded
+/// shards can leave chips unevaluated: instead of silently shrinking the
+/// denominator, the interval widens to bracket every possible outcome of
+/// the missing chips.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldInterval {
+    /// Point estimate of the shipping fraction among evaluated chips.
+    pub estimate: f64,
+    /// Lower bound: every missing chip assumed lost, minus sampling error.
+    pub lo: f64,
+    /// Upper bound: every missing chip assumed shipped, plus sampling
+    /// error.
+    pub hi: f64,
+}
+
+impl YieldInterval {
+    /// Width of the interval.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `p` lies inside the interval.
+    #[must_use]
+    pub fn contains(&self, p: f64) -> bool {
+        (self.lo..=self.hi).contains(&p)
+    }
+}
+
+impl fmt::Display for YieldInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} [{:.4}, {:.4}]", self.estimate, self.lo, self.hi)
+    }
+}
+
+/// A 95% yield interval that accounts for unevaluated chips.
+///
+/// `shipped` of `evaluated` chips passed; `missing` more were requested
+/// but never evaluated (degraded shards). The bounds combine a normal
+/// approximation of the binomial sampling error (z = 1.96) over the
+/// evaluated chips with the worst/best case for the missing ones: the
+/// lower bound treats all of them as lost, the upper bound as shipped.
+/// With `missing = 0` this reduces to the standard Wald interval; each
+/// missing chip monotonically widens the interval.
+///
+/// # Panics
+///
+/// Panics if `shipped > evaluated`.
+#[must_use]
+pub fn yield_interval(shipped: usize, evaluated: usize, missing: usize) -> YieldInterval {
+    assert!(shipped <= evaluated, "cannot ship more than was evaluated");
+    let total = (evaluated + missing) as f64;
+    if evaluated == 0 {
+        // Nothing measured: the estimate is vacuous and the interval
+        // spans everything the missing chips could do.
+        return YieldInterval {
+            estimate: 0.0,
+            lo: 0.0,
+            hi: if missing > 0 { 1.0 } else { 0.0 },
+        };
+    }
+    let n = evaluated as f64;
+    let p = shipped as f64 / n;
+    let se = (p * (1.0 - p) / n).sqrt();
+    const Z: f64 = 1.96;
+    YieldInterval {
+        estimate: p,
+        lo: (shipped as f64 / total - Z * se).max(0.0),
+        hi: ((shipped + missing) as f64 / total + Z * se).min(1.0),
+    }
+}
+
 /// Mean ± population σ of one scalar across seeds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
@@ -182,6 +256,48 @@ pub fn confidence_study(chips: usize, seeds: &[u64]) -> ConfidenceReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn yield_interval_reduces_to_wald_without_missing_chips() {
+        let iv = yield_interval(90, 100, 0);
+        assert!((iv.estimate - 0.9).abs() < 1e-12);
+        let se = (0.9f64 * 0.1 / 100.0).sqrt();
+        assert!((iv.lo - (0.9 - 1.96 * se)).abs() < 1e-12);
+        assert!((iv.hi - (0.9 + 1.96 * se)).abs() < 1e-12);
+        assert!(iv.contains(0.9));
+    }
+
+    #[test]
+    fn missing_chips_monotonically_widen_the_interval() {
+        let mut prev = yield_interval(90, 100, 0);
+        for missing in [1, 5, 20, 100] {
+            let iv = yield_interval(90, 100, missing);
+            assert!(iv.width() > prev.width(), "missing={missing}");
+            assert!(iv.lo <= prev.lo && iv.hi >= prev.hi, "nested widening");
+            assert_eq!(iv.estimate, prev.estimate, "estimate is unchanged");
+            prev = iv;
+        }
+    }
+
+    #[test]
+    fn yield_interval_stays_in_unit_range_and_handles_edges() {
+        let all = yield_interval(100, 100, 0);
+        assert!(all.hi <= 1.0 && all.lo <= all.hi);
+        let none = yield_interval(0, 100, 0);
+        assert!(none.lo >= 0.0 && none.lo <= none.hi);
+        let vacuous = yield_interval(0, 0, 10);
+        assert_eq!((vacuous.lo, vacuous.hi), (0.0, 1.0));
+        let empty = yield_interval(0, 0, 0);
+        assert_eq!((empty.lo, empty.hi), (0.0, 0.0));
+        let text = yield_interval(9, 10, 1).to_string();
+        assert!(text.contains('['), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot ship more")]
+    fn yield_interval_rejects_impossible_counts() {
+        let _ = yield_interval(11, 10, 0);
+    }
 
     #[test]
     fn study_aggregates_across_seeds() {

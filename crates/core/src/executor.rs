@@ -1,0 +1,715 @@
+//! The supervised parallel study executor.
+//!
+//! Splits a population study into contiguous chip shards and runs them on
+//! a scoped worker pool under a supervisor: each shard attempt runs
+//! behind `catch_unwind` with a bounded retry budget and exponential
+//! backoff, a deadline watchdog cancels attempts that exceed the
+//! per-shard time budget (a cooperative cancel flag, checked between
+//! chips), and a shard that exhausts its retries is recorded as
+//! **degraded** rather than aborting the study. The run still completes,
+//! returning a [`StudyOutcome`] that carries the merged
+//! [`Population`], the degraded-shard map, and a yield confidence
+//! interval widened to account for the missing chips (see
+//! [`crate::confidence::yield_interval`]) instead of silently shrinking
+//! the denominator.
+//!
+//! # Determinism
+//!
+//! Every chip is sampled from its own counter-based SplitMix64 stream
+//! (`mix_seed(seed, index)` in `yac_variation`), so a chip's delay and
+//! leakage depend only on `(seed, index)` — never on which worker
+//! computed it, in what order, or after how many retries. Workers return
+//! whole shards; the supervisor splices each shard into the merged chip
+//! vector at its sorted position and the quarantine ledger keeps itself
+//! ordered by index, so the merged population is **bit-identical to the
+//! serial path for any worker count**, including runs with injected
+//! faults and retries.
+//!
+//! # Shard-granular checkpointing
+//!
+//! [`run_checkpointed_workers`] persists progress in the v2
+//! `YAC-CHECKPOINT` format after every completed shard batch: finished
+//! shards are recorded as `S` lines and degraded ones as `D` lines, so a
+//! killed parallel run resumes without recomputing finished shards and
+//! its final population round-trips bit-exactly.
+
+use crate::checkpoint::{
+    load_or_fresh, write_state, CheckpointState, ShardRecord, ShardStatus, StudyError,
+};
+use crate::chip::{evaluate_isolated, ChipSample, Population, PopulationConfig};
+use crate::classify::classify;
+use crate::confidence::{yield_interval, YieldInterval};
+use crate::constraints::{ConstraintSpec, YieldConstraints};
+use crate::quarantine::QuarantineLedger;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+use yac_obs::{Metric, Phase};
+use yac_variation::{FaultPlan, InvalidRateError, MonteCarlo};
+
+/// One contiguous slice of the Monte Carlo chip stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Position of the shard in the study's shard list.
+    pub index: usize,
+    /// First chip index of the shard.
+    pub start: u64,
+    /// Number of chips in the shard.
+    pub len: usize,
+}
+
+/// Splits a `chips`-chip study into contiguous shards of at most
+/// `shard_chips` chips each (the last shard may be shorter).
+#[must_use]
+pub fn shards_for(chips: usize, shard_chips: usize) -> Vec<ShardSpec> {
+    let shard_chips = shard_chips.max(1);
+    (0..chips)
+        .step_by(shard_chips)
+        .enumerate()
+        .map(|(index, start)| ShardSpec {
+            index,
+            start: start as u64,
+            len: shard_chips.min(chips - start),
+        })
+        .collect()
+}
+
+/// Deterministic shard-level fault injection: makes selected shards panic
+/// at the start of their first `failing_attempts` attempts, to exercise
+/// the supervisor's retry and degraded paths in tests and examples.
+///
+/// Selection reuses [`FaultPlan`]'s hash draw, keyed by the study seed
+/// and the *shard* index, so the same shards fail on every run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardFaultPlan {
+    plan: FaultPlan,
+    failing_attempts: u32,
+}
+
+impl ShardFaultPlan {
+    /// A plan failing roughly `rate` of all shards for their first
+    /// `failing_attempts` attempts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRateError`] unless `rate` is finite and in
+    /// `[0, 1]`.
+    pub fn new(rate: f64, salt: u64, failing_attempts: u32) -> Result<Self, InvalidRateError> {
+        Ok(ShardFaultPlan {
+            plan: FaultPlan::new(rate, salt)?,
+            failing_attempts,
+        })
+    }
+
+    /// A plan failing *every* shard for its first `failing_attempts`
+    /// attempts (with `u32::MAX`, every attempt — the degraded path).
+    #[must_use]
+    pub fn always(failing_attempts: u32) -> Self {
+        ShardFaultPlan {
+            plan: FaultPlan::new(1.0, 0).expect("1.0 is a valid rate"),
+            failing_attempts,
+        }
+    }
+
+    fn fails(&self, seed: u64, shard_index: usize, attempt: u32) -> bool {
+        attempt < self.failing_attempts && self.plan.fault_for(seed, shard_index as u64).is_some()
+    }
+}
+
+/// Tuning for the supervised executor.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Worker threads. Clamped to at least 1 and at most the shard count.
+    pub workers: usize,
+    /// Chips per shard (the retry/checkpoint granule).
+    pub shard_chips: usize,
+    /// Retries granted to a failing shard before it is recorded degraded
+    /// (so a shard runs at most `max_retries + 1` attempts).
+    pub max_retries: u32,
+    /// Base backoff slept before retry `n` is `backoff * 2^n`.
+    pub backoff: Duration,
+    /// Per-shard-attempt time budget enforced by the watchdog; `None`
+    /// disables the watchdog.
+    pub shard_deadline: Option<Duration>,
+    /// Optional deterministic shard-level fault injection.
+    pub shard_faults: Option<ShardFaultPlan>,
+}
+
+impl ExecutorConfig {
+    /// A sensible configuration for `workers` threads: 64-chip shards,
+    /// two retries, 1 ms base backoff, no deadline, no fault injection.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        ExecutorConfig {
+            workers: workers.max(1),
+            shard_chips: 64,
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+            shard_deadline: None,
+            shard_faults: None,
+        }
+    }
+}
+
+impl Default for ExecutorConfig {
+    /// [`ExecutorConfig::with_workers`] at the machine's available
+    /// parallelism.
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::with_workers(workers)
+    }
+}
+
+/// A shard that exhausted its retry budget; its chips are absent from the
+/// merged population.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedShard {
+    /// First chip index of the shard.
+    pub start: u64,
+    /// Number of missing chips.
+    pub len: usize,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// The last failure (panic message or deadline report).
+    pub error: String,
+}
+
+/// The result of a supervised study: everything the run could compute,
+/// plus an honest account of what it could not.
+#[derive(Debug, Clone)]
+pub struct StudyOutcome {
+    /// The merged population — bit-identical to a serial run when no
+    /// shard degraded, and to the serial run restricted to the surviving
+    /// shards otherwise.
+    pub population: Population,
+    /// Shards that exhausted their retry budget, ascending by start.
+    pub degraded: Vec<DegradedShard>,
+    /// The chip count the study was asked for.
+    pub requested_chips: usize,
+    /// Base-case parametric yield under nominal constraints, with the
+    /// interval widened to cover every chip lost to degraded shards.
+    pub yield_interval: YieldInterval,
+}
+
+impl StudyOutcome {
+    /// Chips missing because their shard degraded.
+    #[must_use]
+    pub fn missing_chips(&self) -> usize {
+        self.degraded.iter().map(|d| d.len).sum()
+    }
+
+    /// Whether any shard was recorded degraded.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
+}
+
+/// What one shard reported back to the supervisor.
+enum ShardMsg {
+    Done {
+        spec: ShardSpec,
+        chips: Vec<ChipSample>,
+        quarantine: QuarantineLedger,
+    },
+    Degraded {
+        spec: ShardSpec,
+        attempts: u32,
+        error: String,
+    },
+}
+
+/// Per-worker state the deadline watchdog inspects: when the current
+/// attempt started (nanos since the pool epoch, plus 1 so that 0 means
+/// idle) and the cooperative cancel flag the shard loop polls.
+#[derive(Default)]
+struct WorkerWatch {
+    started: AtomicU64,
+    cancel: AtomicBool,
+}
+
+/// Why a shard attempt stopped early.
+enum ShardAbort {
+    Cancelled,
+}
+
+struct ShardPartial {
+    chips: Vec<ChipSample>,
+    quarantine: QuarantineLedger,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// One attempt at one shard: evaluates every chip of the shard from its
+/// per-chip stream, exactly as the serial paths do.
+fn run_shard_once(
+    mc: &MonteCarlo,
+    config: &PopulationConfig,
+    exec: &ExecutorConfig,
+    spec: ShardSpec,
+    attempt: u32,
+    cancel: &AtomicBool,
+) -> Result<ShardPartial, ShardAbort> {
+    if let Some(faults) = &exec.shard_faults {
+        if faults.fails(config.seed, spec.index, attempt) {
+            panic!(
+                "injected shard fault (shard {}, attempt {attempt})",
+                spec.index
+            );
+        }
+    }
+    let mut chips = Vec::with_capacity(spec.len);
+    let mut quarantine = QuarantineLedger::new();
+    for index in spec.start..spec.start + spec.len as u64 {
+        if cancel.load(Ordering::Relaxed) {
+            return Err(ShardAbort::Cancelled);
+        }
+        match mc.sample_one_checked(config.seed, index, config.faults.as_ref()) {
+            Ok(die) => match evaluate_isolated(config, &die) {
+                Ok((regular, horizontal)) => chips.push(ChipSample {
+                    index,
+                    regular,
+                    horizontal,
+                }),
+                Err(error) => quarantine.record(index, config.seed, error),
+            },
+            Err(error) => quarantine.record(index, config.seed, error.to_string()),
+        }
+    }
+    Ok(ShardPartial { chips, quarantine })
+}
+
+/// Runs one shard under supervision: retry on panic or timeout with
+/// exponential backoff, degrade after the budget is spent.
+fn run_shard_supervised(
+    mc: &MonteCarlo,
+    config: &PopulationConfig,
+    exec: &ExecutorConfig,
+    spec: ShardSpec,
+    watch: &WorkerWatch,
+    epoch: Instant,
+) -> ShardMsg {
+    let mut attempt: u32 = 0;
+    loop {
+        watch.cancel.store(false, Ordering::Relaxed);
+        watch
+            .started
+            .store(epoch.elapsed().as_nanos() as u64 + 1, Ordering::Release);
+        let t0 = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_shard_once(mc, config, exec, spec, attempt, &watch.cancel)
+        }));
+        watch.started.store(0, Ordering::Release);
+        yac_obs::global().record_phase_nanos(Phase::ShardExec, t0.elapsed().as_nanos() as u64);
+
+        let error = match result {
+            Ok(Ok(partial)) => {
+                yac_obs::inc(Metric::ShardsCompleted);
+                return ShardMsg::Done {
+                    spec,
+                    chips: partial.chips,
+                    quarantine: partial.quarantine,
+                };
+            }
+            Ok(Err(ShardAbort::Cancelled)) => {
+                yac_obs::inc(Metric::ShardTimeouts);
+                format!(
+                    "shard {} (chips {}..{}) exceeded its deadline on attempt {attempt}",
+                    spec.index,
+                    spec.start,
+                    spec.start + spec.len as u64
+                )
+            }
+            Err(payload) => format!(
+                "shard {} panicked: {}",
+                spec.index,
+                panic_message(&*payload)
+            ),
+        };
+        if attempt >= exec.max_retries {
+            yac_obs::inc(Metric::DegradedShards);
+            return ShardMsg::Degraded {
+                spec,
+                attempts: attempt + 1,
+                error,
+            };
+        }
+        yac_obs::inc(Metric::ShardRetries);
+        let backoff = exec.backoff.saturating_mul(1u32 << attempt.min(16));
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        attempt += 1;
+    }
+}
+
+/// The worker pool: runs `tasks` on `exec.workers` scoped threads and
+/// feeds every shard's outcome to `sink` on the supervisor thread, in
+/// completion order. A `sink` error stops the pool (workers finish their
+/// current shard and exit) and is returned.
+fn execute_shards(
+    mc: &MonteCarlo,
+    config: &PopulationConfig,
+    exec: &ExecutorConfig,
+    tasks: &[ShardSpec],
+    mut sink: impl FnMut(ShardMsg) -> Result<(), StudyError>,
+) -> Result<(), StudyError> {
+    if tasks.is_empty() {
+        return Ok(());
+    }
+    let workers = exec.workers.clamp(1, tasks.len());
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let collecting = AtomicBool::new(true);
+    let epoch = Instant::now();
+    let watches: Vec<WorkerWatch> = (0..workers).map(|_| WorkerWatch::default()).collect();
+    let (tx, rx) = mpsc::channel::<ShardMsg>();
+    let mut sink_result = Ok(());
+
+    std::thread::scope(|scope| {
+        for watch in &watches {
+            let tx = tx.clone();
+            let (next, abort) = (&next, &abort);
+            scope.spawn(move || loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = tasks.get(i) else { break };
+                let msg = run_shard_supervised(mc, config, exec, *spec, watch, epoch);
+                if tx.send(msg).is_err() {
+                    break;
+                }
+            });
+        }
+        if let Some(deadline) = exec.shard_deadline {
+            let (watches, collecting) = (&watches, &collecting);
+            scope.spawn(move || {
+                let tick =
+                    (deadline / 4).clamp(Duration::from_micros(200), Duration::from_millis(5));
+                let budget = deadline.as_nanos() as u64;
+                while collecting.load(Ordering::Relaxed) {
+                    let now = epoch.elapsed().as_nanos() as u64;
+                    for watch in watches {
+                        let started = watch.started.load(Ordering::Acquire);
+                        if started != 0 && now.saturating_sub(started - 1) > budget {
+                            watch.cancel.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    std::thread::sleep(tick);
+                }
+            });
+        }
+        // The workers hold the remaining senders; dropping ours lets the
+        // receive loop end when the last worker exits.
+        drop(tx);
+        for msg in rx {
+            if sink_result.is_ok() {
+                if let Err(e) = sink(msg) {
+                    sink_result = Err(e);
+                    abort.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        collecting.store(false, Ordering::Relaxed);
+    });
+    sink_result
+}
+
+/// Inserts one shard's chips (a contiguous, already-sorted run) into the
+/// merged chip vector at its sorted position.
+fn insert_chips_sorted(completed: &mut Vec<ChipSample>, mut chips: Vec<ChipSample>) {
+    let Some(first) = chips.first() else { return };
+    let at = completed.partition_point(|c| c.index < first.index);
+    completed.splice(at..at, chips.drain(..));
+}
+
+fn insert_shard_record(records: &mut Vec<ShardRecord>, record: ShardRecord) {
+    let at = records.partition_point(|r| r.start < record.start);
+    records.insert(at, record);
+}
+
+/// Builds the outcome: merged population plus a yield interval widened by
+/// the chips the degraded shards failed to deliver.
+fn finish_outcome(
+    population: Population,
+    degraded: Vec<DegradedShard>,
+    requested_chips: usize,
+) -> StudyOutcome {
+    let missing: usize = degraded.iter().map(|d| d.len).sum();
+    let interval = if population.is_empty() {
+        yield_interval(0, 0, missing)
+    } else {
+        let constraints = YieldConstraints::derive(&population, ConstraintSpec::NOMINAL);
+        let lost = population
+            .chips
+            .iter()
+            .filter(|c| classify(&c.regular, &constraints).is_some())
+            .count();
+        yield_interval(population.len() - lost, population.len(), missing)
+    };
+    StudyOutcome {
+        population,
+        degraded,
+        requested_chips,
+        yield_interval: interval,
+    }
+}
+
+/// Runs a population study on the supervised parallel executor.
+///
+/// The merged population is bit-identical to
+/// [`Population::generate_with`] for any worker count (see the module
+/// docs for the determinism argument) unless shards degrade, in which
+/// case the run still completes and the outcome reports exactly which
+/// chip ranges are missing, with the yield interval widened to match.
+///
+/// # Errors
+///
+/// Returns [`StudyError::Config`] when the variation configuration is
+/// invalid. Shard failures are *not* errors — they surface as
+/// [`StudyOutcome::degraded`].
+pub fn run_supervised(
+    config: &PopulationConfig,
+    exec: &ExecutorConfig,
+) -> Result<StudyOutcome, StudyError> {
+    let mc = MonteCarlo::try_new(config.variation).map_err(StudyError::Config)?;
+    let tasks = shards_for(config.chips, exec.shard_chips);
+    let mut completed: Vec<ChipSample> = Vec::with_capacity(config.chips);
+    let mut quarantine = QuarantineLedger::new();
+    let mut degraded: Vec<DegradedShard> = Vec::new();
+    execute_shards(&mc, config, exec, &tasks, |msg| {
+        match msg {
+            ShardMsg::Done {
+                chips,
+                quarantine: q,
+                ..
+            } => {
+                insert_chips_sorted(&mut completed, chips);
+                quarantine.absorb(q);
+            }
+            ShardMsg::Degraded {
+                spec,
+                attempts,
+                error,
+            } => degraded.push(DegradedShard {
+                start: spec.start,
+                len: spec.len,
+                attempts,
+                error,
+            }),
+        }
+        Ok(())
+    })?;
+    degraded.sort_by_key(|d| d.start);
+    let population = Population::from_parts(
+        completed,
+        quarantine,
+        *config.regular_model.calibration(),
+        config.seed,
+    );
+    Ok(finish_outcome(population, degraded, config.chips))
+}
+
+/// Runs (or resumes) a supervised parallel study with shard-granular
+/// checkpointing: progress is persisted to `path` every `every`
+/// completed shards, and a killed run resumes without recomputing
+/// finished shards.
+///
+/// # Errors
+///
+/// Returns a [`StudyError`] if the checkpoint cannot be read, parsed or
+/// written, belongs to a different study or shard layout, or the
+/// variation configuration is invalid.
+pub fn run_checkpointed_workers(
+    config: &PopulationConfig,
+    exec: &ExecutorConfig,
+    path: &Path,
+    every: usize,
+) -> Result<StudyOutcome, StudyError> {
+    run_checkpointed_workers_budget(config, exec, path, every, None)
+        .map(|o| o.expect("unbounded run always completes"))
+}
+
+/// Like [`run_checkpointed_workers`] but running at most `max_shards`
+/// shards in this call; returns `Ok(None)` if the study is still
+/// incomplete afterwards (the checkpoint holds the progress). A bounded
+/// call is how tests simulate a killed parallel run.
+///
+/// # Errors
+///
+/// As [`run_checkpointed_workers`].
+pub fn run_checkpointed_workers_budget(
+    config: &PopulationConfig,
+    exec: &ExecutorConfig,
+    path: &Path,
+    every: usize,
+    max_shards: Option<usize>,
+) -> Result<Option<StudyOutcome>, StudyError> {
+    let mc = MonteCarlo::try_new(config.variation).map_err(StudyError::Config)?;
+    let every = every.max(1);
+    let mut state = load_or_fresh(path, config)?;
+    if state.shards.is_empty() && state.done > 0 {
+        return Err(StudyError::Mismatch(
+            "checkpoint is chip-granular (written by a serial run); resume \
+             it with run_checkpointed"
+                .into(),
+        ));
+    }
+    let tasks = shards_for(config.chips, exec.shard_chips);
+    let by_start: HashMap<u64, &ShardSpec> = tasks.iter().map(|s| (s.start, s)).collect();
+    for record in &state.shards {
+        match by_start.get(&record.start) {
+            Some(spec) if spec.len == record.len => {}
+            _ => {
+                return Err(StudyError::Mismatch(format!(
+                    "checkpoint shard at chip {} ({} chips) does not fit a \
+                     {}-chip shard layout",
+                    record.start, record.len, exec.shard_chips
+                )))
+            }
+        }
+    }
+    let finished: HashSet<u64> = state.shards.iter().map(|r| r.start).collect();
+    let pending: Vec<ShardSpec> = tasks
+        .iter()
+        .filter(|s| !finished.contains(&s.start))
+        .copied()
+        .take(max_shards.unwrap_or(usize::MAX))
+        .collect();
+
+    let mut since_write = 0usize;
+    execute_shards(&mc, config, exec, &pending, |msg| {
+        match msg {
+            ShardMsg::Done {
+                spec,
+                chips,
+                quarantine,
+            } => {
+                insert_chips_sorted(&mut state.completed, chips);
+                state.quarantine.absorb(quarantine);
+                insert_shard_record(
+                    &mut state.shards,
+                    ShardRecord {
+                        start: spec.start,
+                        len: spec.len,
+                        status: ShardStatus::Done,
+                    },
+                );
+                state.done += spec.len;
+            }
+            ShardMsg::Degraded {
+                spec,
+                attempts,
+                error,
+            } => {
+                insert_shard_record(
+                    &mut state.shards,
+                    ShardRecord {
+                        start: spec.start,
+                        len: spec.len,
+                        status: ShardStatus::Degraded { attempts, error },
+                    },
+                );
+                state.done += spec.len;
+            }
+        }
+        since_write += 1;
+        if since_write >= every {
+            since_write = 0;
+            write_state(path, &state)?;
+        }
+        Ok(())
+    })?;
+    write_state(path, &state)?;
+    if state.is_complete() {
+        Ok(Some(outcome_from_state(state, config)))
+    } else {
+        Ok(None)
+    }
+}
+
+fn outcome_from_state(state: CheckpointState, config: &PopulationConfig) -> StudyOutcome {
+    let degraded: Vec<DegradedShard> = state
+        .shards
+        .iter()
+        .filter_map(|r| match &r.status {
+            ShardStatus::Done => None,
+            ShardStatus::Degraded { attempts, error } => Some(DegradedShard {
+                start: r.start,
+                len: r.len,
+                attempts: *attempts,
+                error: error.clone(),
+            }),
+        })
+        .collect();
+    let population = Population::from_parts(
+        state.completed,
+        state.quarantine,
+        *config.regular_model.calibration(),
+        state.seed,
+    );
+    finish_outcome(population, degraded, config.chips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_cover_the_stream_exactly_once() {
+        for (chips, shard_chips) in [(0, 16), (1, 16), (16, 16), (17, 16), (120, 7), (5, 100)] {
+            let shards = shards_for(chips, shard_chips);
+            let mut covered = 0usize;
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s.index, i);
+                assert_eq!(s.start as usize, covered);
+                assert!(s.len >= 1 && s.len <= shard_chips);
+                covered += s.len;
+            }
+            assert_eq!(covered, chips, "{chips}/{shard_chips}");
+        }
+    }
+
+    #[test]
+    fn shard_fault_plan_is_deterministic_and_attempt_bounded() {
+        let plan = ShardFaultPlan::new(0.5, 9, 2).unwrap();
+        for shard in 0..32 {
+            let first = plan.fails(7, shard, 0);
+            assert_eq!(plan.fails(7, shard, 0), first, "deterministic");
+            assert_eq!(plan.fails(7, shard, 1), first, "still failing");
+            assert!(!plan.fails(7, shard, 2), "budget exhausted");
+        }
+        assert!(ShardFaultPlan::new(1.5, 0, 1).is_err());
+        let always = ShardFaultPlan::always(1);
+        assert!(always.fails(7, 3, 0) && !always.fails(7, 3, 1));
+    }
+
+    #[test]
+    fn empty_study_completes_with_empty_outcome() {
+        let mut cfg = PopulationConfig::paper(1);
+        cfg.chips = 0;
+        let outcome = run_supervised(&cfg, &ExecutorConfig::with_workers(4)).unwrap();
+        assert!(outcome.population.is_empty());
+        assert!(!outcome.is_degraded());
+        assert_eq!(outcome.yield_interval.estimate, 0.0);
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let mut cfg = PopulationConfig::paper(1);
+        cfg.chips = 8;
+        cfg.variation.ways = 0;
+        let err = run_supervised(&cfg, &ExecutorConfig::with_workers(2)).unwrap_err();
+        assert!(matches!(err, StudyError::Config(_)), "got {err}");
+    }
+}

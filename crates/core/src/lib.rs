@@ -38,6 +38,7 @@ pub mod classify;
 pub mod confidence;
 pub mod constraints;
 pub mod economics;
+pub mod executor;
 pub mod perf;
 pub mod quarantine;
 pub mod report;
@@ -46,14 +47,23 @@ pub mod sensitivity;
 pub mod testing;
 
 pub use analysis::{
-    constraint_sweep, fig8_scatter, full_study, loss_table, saved_config_census, table2, table3,
-    FullStudy, InvalidLossReason, LossBreakdown, LossTable, ScatterPoint, SchemeLosses,
+    constraint_sweep, fig8_scatter, full_study, full_study_workers, loss_table,
+    saved_config_census, study_from_population, table2, table3, FullStudy, InvalidLossReason,
+    LossBreakdown, LossTable, ScatterPoint, SchemeLosses,
 };
-pub use checkpoint::{run_checkpointed, run_checkpointed_budget, CheckpointState, StudyError};
+pub use checkpoint::{
+    run_checkpointed, run_checkpointed_budget, CheckpointState, ShardRecord, ShardStatus,
+    StudyError,
+};
 pub use chip::{ChipSample, Population, PopulationConfig};
 pub use classify::{classify, LossReason, WayCycleCensus};
+pub use confidence::{yield_interval, YieldInterval};
 pub use constraints::{ConstraintSpec, YieldConstraints};
 pub use economics::PriceError;
+pub use executor::{
+    run_checkpointed_workers, run_checkpointed_workers_budget, run_supervised, shards_for,
+    DegradedShard, ExecutorConfig, ShardFaultPlan, ShardSpec, StudyOutcome,
+};
 pub use perf::{
     adaptive_comparison, render_degradation, render_table6, suite_cpis_isolated, suite_degradation,
     table6, AdaptiveComparison, BenchmarkFailure, PerfOptions, SuiteDegradation, Table6, Table6Row,

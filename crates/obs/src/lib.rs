@@ -7,7 +7,8 @@
 //! and enabling it never changes any simulation result — metrics are
 //! strictly observational. The hot paths of every other crate
 //! (`yac_variation` sampling, `yac_circuit` evaluation, `yac_core`
-//! classification and scheme rescue, the `yac_pipeline` simulator) call
+//! classification, scheme rescue and the supervised shard executor, the
+//! `yac_pipeline` simulator) call
 //! the free functions in this crate against the process-global
 //! [`Registry`]; a study driver that wants numbers calls [`enable`],
 //! runs, and snapshots a [`RunManifest`].

@@ -52,11 +52,20 @@ pub enum Metric {
     CacheMisses,
     /// Study checkpoints written to disk.
     CheckpointsWritten,
+    /// Supervised-executor shards that ran to completion.
+    ShardsCompleted,
+    /// Shard attempts re-queued after a failure (panic or timeout).
+    ShardRetries,
+    /// Shard attempts cancelled by the deadline watchdog.
+    ShardTimeouts,
+    /// Shards that exhausted their retry budget and were recorded as
+    /// degraded (their chips are missing from the merged population).
+    DegradedShards,
 }
 
 impl Metric {
     /// Number of metrics (the counter array's length).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 20;
 
     /// All metrics, in declaration order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -76,6 +85,10 @@ impl Metric {
         Metric::CacheAccesses,
         Metric::CacheMisses,
         Metric::CheckpointsWritten,
+        Metric::ShardsCompleted,
+        Metric::ShardRetries,
+        Metric::ShardTimeouts,
+        Metric::DegradedShards,
     ];
 
     /// The stable snake_case name used in manifests.
@@ -98,6 +111,10 @@ impl Metric {
             Metric::CacheAccesses => "cache_accesses",
             Metric::CacheMisses => "cache_misses",
             Metric::CheckpointsWritten => "checkpoints_written",
+            Metric::ShardsCompleted => "shards_completed",
+            Metric::ShardRetries => "shard_retries",
+            Metric::ShardTimeouts => "shard_timeouts",
+            Metric::DegradedShards => "degraded_shards",
         }
     }
 }
@@ -118,11 +135,14 @@ pub enum Phase {
     PipelineSim,
     /// Report rendering and serialization.
     Report,
+    /// One supervised-executor shard attempt (per-worker busy time; the
+    /// ratio of this phase's total to `workers × wall` is utilization).
+    ShardExec,
 }
 
 impl Phase {
     /// Number of phases (the timer arrays' length).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// All phases, in pipeline order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -132,6 +152,7 @@ impl Phase {
         Phase::Rescue,
         Phase::PipelineSim,
         Phase::Report,
+        Phase::ShardExec,
     ];
 
     /// The stable snake_case name used in manifests.
@@ -144,6 +165,7 @@ impl Phase {
             Phase::Rescue => "rescue",
             Phase::PipelineSim => "pipeline_sim",
             Phase::Report => "report",
+            Phase::ShardExec => "shard_exec",
         }
     }
 }
