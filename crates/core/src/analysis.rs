@@ -344,8 +344,12 @@ pub fn study_from_population(population: &Population, seed: u64) -> FullStudy {
 /// # Errors
 ///
 /// Returns [`crate::StudyError::Config`] when the variation
-/// configuration is invalid, and [`crate::StudyError::Mismatch`] when
-/// shards degraded and left the population empty.
+/// configuration is invalid, and [`crate::StudyError::Degraded`] when
+/// *any* shard exhausted its retry budget: this function promises a
+/// study of the full population, so a partial one is an error, never a
+/// silently shrunken denominator. Callers that can work with a partial
+/// result should use [`crate::executor::run_supervised`] and inspect
+/// the outcome's degraded map.
 pub fn full_study_workers(
     chips: usize,
     seed: u64,
@@ -354,15 +358,36 @@ pub fn full_study_workers(
     let mut cfg = crate::chip::PopulationConfig::paper(seed);
     cfg.chips = chips;
     let exec = crate::executor::ExecutorConfig::with_workers(workers);
-    let outcome = crate::executor::run_supervised(&cfg, &exec)?;
-    if outcome.population.is_empty() {
-        return Err(crate::StudyError::Mismatch(format!(
-            "no chips survived: {} of {} chips degraded",
-            outcome.missing_chips(),
-            chips
-        )));
+    full_study_supervised(&cfg, &exec)
+}
+
+/// [`full_study_workers`] with an explicit configuration and executor —
+/// the underlying entry point, exposed so retry budgets, shard sizes and
+/// deadlines (and, in tests, fault plans) can be tuned.
+///
+/// # Errors
+///
+/// As [`full_study_workers`]: any degraded shard is
+/// [`crate::StudyError::Degraded`], and a population left empty by
+/// quarantine is [`crate::StudyError::Mismatch`] (no constraints can be
+/// derived from it).
+pub fn full_study_supervised(
+    config: &crate::chip::PopulationConfig,
+    exec: &crate::executor::ExecutorConfig,
+) -> Result<FullStudy, crate::StudyError> {
+    let outcome = crate::executor::run_supervised(config, exec)?;
+    if outcome.is_degraded() {
+        return Err(crate::StudyError::Degraded {
+            missing: outcome.missing_chips(),
+            requested: outcome.requested_chips,
+        });
     }
-    Ok(study_from_population(&outcome.population, seed))
+    if outcome.population.is_empty() {
+        return Err(crate::StudyError::Mismatch(
+            "population is empty: no constraints can be derived".into(),
+        ));
+    }
+    Ok(study_from_population(&outcome.population, config.seed))
 }
 
 /// One point of the Figure 8 scatter: a chip's access latency and

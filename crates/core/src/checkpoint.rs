@@ -65,6 +65,19 @@ pub enum StudyError {
     Mismatch(String),
     /// The study configuration itself is invalid.
     Config(ConfigError),
+    /// A supervised run degraded: some shards exhausted their retry
+    /// budget, so the population covers only part of the requested
+    /// chips. Raised by entry points that promise a *full* study
+    /// ([`crate::analysis::full_study_workers`]); callers that can use a
+    /// partial result should call
+    /// [`crate::executor::run_supervised`] and inspect
+    /// [`crate::executor::StudyOutcome::degraded`] instead.
+    Degraded {
+        /// Chips missing because their shard degraded.
+        missing: usize,
+        /// Chips the study was asked for.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for StudyError {
@@ -76,6 +89,11 @@ impl fmt::Display for StudyError {
             }
             StudyError::Mismatch(what) => write!(f, "checkpoint mismatch: {what}"),
             StudyError::Config(e) => write!(f, "invalid study configuration: {e}"),
+            StudyError::Degraded { missing, requested } => write!(
+                f,
+                "degraded study: {missing} of {requested} chips missing \
+                 (shards exhausted their retry budget)"
+            ),
         }
     }
 }
@@ -420,7 +438,10 @@ fn parse_body(text: &str, version: u8) -> Result<CheckpointState, StudyError> {
             let q_seed = u64::from_str_radix(take(&mut tokens, line)?, 16)
                 .map_err(|_| corrupt(line, "bad quarantine seed"))?;
             let error = take(&mut tokens, line)?.to_string();
-            state.quarantine.record(index, q_seed, error);
+            // Unobserved: these chips were counted in `ChipsQuarantined`
+            // when first quarantined; re-parsing the checkpoint on resume
+            // must not count them again.
+            state.quarantine.record_unobserved(index, q_seed, error);
         } else if version >= 2 && l.starts_with("S ") {
             let rest = &l[2..];
             let mut tokens = rest.split_ascii_whitespace();

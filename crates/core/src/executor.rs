@@ -3,9 +3,12 @@
 //! Splits a population study into contiguous chip shards and runs them on
 //! a scoped worker pool under a supervisor: each shard attempt runs
 //! behind `catch_unwind` with a bounded retry budget and exponential
-//! backoff, a deadline watchdog cancels attempts that exceed the
-//! per-shard time budget (a cooperative cancel flag, checked between
-//! chips), and a shard that exhausts its retries is recorded as
+//! backoff, attempts that exceed the per-shard time budget are cancelled
+//! (the worker checks its own elapsed time between chips, so even a
+//! deadline shorter than one chip is enforced deterministically; a
+//! watchdog thread additionally raises a generation-tagged cancel
+//! request, also polled between chips), and a shard that exhausts its
+//! retries is recorded as
 //! **degraded** rather than aborting the study. The run still completes,
 //! returning a [`StudyOutcome`] that carries the merged
 //! [`Population`], the degraded-shard map, and a yield confidence
@@ -222,18 +225,59 @@ enum ShardMsg {
     },
 }
 
-/// Per-worker state the deadline watchdog inspects: when the current
-/// attempt started (nanos since the pool epoch, plus 1 so that 0 means
-/// idle) and the cooperative cancel flag the shard loop polls.
+/// Per-worker state the deadline watchdog inspects.
+///
+/// `started` holds the current attempt's *tag* — the worker's attempt
+/// generation packed with the attempt's start time (see [`attempt_tag`])
+/// — or 0 when the worker is idle. To cancel, the watchdog stores the
+/// exact tag it observed into `cancel`, and the shard loop only honours
+/// a cancel whose tag matches its own attempt. A sweep that read attempt
+/// N's tag can therefore never cancel attempt N+1: the generations
+/// differ, so the stale store falls on deaf ears instead of spuriously
+/// burning a retry.
 #[derive(Default)]
 struct WorkerWatch {
     started: AtomicU64,
-    cancel: AtomicBool,
+    cancel: AtomicU64,
+}
+
+/// Low bits of an attempt tag carrying the start time (nanos since the
+/// pool epoch, plus 1 so the packed value is never 0). 2^48 ns ≈ 78
+/// hours; a run longer than that can at worst trigger one spurious
+/// watchdog cancel, which costs a retry, never correctness.
+const TAG_NANOS_BITS: u32 = 48;
+const TAG_NANOS_MASK: u64 = (1 << TAG_NANOS_BITS) - 1;
+
+/// Packs a worker-local attempt generation (high 16 bits) with the
+/// attempt's start nanos (low 48 bits, offset by 1) into a nonzero tag.
+fn attempt_tag(generation: u64, nanos_since_epoch: u64) -> u64 {
+    (generation << TAG_NANOS_BITS) | ((nanos_since_epoch + 1) & TAG_NANOS_MASK).max(1)
+}
+
+/// The start time a tag was packed from (nanos since the pool epoch).
+fn tag_started_nanos(tag: u64) -> u64 {
+    (tag & TAG_NANOS_MASK) - 1
 }
 
 /// Why a shard attempt stopped early.
 enum ShardAbort {
     Cancelled,
+}
+
+/// One attempt's cancellation state: the worker's watch, the attempt's
+/// tag (so only a cancel aimed at *this* attempt stops it) and its start
+/// time (so the deadline is enforced against the attempt's own clock).
+struct AttemptGuard<'a> {
+    watch: &'a WorkerWatch,
+    tag: u64,
+    t0: Instant,
+}
+
+impl AttemptGuard<'_> {
+    fn cancelled(&self, deadline: Option<Duration>) -> bool {
+        self.watch.cancel.load(Ordering::Relaxed) == self.tag
+            || deadline.is_some_and(|d| self.t0.elapsed() > d)
+    }
 }
 
 struct ShardPartial {
@@ -251,13 +295,24 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// One attempt at one shard: evaluates every chip of the shard from its
 /// per-chip stream, exactly as the serial paths do.
+///
+/// The deadline is enforced *here*, between chips, against the attempt's
+/// own clock — not only by the watchdog's periodic sweep — so even a
+/// deadline smaller than the watchdog tick (or than one chip) cancels
+/// deterministically. The watchdog's tag-matched cancel request is
+/// honoured as well, as a second trigger for the same cooperative stop.
+///
+/// Quarantined chips are recorded *unobserved* (no `ChipsQuarantined`
+/// increment): this attempt may yet be cancelled or superseded by a
+/// retry, so the supervisor counts the metric only when it accepts the
+/// shard's result.
 fn run_shard_once(
     mc: &MonteCarlo,
     config: &PopulationConfig,
     exec: &ExecutorConfig,
     spec: ShardSpec,
     attempt: u32,
-    cancel: &AtomicBool,
+    guard: &AttemptGuard<'_>,
 ) -> Result<ShardPartial, ShardAbort> {
     if let Some(faults) = &exec.shard_faults {
         if faults.fails(config.seed, spec.index, attempt) {
@@ -270,7 +325,7 @@ fn run_shard_once(
     let mut chips = Vec::with_capacity(spec.len);
     let mut quarantine = QuarantineLedger::new();
     for index in spec.start..spec.start + spec.len as u64 {
-        if cancel.load(Ordering::Relaxed) {
+        if guard.cancelled(exec.shard_deadline) {
             return Err(ShardAbort::Cancelled);
         }
         match mc.sample_one_checked(config.seed, index, config.faults.as_ref()) {
@@ -280,9 +335,9 @@ fn run_shard_once(
                     regular,
                     horizontal,
                 }),
-                Err(error) => quarantine.record(index, config.seed, error),
+                Err(error) => quarantine.record_unobserved(index, config.seed, error),
             },
-            Err(error) => quarantine.record(index, config.seed, error.to_string()),
+            Err(error) => quarantine.record_unobserved(index, config.seed, error.to_string()),
         }
     }
     Ok(ShardPartial { chips, quarantine })
@@ -297,16 +352,24 @@ fn run_shard_supervised(
     spec: ShardSpec,
     watch: &WorkerWatch,
     epoch: Instant,
+    generation: &mut u64,
 ) -> ShardMsg {
     let mut attempt: u32 = 0;
     loop {
-        watch.cancel.store(false, Ordering::Relaxed);
-        watch
-            .started
-            .store(epoch.elapsed().as_nanos() as u64 + 1, Ordering::Release);
-        let t0 = Instant::now();
+        // A fresh generation per attempt means a stale watchdog cancel
+        // (tagged with an earlier attempt) can never match this one, so
+        // `cancel` needs no clearing — and no clear/store race exists.
+        *generation += 1;
+        let tag = attempt_tag(*generation, epoch.elapsed().as_nanos() as u64);
+        watch.started.store(tag, Ordering::Release);
+        let guard = AttemptGuard {
+            watch,
+            tag,
+            t0: Instant::now(),
+        };
+        let t0 = guard.t0;
         let result = catch_unwind(AssertUnwindSafe(|| {
-            run_shard_once(mc, config, exec, spec, attempt, &watch.cancel)
+            run_shard_once(mc, config, exec, spec, attempt, &guard)
         }));
         watch.started.store(0, Ordering::Release);
         yac_obs::global().record_phase_nanos(Phase::ShardExec, t0.elapsed().as_nanos() as u64);
@@ -379,15 +442,26 @@ fn execute_shards(
         for watch in &watches {
             let tx = tx.clone();
             let (next, abort) = (&next, &abort);
-            scope.spawn(move || loop {
-                if abort.load(Ordering::Relaxed) {
-                    break;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = tasks.get(i) else { break };
-                let msg = run_shard_supervised(mc, config, exec, *spec, watch, epoch);
-                if tx.send(msg).is_err() {
-                    break;
+            scope.spawn(move || {
+                let mut generation = 0u64;
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = tasks.get(i) else { break };
+                    let msg = run_shard_supervised(
+                        mc,
+                        config,
+                        exec,
+                        *spec,
+                        watch,
+                        epoch,
+                        &mut generation,
+                    );
+                    if tx.send(msg).is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -400,9 +474,12 @@ fn execute_shards(
                 while collecting.load(Ordering::Relaxed) {
                     let now = epoch.elapsed().as_nanos() as u64;
                     for watch in watches {
-                        let started = watch.started.load(Ordering::Acquire);
-                        if started != 0 && now.saturating_sub(started - 1) > budget {
-                            watch.cancel.store(true, Ordering::Relaxed);
+                        let tag = watch.started.load(Ordering::Acquire);
+                        if tag != 0 && now.saturating_sub(tag_started_nanos(tag)) > budget {
+                            // Cancel exactly the attempt observed: the
+                            // store carries its tag, so if the worker
+                            // has since moved on, this is a no-op.
+                            watch.cancel.store(tag, Ordering::Relaxed);
                         }
                     }
                     std::thread::sleep(tick);
@@ -494,6 +571,10 @@ pub fn run_supervised(
                 quarantine: q,
                 ..
             } => {
+                // The workers record quarantines unobserved (attempts can
+                // be cancelled or retried); the metric counts each chip
+                // once, here, when its shard's result is accepted.
+                yac_obs::add(Metric::ChipsQuarantined, q.len() as u64);
                 insert_chips_sorted(&mut completed, chips);
                 quarantine.absorb(q);
             }
@@ -595,6 +676,7 @@ pub fn run_checkpointed_workers_budget(
                 chips,
                 quarantine,
             } => {
+                yac_obs::add(Metric::ChipsQuarantined, quarantine.len() as u64);
                 insert_chips_sorted(&mut state.completed, chips);
                 state.quarantine.absorb(quarantine);
                 insert_shard_record(
@@ -692,6 +774,18 @@ mod tests {
         assert!(ShardFaultPlan::new(1.5, 0, 1).is_err());
         let always = ShardFaultPlan::always(1);
         assert!(always.fails(7, 3, 0) && !always.fails(7, 3, 1));
+    }
+
+    #[test]
+    fn attempt_tags_distinguish_generations_and_round_trip_start_time() {
+        // Same start instant, different attempts: a stale cancel store
+        // tagged with one can never match the other.
+        assert_ne!(attempt_tag(1, 500), attempt_tag(2, 500));
+        assert_eq!(tag_started_nanos(attempt_tag(3, 1234)), 1234);
+        // Never 0 (0 means idle), even where the nanos field wraps or
+        // the generation field has wrapped back to 0.
+        assert_ne!(attempt_tag(1, 0), 0);
+        assert_ne!(attempt_tag(0, TAG_NANOS_MASK), 0);
     }
 
     #[test]

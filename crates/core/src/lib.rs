@@ -47,9 +47,9 @@ pub mod sensitivity;
 pub mod testing;
 
 pub use analysis::{
-    constraint_sweep, fig8_scatter, full_study, full_study_workers, loss_table,
-    saved_config_census, study_from_population, table2, table3, FullStudy, InvalidLossReason,
-    LossBreakdown, LossTable, ScatterPoint, SchemeLosses,
+    constraint_sweep, fig8_scatter, full_study, full_study_supervised, full_study_workers,
+    loss_table, saved_config_census, study_from_population, table2, table3, FullStudy,
+    InvalidLossReason, LossBreakdown, LossTable, ScatterPoint, SchemeLosses,
 };
 pub use checkpoint::{
     run_checkpointed, run_checkpointed_budget, CheckpointState, ShardRecord, ShardStatus,

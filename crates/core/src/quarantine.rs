@@ -60,9 +60,20 @@ impl QuarantineLedger {
         ledger
     }
 
-    /// Records a failed chip, keeping the ledger sorted by index.
+    /// Records a failed chip, keeping the ledger sorted by index, and
+    /// counts it in the `ChipsQuarantined` metric.
     pub fn record(&mut self, index: u64, seed: u64, error: String) {
         yac_obs::inc(yac_obs::Metric::ChipsQuarantined);
+        self.record_unobserved(index, seed, error);
+    }
+
+    /// [`QuarantineLedger::record`] without the metric increment — for
+    /// entries that are not (or not yet) part of an accepted study:
+    /// speculative shard attempts the supervisor may cancel or retry,
+    /// and checkpoint parsing, whose entries were already counted when
+    /// first recorded. Whoever accepts such a ledger is responsible for
+    /// counting it (the executor does, once per accepted shard).
+    pub(crate) fn record_unobserved(&mut self, index: u64, seed: u64, error: String) {
         let entry = QuarantineEntry { index, seed, error };
         let at = self.entries.partition_point(|e| e.index <= entry.index);
         self.entries.insert(at, entry);
@@ -101,10 +112,31 @@ impl QuarantineLedger {
     }
 
     /// Merges another ledger into this one.
+    ///
+    /// A pure splice of the two sorted entry lists: the `ChipsQuarantined`
+    /// metric is *not* touched, because each entry was either already
+    /// counted when recorded or is counted by whoever accepted the
+    /// absorbed ledger — re-counting here would tally merged chips twice.
     pub fn absorb(&mut self, other: QuarantineLedger) {
-        for e in other.entries {
-            self.record(e.index, e.seed, e.error);
+        if self.entries.is_empty() {
+            self.entries = other.entries;
+            return;
         }
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let mut ours = std::mem::take(&mut self.entries).into_iter().peekable();
+        let mut theirs = other.entries.into_iter().peekable();
+        while let (Some(a), Some(b)) = (ours.peek(), theirs.peek()) {
+            // `<=` keeps existing entries ahead of absorbed ones on equal
+            // indices, matching what repeated `record` calls produced.
+            if a.index <= b.index {
+                merged.push(ours.next().expect("peeked"));
+            } else {
+                merged.push(theirs.next().expect("peeked"));
+            }
+        }
+        merged.extend(ours);
+        merged.extend(theirs);
+        self.entries = merged;
     }
 }
 
@@ -145,6 +177,20 @@ mod tests {
         b.record(2, 0, "c".into());
         a.absorb(b);
         assert_eq!(a.indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn absorb_keeps_existing_entries_first_on_equal_indices() {
+        let mut a = QuarantineLedger::new();
+        a.record(1, 0, "ours".into());
+        a.record(2, 0, "mid".into());
+        let mut b = QuarantineLedger::new();
+        b.record(1, 0, "theirs".into());
+        b.record(3, 0, "tail".into());
+        a.absorb(b);
+        assert_eq!(a.indices(), vec![1, 1, 2, 3]);
+        assert_eq!(a.entries()[0].error, "ours");
+        assert_eq!(a.entries()[1].error, "theirs");
     }
 
     #[test]

@@ -4,9 +4,9 @@
 
 use std::time::Duration;
 use yac_core::{
-    full_study, full_study_workers, render_loss_table, run_checkpointed, run_supervised, table2,
-    yield_interval, ConstraintSpec, ExecutorConfig, Population, PopulationConfig, ShardFaultPlan,
-    StudyError, YieldConstraints,
+    full_study, full_study_supervised, full_study_workers, render_loss_table, run_checkpointed,
+    run_supervised, table2, yield_interval, ConstraintSpec, ExecutorConfig, Population,
+    PopulationConfig, ShardFaultPlan, StudyError, YieldConstraints,
 };
 use yac_obs::Metric;
 use yac_variation::FaultPlan;
@@ -182,6 +182,10 @@ fn deadline_watchdog_cancels_overlong_shards() {
     e.shard_chips = CHIPS; // one big shard
     e.max_retries = 0;
     e.backoff = Duration::ZERO;
+    // Deterministic however fast the machine is: the worker checks its
+    // own elapsed time between chips, so a 1 ns budget is exceeded by
+    // the second chip at the latest — the test does not race the
+    // watchdog thread's first sweep.
     e.shard_deadline = Some(Duration::from_nanos(1));
 
     yac_obs::enable();
@@ -209,6 +213,28 @@ fn full_study_workers_matches_full_study() {
         let parallel = full_study_workers(CHIPS, SEED, workers).unwrap();
         assert_eq!(parallel, serial, "workers={workers}");
     }
+}
+
+#[test]
+fn full_study_refuses_a_degraded_population() {
+    let cfg = config(None);
+    let mut e = exec(4);
+    e.shard_faults = Some(ShardFaultPlan::new(0.3, 5, u32::MAX).unwrap());
+    e.max_retries = 0;
+
+    let direct = run_supervised(&cfg, &e).unwrap();
+    assert!(direct.is_degraded(), "the plan must degrade some shards");
+
+    // The full-study wrapper promises the whole population; a partial
+    // one must surface as an error, not a shrunken-denominator study.
+    let err = full_study_supervised(&cfg, &e).unwrap_err();
+    assert_eq!(
+        err,
+        StudyError::Degraded {
+            missing: direct.missing_chips(),
+            requested: CHIPS,
+        }
+    );
 }
 
 #[test]

@@ -62,13 +62,13 @@ pub mod prelude {
         canonical_l1d, render_table6, suite_degradation, table6, PerfOptions,
     };
     pub use yac_core::{
-        classify, constraint_sweep, fig8_scatter, full_study, full_study_workers,
-        render_constraint_sweep, render_loss_table, run_checkpointed, run_checkpointed_workers,
-        run_supervised, table2, table3, yield_interval, ChipSample, ConstraintSpec, DegradedShard,
-        DisabledUnit, ExecutorConfig, FullStudy, HYapd, Hybrid, HybridPolicy, LossReason,
-        MeasurementError, NaiveBinning, Population, PopulationConfig, PowerDownKind,
-        QuarantineLedger, RepairedCache, Scheme, SchemeOutcome, ShardFaultPlan, StudyError,
-        StudyOutcome, Vaca, WayCycleCensus, Yapd, YieldConstraints, YieldInterval,
+        classify, constraint_sweep, fig8_scatter, full_study, full_study_supervised,
+        full_study_workers, render_constraint_sweep, render_loss_table, run_checkpointed,
+        run_checkpointed_workers, run_supervised, table2, table3, yield_interval, ChipSample,
+        ConstraintSpec, DegradedShard, DisabledUnit, ExecutorConfig, FullStudy, HYapd, Hybrid,
+        HybridPolicy, LossReason, MeasurementError, NaiveBinning, Population, PopulationConfig,
+        PowerDownKind, QuarantineLedger, RepairedCache, Scheme, SchemeOutcome, ShardFaultPlan,
+        StudyError, StudyOutcome, Vaca, WayCycleCensus, Yapd, YieldConstraints, YieldInterval,
     };
     pub use yac_obs::{Metric, Phase, Registry, RunManifest};
     pub use yac_pipeline::{Pipeline, PipelineConfig, SimStats};
