@@ -5,13 +5,14 @@
 //! enabled — Monte Carlo sampling, circuit evaluation, classification,
 //! scheme rescue, and a pipeline-simulation stage over the full
 //! SPEC2000-like suite on a healthy and a repaired L1D — then writes a
-//! `yac-perf-report/1` JSON manifest (see `yac_obs::manifest`) with
+//! `yac-perf-report/2` JSON manifest (see `yac_obs::manifest`) with
 //! total wall time, chips/sec and the per-phase breakdown.
 //!
 //! ```text
 //! perf_report [--chips N] [--seed S] [--out PATH] [--label NAME]
 //!             [--baseline PATH] [--max-regress FRAC]
 //!             [--workers N] [--no-pipeline]
+//!             [--trace PATH] [--progress]
 //! ```
 //!
 //! With `--baseline`, compares this run's `chips_per_sec` against the
@@ -23,6 +24,14 @@
 //! (`table2_base_losses`, `table2_hybrid_losses`, `table3_base_losses`)
 //! that CI asserts are identical across worker counts. `--no-pipeline`
 //! skips the pipeline-simulation half for fast equivalence runs.
+//!
+//! With `--trace PATH`, the run records a structured event journal and
+//! writes it as Chrome trace-event JSON to `PATH` (load it at
+//! <https://ui.perfetto.dev>) plus `yac-trace/1` NDJSON to `PATH` with
+//! the extension replaced by `.ndjson`. `--progress` prints a live
+//! status line (chips done, chips/s, ETA, worker utilization) to stderr
+//! every second. Both are observation-only: the study's results are
+//! bit-identical with and without them.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -33,6 +42,7 @@ use yac_core::{
     ExecutorConfig, LossTable, PerfOptions, Population, PopulationConfig, WayCycleCensus,
     YieldConstraints,
 };
+use yac_obs::progress::{ProgressConfig, ProgressReporter};
 use yac_obs::{extract_metric, ManifestMetric, Metric, Phase, RunManifest};
 use yac_pipeline::PipelineConfig;
 
@@ -47,6 +57,9 @@ struct Args {
     /// supervised executor with N workers.
     workers: usize,
     pipeline: bool,
+    /// Perfetto trace output path (NDJSON lands next to it).
+    trace: Option<String>,
+    progress: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,6 +72,8 @@ fn parse_args() -> Result<Args, String> {
         max_regress: 0.20,
         workers: 0,
         pipeline: true,
+        trace: None,
+        progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -88,6 +103,8 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--workers: {e}"))?;
             }
             "--no-pipeline" => args.pipeline = false,
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--progress" => args.progress = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -122,6 +139,21 @@ fn main() -> ExitCode {
     let registry = yac_obs::global();
     yac_obs::enable();
     registry.reset();
+    if args.trace.is_some() {
+        yac_obs::trace_label_thread("main");
+        yac_obs::trace_enable();
+    }
+    let reporter = args.progress.then(|| {
+        ProgressReporter::start(
+            registry,
+            ProgressConfig {
+                total_chips: args.chips as u64,
+                workers: args.workers.max(1),
+                interval: std::time::Duration::from_secs(1),
+                label: "perf_report".to_owned(),
+            },
+        )
+    });
     let t0 = Instant::now();
 
     // Yield half: sample + circuit-eval (inside generate), then
@@ -201,6 +233,9 @@ fn main() -> ExitCode {
         repaired = r;
     }
 
+    if let Some(reporter) = reporter {
+        reporter.stop();
+    }
     let total_wall_s = t0.elapsed().as_secs_f64();
     let mut manifest =
         RunManifest::capture(&args.label, registry, args.seed, args.chips, total_wall_s);
@@ -248,6 +283,29 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("perf_report: wrote {}", args.out);
+
+    if let Some(trace_path) = &args.trace {
+        yac_obs::trace_disable();
+        let snapshot = yac_obs::journal().snapshot();
+        let trace_path = std::path::Path::new(trace_path);
+        let ndjson_path = trace_path.with_extension("ndjson");
+        if let Err(e) = yac_obs::perfetto::write_chrome_json(trace_path, &snapshot) {
+            eprintln!("perf_report: writing {}: {e}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = yac_obs::ndjson::write_ndjson(&ndjson_path, &snapshot) {
+            eprintln!("perf_report: writing {}: {e}", ndjson_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "perf_report: traced {} event(s) on {} thread(s) ({} dropped) -> {} + {}",
+            snapshot.total_events(),
+            snapshot.threads.len(),
+            snapshot.dropped_events,
+            trace_path.display(),
+            ndjson_path.display(),
+        );
+    }
 
     if let Some(baseline_path) = &args.baseline {
         let baseline = match std::fs::read_to_string(baseline_path) {

@@ -159,7 +159,10 @@ pub fn loss_table(
 
     for chip in &population.chips {
         let reason = {
-            let _timer = yac_obs::phase(yac_obs::Phase::Classify);
+            let _timer = yac_obs::phase_ctx(
+                yac_obs::Phase::Classify,
+                yac_obs::TraceCtx::chip(chip.index),
+            );
             classify(chip.result(base_variant), constraints)
         };
         let Some(reason) = reason else {
@@ -172,9 +175,14 @@ pub fn loss_table(
             analysis_quarantined += 1;
             continue;
         }
-        let _timer = yac_obs::phase(yac_obs::Phase::Rescue);
-        for (scheme, losses) in schemes.iter().zip(&mut per_scheme) {
+        let _timer =
+            yac_obs::phase_ctx(yac_obs::Phase::Rescue, yac_obs::TraceCtx::chip(chip.index));
+        for (column, (scheme, losses)) in schemes.iter().zip(&mut per_scheme).enumerate() {
             yac_obs::inc(yac_obs::Metric::RescueAttempts);
+            yac_obs::trace_instant(
+                yac_obs::TraceEventKind::RescueAttempt,
+                yac_obs::TraceCtx::chip(chip.index).with_scheme(column as u16),
+            );
             if scheme
                 .apply(chip, constraints, population.calibration())
                 .ships()
@@ -430,7 +438,8 @@ pub fn saved_config_census(
     let mut census = BTreeMap::new();
     for chip in &population.chips {
         let outcome = {
-            let _timer = yac_obs::phase(yac_obs::Phase::Rescue);
+            let _timer =
+                yac_obs::phase_ctx(yac_obs::Phase::Rescue, yac_obs::TraceCtx::chip(chip.index));
             scheme.apply(chip, constraints, population.calibration())
         };
         if matches!(outcome, SchemeOutcome::Saved(_)) {

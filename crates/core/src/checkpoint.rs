@@ -512,6 +512,10 @@ pub(crate) fn write_state(path: &Path, state: &CheckpointState) -> Result<(), St
     }
     std::fs::rename(&tmp, path).map_err(io_err)?;
     yac_obs::inc(yac_obs::Metric::CheckpointsWritten);
+    yac_obs::trace_instant(
+        yac_obs::TraceEventKind::CheckpointWritten,
+        yac_obs::TraceCtx::default(),
+    );
     Ok(())
 }
 

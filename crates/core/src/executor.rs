@@ -50,7 +50,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
-use yac_obs::{Metric, Phase};
+use yac_obs::{Metric, Phase, TraceCtx, TraceEventKind};
 use yac_variation::{FaultPlan, InvalidRateError, MonteCarlo};
 
 /// One contiguous slice of the Monte Carlo chip stream.
@@ -241,6 +241,16 @@ struct WorkerWatch {
     cancel: AtomicU64,
 }
 
+/// One worker thread's fixed identity in the pool: its index (trace
+/// context and track label), its watchdog mailbox, and the pool epoch
+/// its attempt tags are measured from.
+#[derive(Clone, Copy)]
+struct WorkerLane<'a> {
+    worker: u32,
+    watch: &'a WorkerWatch,
+    epoch: Instant,
+}
+
 /// Low bits of an attempt tag carrying the start time (nanos since the
 /// pool epoch, plus 1 so the packed value is never 0). 2^48 ns ≈ 78
 /// hours; a run longer than that can at worst trigger one spurious
@@ -345,16 +355,28 @@ fn run_shard_once(
 
 /// Runs one shard under supervision: retry on panic or timeout with
 /// exponential backoff, degrade after the budget is spent.
+///
+/// Every lifecycle transition is traced (dispatch, per-attempt exec
+/// span, retry, timeout-cancel, completion, degrade) with the worker
+/// index, shard index and attempt generation as context, so a trace
+/// export shows exactly how each shard travelled through the
+/// supervisor.
 fn run_shard_supervised(
     mc: &MonteCarlo,
     config: &PopulationConfig,
     exec: &ExecutorConfig,
     spec: ShardSpec,
-    watch: &WorkerWatch,
-    epoch: Instant,
+    lane: &WorkerLane<'_>,
     generation: &mut u64,
 ) -> ShardMsg {
+    let WorkerLane {
+        worker,
+        watch,
+        epoch,
+    } = *lane;
     let mut attempt: u32 = 0;
+    let ctx = |attempt: u32| TraceCtx::shard(worker, spec.index as u32, attempt);
+    yac_obs::trace_instant(TraceEventKind::ShardDispatched, ctx(0));
     loop {
         // A fresh generation per attempt means a stale watchdog cancel
         // (tagged with an earlier attempt) can never match this one, so
@@ -367,16 +389,17 @@ fn run_shard_supervised(
             tag,
             t0: Instant::now(),
         };
-        let t0 = guard.t0;
+        let exec_span = yac_obs::phase_ctx(Phase::ShardExec, ctx(attempt));
         let result = catch_unwind(AssertUnwindSafe(|| {
             run_shard_once(mc, config, exec, spec, attempt, &guard)
         }));
         watch.started.store(0, Ordering::Release);
-        yac_obs::global().record_phase_nanos(Phase::ShardExec, t0.elapsed().as_nanos() as u64);
+        drop(exec_span);
 
         let error = match result {
             Ok(Ok(partial)) => {
                 yac_obs::inc(Metric::ShardsCompleted);
+                yac_obs::trace_instant(TraceEventKind::ShardCompleted, ctx(attempt));
                 return ShardMsg::Done {
                     spec,
                     chips: partial.chips,
@@ -385,6 +408,7 @@ fn run_shard_supervised(
             }
             Ok(Err(ShardAbort::Cancelled)) => {
                 yac_obs::inc(Metric::ShardTimeouts);
+                yac_obs::trace_instant(TraceEventKind::ShardTimedOut, ctx(attempt));
                 format!(
                     "shard {} (chips {}..{}) exceeded its deadline on attempt {attempt}",
                     spec.index,
@@ -400,6 +424,7 @@ fn run_shard_supervised(
         };
         if attempt >= exec.max_retries {
             yac_obs::inc(Metric::DegradedShards);
+            yac_obs::trace_instant(TraceEventKind::ShardDegraded, ctx(attempt));
             return ShardMsg::Degraded {
                 spec,
                 attempts: attempt + 1,
@@ -407,6 +432,7 @@ fn run_shard_supervised(
             };
         }
         yac_obs::inc(Metric::ShardRetries);
+        yac_obs::trace_instant(TraceEventKind::ShardRetried, ctx(attempt));
         let backoff = exec.backoff.saturating_mul(1u32 << attempt.min(16));
         if !backoff.is_zero() {
             std::thread::sleep(backoff);
@@ -439,10 +465,16 @@ fn execute_shards(
     let mut sink_result = Ok(());
 
     std::thread::scope(|scope| {
-        for watch in &watches {
+        for (worker, watch) in watches.iter().enumerate() {
             let tx = tx.clone();
             let (next, abort) = (&next, &abort);
             scope.spawn(move || {
+                yac_obs::trace_label_thread(&format!("worker-{worker}"));
+                let lane = WorkerLane {
+                    worker: worker as u32,
+                    watch,
+                    epoch,
+                };
                 let mut generation = 0u64;
                 loop {
                     if abort.load(Ordering::Relaxed) {
@@ -450,15 +482,7 @@ fn execute_shards(
                     }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(spec) = tasks.get(i) else { break };
-                    let msg = run_shard_supervised(
-                        mc,
-                        config,
-                        exec,
-                        *spec,
-                        watch,
-                        epoch,
-                        &mut generation,
-                    );
+                    let msg = run_shard_supervised(mc, config, exec, *spec, &lane, &mut generation);
                     if tx.send(msg).is_err() {
                         break;
                     }

@@ -181,6 +181,7 @@ pub fn suite_cpis_isolated(
                 (
                     name,
                     scope.spawn(move || {
+                        yac_obs::trace_label_thread(&format!("bench-{name}"));
                         let _timer = yac_obs::phase(yac_obs::Phase::PipelineSim);
                         benchmark_cpi(p, &l1d, &pipeline, &opts)
                     }),

@@ -1,22 +1,34 @@
 //! The structured run manifest: everything a benchmark run needs to be
 //! comparable later, serialized to a stable, dependency-free JSON schema.
 //!
-//! Schema `yac-perf-report/1` (consumed by CI's `bench-smoke` gate and by
+//! Schema `yac-perf-report/2` (consumed by CI's `bench-smoke` gate and by
 //! humans diffing `BENCH_*.json` files):
 //!
 //! ```json
 //! {
-//!   "schema": "yac-perf-report/1",
+//!   "schema": "yac-perf-report/2",
 //!   "name": "perf_report",
 //!   "run": { "seed": 2006, "chips": 200, "threads": 8,
 //!            "quarantined": 0, "peak_rss_bytes": 123456 },
 //!   "metrics": [ { "name": "total_wall_time", "value": 1.25, "unit": "s" },
 //!                { "name": "chips_per_sec", "value": 160.1, "unit": "chips/s" } ],
-//!   "phases":  [ { "name": "sample", "wall_time_s": 0.5, "calls": 200,
-//!                  "mean_us": 2500.0, "p99_us": 4096.0 } ],
+//!   "phases":  [ { "name": "sample", "wall_time_s": 0.21, "cpu_time_s": 0.5,
+//!                  "calls": 200, "mean_us": 2500.0, "p99_us": 4096.0,
+//!                  "buckets": [[2097152, 180], [4194304, 20]] } ],
 //!   "counters": [ { "name": "dies_sampled", "value": 200 } ]
 //! }
 //! ```
+//!
+//! Version 2 fixes v1's dishonest phase units: v1's single
+//! `wall_time_s` / `phase_<x>_time` summed concurrent guard lifetimes
+//! across threads, so a parallel phase could "take" 10.9 s inside a
+//! 0.70 s run. v2 labels that summed figure `cpu_time_s` /
+//! `phase_<x>_cpu_time` and adds a true wall-clock union
+//! (`wall_time_s` / `phase_<x>_wall_time`: time during which ≥ 1 guard
+//! of the phase was open, never more than elapsed real time). Each
+//! phase also carries its raw log₂ `buckets` as `[le_ns, count]` pairs
+//! so downstream tools can compute real quantiles instead of trusting
+//! the factor-of-two `p99_us`.
 //!
 //! `metrics[].name` values are append-only: existing names never change
 //! meaning, so a gate reading `chips_per_sec` keeps working across PRs.
@@ -40,16 +52,23 @@ pub struct ManifestMetric {
 pub struct PhaseReport {
     /// Phase name (see [`Phase::name`]).
     pub name: &'static str,
-    /// Accumulated time in the phase, seconds. Summed over all guards;
-    /// a phase whose guards run on parallel workers can exceed
-    /// wall-clock time.
+    /// Wall-clock seconds during which ≥ 1 guard of the phase was open
+    /// (the union of guard intervals — bounded by elapsed real time).
     pub wall_time_s: f64,
+    /// Accumulated guard time, seconds, summed over all guards — a
+    /// phase whose guards run on parallel workers can exceed wall-clock
+    /// time (CPU-time-like).
+    pub cpu_time_s: f64,
     /// Completed guard count.
     pub calls: u64,
     /// Mean guard duration, microseconds.
     pub mean_us: f64,
     /// Factor-of-two p99 guard duration, microseconds.
     pub p99_us: f64,
+    /// Non-empty log₂ latency buckets as `(le_ns, count)` pairs (see
+    /// [`crate::Histogram::nonzero_buckets`]) — the raw data behind
+    /// `p99_us`, for tools that want better quantiles.
+    pub buckets: Vec<(u64, u64)>,
 }
 
 /// The structured description of one benchmark/study run.
@@ -118,8 +137,13 @@ impl RunManifest {
         ];
         for phase in Phase::ALL {
             metrics.push(ManifestMetric {
-                name: format!("phase_{}_time", phase.name()),
+                name: format!("phase_{}_cpu_time", phase.name()),
                 value: registry.phase_nanos(phase) as f64 / 1e9,
+                unit: "s".into(),
+            });
+            metrics.push(ManifestMetric {
+                name: format!("phase_{}_wall_time", phase.name()),
+                value: registry.phase_wall_nanos(phase) as f64 / 1e9,
                 unit: "s".into(),
             });
         }
@@ -137,10 +161,12 @@ impl RunManifest {
                     let hist = registry.phase_histogram(p);
                     PhaseReport {
                         name: p.name(),
-                        wall_time_s: registry.phase_nanos(p) as f64 / 1e9,
+                        wall_time_s: registry.phase_wall_nanos(p) as f64 / 1e9,
+                        cpu_time_s: registry.phase_nanos(p) as f64 / 1e9,
                         calls: registry.phase_calls(p),
                         mean_us: hist.mean_nanos() / 1e3,
                         p99_us: hist.quantile_nanos(0.99) as f64 / 1e3,
+                        buckets: hist.nonzero_buckets(),
                     }
                 })
                 .collect(),
@@ -160,11 +186,11 @@ impl RunManifest {
             .map(|m| m.value)
     }
 
-    /// Serializes the manifest to schema `yac-perf-report/1` JSON.
+    /// Serializes the manifest to schema `yac-perf-report/2` JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(2048);
-        out.push_str("{\n  \"schema\": \"yac-perf-report/1\",\n");
+        out.push_str("{\n  \"schema\": \"yac-perf-report/2\",\n");
         let _ = writeln!(out, "  \"name\": {},", json_string(&self.name));
         let _ = write!(
             out,
@@ -196,13 +222,21 @@ impl RunManifest {
         for (i, p) in self.phases.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{ \"name\": {}, \"wall_time_s\": {}, \"calls\": {}, \"mean_us\": {}, \"p99_us\": {} }}",
+                "    {{ \"name\": {}, \"wall_time_s\": {}, \"cpu_time_s\": {}, \"calls\": {}, \"mean_us\": {}, \"p99_us\": {}, \"buckets\": [",
                 json_string(p.name),
                 json_f64(p.wall_time_s),
+                json_f64(p.cpu_time_s),
                 p.calls,
                 json_f64(p.mean_us),
                 json_f64(p.p99_us)
             );
+            for (j, (le_ns, count)) in p.buckets.iter().enumerate() {
+                let _ = write!(out, "[{le_ns}, {count}]");
+                if j + 1 < p.buckets.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push_str("] }");
             out.push_str(if i + 1 < self.phases.len() {
                 ",\n"
             } else {
@@ -260,7 +294,8 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Extracts `metrics[].value` for a named metric from schema
-/// `yac-perf-report/1` JSON text.
+/// `yac-perf-report/2` JSON text (v1 works too — the `metrics` shape is
+/// unchanged).
 ///
 /// This is a deliberately narrow reader for our own stable serializer —
 /// it searches for the `"name": "<name>"` / `"value": <number>` pair the
@@ -322,7 +357,10 @@ mod tests {
         assert_eq!(m.metric("total_wall_time"), Some(1.25));
         assert_eq!(m.metric("chips_per_sec"), Some(160.0));
         assert_eq!(m.metric("uops_per_sec"), Some(800_000.0));
-        assert_eq!(m.metric("phase_sample_time"), Some(0.5));
+        assert_eq!(m.metric("phase_sample_cpu_time"), Some(0.5));
+        // `record_phase_nanos` feeds externally-measured durations: CPU
+        // time only, no wall interval.
+        assert_eq!(m.metric("phase_sample_wall_time"), Some(0.0));
         assert_eq!(m.quarantined, 0);
         assert!(m.threads >= 1);
     }
@@ -331,7 +369,7 @@ mod tests {
     fn json_round_trips_through_extract_metric() {
         let m = sample_manifest();
         let json = m.to_json();
-        assert!(json.contains("\"schema\": \"yac-perf-report/1\""));
+        assert!(json.contains("\"schema\": \"yac-perf-report/2\""));
         for metric in &m.metrics {
             let parsed = extract_metric(&json, &metric.name)
                 .unwrap_or_else(|| panic!("metric {} missing from JSON", metric.name));
@@ -344,6 +382,21 @@ mod tests {
         }
         // Counters appear too.
         assert!(json.contains("\"dies_sampled\""));
+    }
+
+    #[test]
+    fn phases_carry_wall_cpu_and_raw_buckets() {
+        let m = sample_manifest();
+        let sample = m.phases.iter().find(|p| p.name == "sample").unwrap();
+        assert_eq!(sample.cpu_time_s, 0.5);
+        assert_eq!(sample.wall_time_s, 0.0);
+        // One 0.5 s call lands in the (2^28, 2^29] ns bucket.
+        assert_eq!(sample.buckets, vec![(1u64 << 29, 1)]);
+        let json = m.to_json();
+        assert!(json.contains("\"cpu_time_s\": 0.500000"));
+        assert!(json.contains(&format!("\"buckets\": [[{}, 1]]", 1u64 << 29)));
+        // Phases with no samples serialize an empty bucket list.
+        assert!(json.contains("\"buckets\": [] }"));
     }
 
     #[test]

@@ -11,162 +11,124 @@
 //!   concurrent increments from any number of threads sum exactly.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
-/// Every counter the instrumented crates report.
-///
-/// The `#[repr(usize)]` discriminants index the registry's counter
-/// array, so adding a metric is append-only cheap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[repr(usize)]
-pub enum Metric {
-    /// Dies produced by Monte Carlo sampling (valid ones).
-    DiesSampled,
-    /// Dies quarantined during sampling (panic, fault plan, validation).
-    SampleFailures,
-    /// Circuit-model evaluations (two per chip: regular + horizontal).
-    CircuitEvals,
-    /// Chips recorded in a quarantine ledger.
-    ChipsQuarantined,
-    /// Chips classified against yield constraints.
-    ChipsClassified,
-    /// Classified chips that violated a constraint (base-case losses).
-    ChipsLost,
-    /// Scheme rescue attempts (one per scheme per failing chip).
-    RescueAttempts,
-    /// Rescue attempts that saved the chip.
-    RescueSaves,
-    /// Benchmark pipeline simulations completed.
-    BenchmarksSimulated,
-    /// Benchmark workers quarantined (panic or non-finite CPI).
-    BenchmarkFailures,
-    /// Micro-ops committed in measurement windows.
-    UopsCommitted,
-    /// Cycles simulated in measurement windows.
-    SimCycles,
-    /// Synthetic trace generators constructed.
-    TracesCreated,
-    /// Cache accesses (all levels) flushed from hierarchy stats.
-    CacheAccesses,
-    /// Cache misses (all levels) flushed from hierarchy stats.
-    CacheMisses,
-    /// Study checkpoints written to disk.
-    CheckpointsWritten,
-    /// Supervised-executor shards that ran to completion.
-    ShardsCompleted,
-    /// Shard attempts re-queued after a failure (panic or timeout).
-    ShardRetries,
-    /// Shard attempts cancelled by the deadline watchdog.
-    ShardTimeouts,
-    /// Shards that exhausted their retry budget and were recorded as
-    /// degraded (their chips are missing from the merged population).
-    DegradedShards,
+/// Generates a dense `#[repr(usize)]` enum together with its `COUNT`,
+/// `ALL` table and stable `name()` — all from one variant list, so the
+/// three can never desync: `COUNT` **is** `ALL.len()`, and both are
+/// derived from the same expansion that defines the discriminants.
+/// Adding a variant is a one-line change.
+macro_rules! registry_enum {
+    (
+        $(#[$enum_meta:meta])*
+        $vis:vis enum $name:ident {
+            $( $(#[$variant_meta:meta])* $variant:ident => $string:literal ),+ $(,)?
+        }
+    ) => {
+        $(#[$enum_meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        $vis enum $name {
+            $( $(#[$variant_meta])* $variant ),+
+        }
+
+        impl $name {
+            /// Number of variants (the registry arrays' length). Always
+            /// equal to `ALL.len()` by construction.
+            $vis const COUNT: usize = {
+                let all = [ $( $name::$variant ),+ ];
+                all.len()
+            };
+
+            /// All variants, in declaration order.
+            $vis const ALL: [$name; $name::COUNT] = [ $( $name::$variant ),+ ];
+
+            /// The stable snake_case name used in manifests.
+            #[must_use]
+            $vis fn name(self) -> &'static str {
+                match self {
+                    $( $name::$variant => $string ),+
+                }
+            }
+
+            /// The variant whose discriminant is `index`, if any.
+            #[must_use]
+            $vis fn from_index(index: usize) -> Option<$name> {
+                $name::ALL.get(index).copied()
+            }
+        }
+    };
 }
 
-impl Metric {
-    /// Number of metrics (the counter array's length).
-    pub const COUNT: usize = 20;
-
-    /// All metrics, in declaration order.
-    pub const ALL: [Metric; Metric::COUNT] = [
-        Metric::DiesSampled,
-        Metric::SampleFailures,
-        Metric::CircuitEvals,
-        Metric::ChipsQuarantined,
-        Metric::ChipsClassified,
-        Metric::ChipsLost,
-        Metric::RescueAttempts,
-        Metric::RescueSaves,
-        Metric::BenchmarksSimulated,
-        Metric::BenchmarkFailures,
-        Metric::UopsCommitted,
-        Metric::SimCycles,
-        Metric::TracesCreated,
-        Metric::CacheAccesses,
-        Metric::CacheMisses,
-        Metric::CheckpointsWritten,
-        Metric::ShardsCompleted,
-        Metric::ShardRetries,
-        Metric::ShardTimeouts,
-        Metric::DegradedShards,
-    ];
-
-    /// The stable snake_case name used in manifests.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            Metric::DiesSampled => "dies_sampled",
-            Metric::SampleFailures => "sample_failures",
-            Metric::CircuitEvals => "circuit_evals",
-            Metric::ChipsQuarantined => "chips_quarantined",
-            Metric::ChipsClassified => "chips_classified",
-            Metric::ChipsLost => "chips_lost",
-            Metric::RescueAttempts => "rescue_attempts",
-            Metric::RescueSaves => "rescue_saves",
-            Metric::BenchmarksSimulated => "benchmarks_simulated",
-            Metric::BenchmarkFailures => "benchmark_failures",
-            Metric::UopsCommitted => "uops_committed",
-            Metric::SimCycles => "sim_cycles",
-            Metric::TracesCreated => "traces_created",
-            Metric::CacheAccesses => "cache_accesses",
-            Metric::CacheMisses => "cache_misses",
-            Metric::CheckpointsWritten => "checkpoints_written",
-            Metric::ShardsCompleted => "shards_completed",
-            Metric::ShardRetries => "shard_retries",
-            Metric::ShardTimeouts => "shard_timeouts",
-            Metric::DegradedShards => "degraded_shards",
-        }
+registry_enum! {
+    /// Every counter the instrumented crates report.
+    ///
+    /// The `#[repr(usize)]` discriminants index the registry's counter
+    /// array, so adding a metric is append-only cheap.
+    pub enum Metric {
+        /// Dies produced by Monte Carlo sampling (valid ones).
+        DiesSampled => "dies_sampled",
+        /// Dies quarantined during sampling (panic, fault plan, validation).
+        SampleFailures => "sample_failures",
+        /// Circuit-model evaluations (two per chip: regular + horizontal).
+        CircuitEvals => "circuit_evals",
+        /// Chips recorded in a quarantine ledger.
+        ChipsQuarantined => "chips_quarantined",
+        /// Chips classified against yield constraints.
+        ChipsClassified => "chips_classified",
+        /// Classified chips that violated a constraint (base-case losses).
+        ChipsLost => "chips_lost",
+        /// Scheme rescue attempts (one per scheme per failing chip).
+        RescueAttempts => "rescue_attempts",
+        /// Rescue attempts that saved the chip.
+        RescueSaves => "rescue_saves",
+        /// Benchmark pipeline simulations completed.
+        BenchmarksSimulated => "benchmarks_simulated",
+        /// Benchmark workers quarantined (panic or non-finite CPI).
+        BenchmarkFailures => "benchmark_failures",
+        /// Micro-ops committed in measurement windows.
+        UopsCommitted => "uops_committed",
+        /// Cycles simulated in measurement windows.
+        SimCycles => "sim_cycles",
+        /// Synthetic trace generators constructed.
+        TracesCreated => "traces_created",
+        /// Cache accesses (all levels) flushed from hierarchy stats.
+        CacheAccesses => "cache_accesses",
+        /// Cache misses (all levels) flushed from hierarchy stats.
+        CacheMisses => "cache_misses",
+        /// Study checkpoints written to disk.
+        CheckpointsWritten => "checkpoints_written",
+        /// Supervised-executor shards that ran to completion.
+        ShardsCompleted => "shards_completed",
+        /// Shard attempts re-queued after a failure (panic or timeout).
+        ShardRetries => "shard_retries",
+        /// Shard attempts cancelled by the deadline watchdog.
+        ShardTimeouts => "shard_timeouts",
+        /// Shards that exhausted their retry budget and were recorded as
+        /// degraded (their chips are missing from the merged population).
+        DegradedShards => "degraded_shards",
     }
 }
 
-/// The pipeline phases a study's wall time is attributed to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[repr(usize)]
-pub enum Phase {
-    /// Monte Carlo variation sampling.
-    Sample,
-    /// Circuit-model evaluation of sampled dies.
-    CircuitEval,
-    /// Constraint classification.
-    Classify,
-    /// Scheme rescue (YAPD / H-YAPD / VACA / Hybrid apply).
-    Rescue,
-    /// Pipeline (CPI) simulation.
-    PipelineSim,
-    /// Report rendering and serialization.
-    Report,
-    /// One supervised-executor shard attempt (per-worker busy time; the
-    /// ratio of this phase's total to `workers × wall` is utilization).
-    ShardExec,
-}
-
-impl Phase {
-    /// Number of phases (the timer arrays' length).
-    pub const COUNT: usize = 7;
-
-    /// All phases, in pipeline order.
-    pub const ALL: [Phase; Phase::COUNT] = [
-        Phase::Sample,
-        Phase::CircuitEval,
-        Phase::Classify,
-        Phase::Rescue,
-        Phase::PipelineSim,
-        Phase::Report,
-        Phase::ShardExec,
-    ];
-
-    /// The stable snake_case name used in manifests.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            Phase::Sample => "sample",
-            Phase::CircuitEval => "circuit_eval",
-            Phase::Classify => "classify",
-            Phase::Rescue => "rescue",
-            Phase::PipelineSim => "pipeline_sim",
-            Phase::Report => "report",
-            Phase::ShardExec => "shard_exec",
-        }
+registry_enum! {
+    /// The pipeline phases a study's time is attributed to.
+    pub enum Phase {
+        /// Monte Carlo variation sampling.
+        Sample => "sample",
+        /// Circuit-model evaluation of sampled dies.
+        CircuitEval => "circuit_eval",
+        /// Constraint classification.
+        Classify => "classify",
+        /// Scheme rescue (YAPD / H-YAPD / VACA / Hybrid apply).
+        Rescue => "rescue",
+        /// Pipeline (CPI) simulation.
+        PipelineSim => "pipeline_sim",
+        /// Report rendering and serialization.
+        Report => "report",
+        /// One supervised-executor shard attempt (per-worker busy time; the
+        /// ratio of this phase's total to `workers × wall` is utilization).
+        ShardExec => "shard_exec",
     }
 }
 
@@ -248,6 +210,24 @@ impl Histogram {
         u64::MAX
     }
 
+    /// The non-empty log₂ buckets as `(le_ns, count)` pairs, ascending:
+    /// `count` samples fell in `(le_ns/2, le_ns]` nanoseconds (the first
+    /// bucket also takes 0 ns samples). This is the raw data behind
+    /// [`Histogram::quantile_nanos`]; exporting it lets downstream tools
+    /// compute whatever quantiles they want instead of trusting our
+    /// factor-of-two p99.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let count = b.load(Ordering::Relaxed);
+                (count > 0).then_some((1u64 << (i + 1).min(63), count))
+            })
+            .collect()
+    }
+
     pub(crate) fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
@@ -264,10 +244,20 @@ impl Histogram {
 #[derive(Debug)]
 pub struct Registry {
     enabled: AtomicBool,
+    /// Time origin for wall-clock phase tracking, set on first use
+    /// (`Instant` has no const constructor).
+    epoch: OnceLock<Instant>,
     counters: [AtomicU64; Metric::COUNT],
     phase_ns: [AtomicU64; Phase::COUNT],
     phase_calls: [AtomicU64; Phase::COUNT],
     phase_hist: [Histogram; Phase::COUNT],
+    /// Wall-clock time during which ≥ 1 guard of the phase was open —
+    /// the union of guard intervals, not their sum.
+    phase_wall_ns: [AtomicU64; Phase::COUNT],
+    /// Currently-open guard count per phase.
+    phase_active: [AtomicU64; Phase::COUNT],
+    /// Epoch nanos at which `phase_active` last went 0 → 1.
+    phase_open_ns: [AtomicU64; Phase::COUNT],
 }
 
 impl Default for Registry {
@@ -282,11 +272,21 @@ impl Registry {
     pub const fn new() -> Self {
         Registry {
             enabled: AtomicBool::new(false),
+            epoch: OnceLock::new(),
             counters: [const { AtomicU64::new(0) }; Metric::COUNT],
             phase_ns: [const { AtomicU64::new(0) }; Phase::COUNT],
             phase_calls: [const { AtomicU64::new(0) }; Phase::COUNT],
             phase_hist: [const { Histogram::new() }; Phase::COUNT],
+            phase_wall_ns: [const { AtomicU64::new(0) }; Phase::COUNT],
+            phase_active: [const { AtomicU64::new(0) }; Phase::COUNT],
+            phase_open_ns: [const { AtomicU64::new(0) }; Phase::COUNT],
         }
+    }
+
+    /// Nanoseconds since this registry's epoch (set on first call).
+    fn now_ns(&self) -> u64 {
+        let epoch = self.epoch.get_or_init(Instant::now);
+        u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 
     /// Starts collecting.
@@ -332,14 +332,40 @@ impl Registry {
     /// lifetime, so nested time is counted in every enclosing phase.
     #[inline]
     pub fn phase(&self, phase: Phase) -> PhaseGuard<'_> {
+        let start = if self.is_enabled() {
+            self.phase_opened(phase);
+            Some(Instant::now())
+        } else {
+            None
+        };
         PhaseGuard {
             registry: self,
             phase,
-            start: if self.is_enabled() {
-                Some(Instant::now())
-            } else {
-                None
-            },
+            start,
+        }
+    }
+
+    /// Wall-clock bookkeeping when a guard opens: if this is the first
+    /// open guard of the phase, remember when the covered interval began.
+    fn phase_opened(&self, phase: Phase) {
+        let now = self.now_ns();
+        if self.phase_active[phase as usize].fetch_add(1, Ordering::AcqRel) == 0 {
+            self.phase_open_ns[phase as usize].store(now, Ordering::Release);
+        }
+    }
+
+    /// Wall-clock bookkeeping when a guard closes: the last guard out
+    /// accumulates the covered interval. Interleavings where one thread's
+    /// open races another's close can over-count by the scheduling gap
+    /// between the two — wall times are honest to within that jitter,
+    /// which is why the manifest labels them separately from the exact
+    /// summed `cpu_time`.
+    fn phase_closed(&self, phase: Phase) {
+        let now = self.now_ns();
+        if self.phase_active[phase as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+            let opened = self.phase_open_ns[phase as usize].load(Ordering::Acquire);
+            self.phase_wall_ns[phase as usize]
+                .fetch_add(now.saturating_sub(opened), Ordering::Relaxed);
         }
     }
 
@@ -371,10 +397,21 @@ impl Registry {
 
     /// Total nanoseconds attributed to `phase` (summed over all guards,
     /// including concurrent ones — a parallel phase can accumulate more
-    /// than wall-clock time).
+    /// than wall-clock time). This is CPU-time-like; see
+    /// [`Registry::phase_wall_nanos`] for the wall-clock view.
     #[must_use]
     pub fn phase_nanos(&self, phase: Phase) -> u64 {
         self.phase_ns[phase as usize].load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock nanoseconds during which at least one guard of `phase`
+    /// was open — the union of guard intervals, never more than elapsed
+    /// real time (up to scheduling jitter; see [`Registry::phase_nanos`]
+    /// for the exact summed view). Externally-measured durations fed in
+    /// through [`Registry::record_phase_nanos`] do not contribute here.
+    #[must_use]
+    pub fn phase_wall_nanos(&self, phase: Phase) -> u64 {
+        self.phase_wall_ns[phase as usize].load(Ordering::Relaxed)
     }
 
     /// Number of completed guards for `phase`.
@@ -404,6 +441,11 @@ impl Registry {
         for h in &self.phase_hist {
             h.reset();
         }
+        for p in &self.phase_wall_ns {
+            p.store(0, Ordering::Relaxed);
+        }
+        // `phase_active` is deliberately left alone: open guards will
+        // still close and must not underflow the count.
     }
 
     /// A plain-data copy of every counter and phase timer.
@@ -413,6 +455,7 @@ impl Registry {
             counters: Metric::ALL.map(|m| self.counter(m)),
             phase_nanos: Phase::ALL.map(|p| self.phase_nanos(p)),
             phase_calls: Phase::ALL.map(|p| self.phase_calls(p)),
+            phase_wall_nanos: Phase::ALL.map(|p| self.phase_wall_nanos(p)),
         }
     }
 }
@@ -426,6 +469,9 @@ pub struct Snapshot {
     pub phase_nanos: [u64; Phase::COUNT],
     /// Completed guard counts, indexed like [`Phase::ALL`].
     pub phase_calls: [u64; Phase::COUNT],
+    /// Per-phase wall-clock (union) nanoseconds, indexed like
+    /// [`Phase::ALL`].
+    pub phase_wall_nanos: [u64; Phase::COUNT],
 }
 
 impl Snapshot {
@@ -459,6 +505,7 @@ impl Drop for PhaseGuard<'_> {
             let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             self.registry
                 .record_phase_nanos_unchecked(self.phase, nanos);
+            self.registry.phase_closed(self.phase);
         }
     }
 }
@@ -471,14 +518,49 @@ mod tests {
     fn metric_and_phase_tables_are_consistent() {
         for (i, m) in Metric::ALL.iter().enumerate() {
             assert_eq!(*m as usize, i, "{} out of order", m.name());
+            assert_eq!(Metric::from_index(i), Some(*m));
         }
         for (i, p) in Phase::ALL.iter().enumerate() {
             assert_eq!(*p as usize, i, "{} out of order", p.name());
+            assert_eq!(Phase::from_index(i), Some(*p));
         }
+        assert_eq!(Metric::from_index(Metric::COUNT), None);
+        assert_eq!(Phase::from_index(Phase::COUNT), None);
         let mut names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Metric::COUNT, "duplicate metric name");
+    }
+
+    #[test]
+    fn wall_time_is_union_of_guard_intervals() {
+        let reg = Registry::new();
+        reg.enable();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _g = reg.phase(Phase::PipelineSim);
+                    std::thread::sleep(std::time::Duration::from_millis(15));
+                });
+            }
+        });
+        let total = t0.elapsed().as_nanos() as u64;
+        let cpu = reg.phase_nanos(Phase::PipelineSim);
+        let wall = reg.phase_wall_nanos(Phase::PipelineSim);
+        // Four concurrent 15 ms guards: the summed (CPU-like) time is
+        // ~60 ms, the union wall time is bounded by elapsed real time.
+        assert!(cpu >= 4 * 15_000_000, "cpu {cpu}");
+        assert!(wall > 0 && wall <= total, "wall {wall} vs total {total}");
+    }
+
+    #[test]
+    fn external_durations_do_not_contribute_wall_time() {
+        let reg = Registry::new();
+        reg.enable();
+        reg.record_phase_nanos(Phase::ShardExec, 1_000_000);
+        assert_eq!(reg.phase_nanos(Phase::ShardExec), 1_000_000);
+        assert_eq!(reg.phase_wall_nanos(Phase::ShardExec), 0);
     }
 
     #[test]

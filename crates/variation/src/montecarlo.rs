@@ -169,7 +169,7 @@ impl MonteCarlo {
         index: u64,
         plan: Option<&FaultPlan>,
     ) -> Result<CacheVariation, SampleError> {
-        let _timer = yac_obs::phase(yac_obs::Phase::Sample);
+        let _timer = yac_obs::phase_ctx(yac_obs::Phase::Sample, yac_obs::TraceCtx::chip(index));
         let mut die = catch_unwind(AssertUnwindSafe(|| self.sample_one(seed, index)))
             .map_err(|payload| SampleError::Panicked(panic_message(payload.as_ref())))?;
         if let Some(plan) = plan {

@@ -3,9 +3,18 @@
 //! degraded path with widened confidence intervals, and shard-granular
 //! checkpoint resume.
 //!
-//! Usage: `cargo run --release --example robust_study [checkpoint_path]`
+//! Usage:
+//! `cargo run --release --example robust_study -- [checkpoint_path]
+//!  [--trace trace.json] [--progress]`
+//!
+//! `--trace` records the structured event journal across all four demos
+//! and writes a Perfetto-loadable Chrome trace JSON (plus `yac-trace/1`
+//! NDJSON next to it) showing each worker's shard attempts, retries and
+//! degrades on its own track. `--progress` prints live status lines to
+//! stderr while the studies run.
 
 use std::time::Duration;
+use yac_obs::progress::{ProgressConfig, ProgressReporter};
 use yield_aware_cache::core::executor::run_checkpointed_workers_budget;
 use yield_aware_cache::prelude::*;
 
@@ -20,6 +29,35 @@ fn exec(workers: usize) -> ExecutorConfig {
 fn main() {
     yac_obs::enable();
     let registry = yac_obs::global();
+
+    let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut progress = false;
+    let mut positional: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace_path = Some(args.next().expect("--trace requires a path").into());
+            }
+            "--progress" => progress = true,
+            other => positional = Some(other.into()),
+        }
+    }
+    if trace_path.is_some() {
+        yac_obs::trace_label_thread("main");
+        yac_obs::trace_enable();
+    }
+    let reporter = progress.then(|| {
+        ProgressReporter::start(
+            registry,
+            ProgressConfig {
+                total_chips: 400,
+                workers: 4,
+                interval: Duration::from_secs(1),
+                label: "robust_study".to_owned(),
+            },
+        )
+    });
 
     // Injected shard faults are panics by design; silence the default
     // hook so the demo output stays readable (the supervisor catches
@@ -87,10 +125,7 @@ fn main() {
 
     // Shard-granular checkpointing: kill a parallel run after 4 shards,
     // resume on a different worker count, still bit-exact.
-    let path = std::env::args()
-        .nth(1)
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::env::temp_dir().join("robust-study-example.ckpt"));
+    let path = positional.unwrap_or_else(|| std::env::temp_dir().join("robust-study-example.ckpt"));
     let _ = std::fs::remove_file(&path);
     let killed = run_checkpointed_workers_budget(&cfg, &exec(4), &path, 2, Some(4))
         .expect("checkpointing works");
@@ -116,4 +151,22 @@ fn main() {
         registry.counter(yac_obs::Metric::ShardTimeouts),
         registry.counter(yac_obs::Metric::DegradedShards),
     );
+
+    if let Some(reporter) = reporter {
+        reporter.stop();
+    }
+    if let Some(trace_path) = trace_path {
+        yac_obs::trace_disable();
+        let snapshot = yac_obs::journal().snapshot();
+        let ndjson_path = trace_path.with_extension("ndjson");
+        yac_obs::perfetto::write_chrome_json(&trace_path, &snapshot).expect("write trace");
+        yac_obs::ndjson::write_ndjson(&ndjson_path, &snapshot).expect("write ndjson");
+        println!(
+            "\ntraced {} event(s) on {} thread(s) -> {} + {} (load the first at ui.perfetto.dev)",
+            snapshot.total_events(),
+            snapshot.threads.len(),
+            trace_path.display(),
+            ndjson_path.display(),
+        );
+    }
 }
