@@ -151,6 +151,7 @@ fn main() -> ExitCode {
                 workers: args.workers.max(1),
                 interval: std::time::Duration::from_secs(1),
                 label: "perf_report".to_owned(),
+                total_studies: 0,
             },
         )
     });

@@ -27,6 +27,7 @@
 //! | `calibrate` | model-vs-paper calibration report |
 //! | `pipestats` | per-benchmark pipeline diagnostics |
 //! | `perf_report` | instrumented benchmark manifest (`BENCH_*.json`), CI's perf gate |
+//! | `sweep_study` | crash-safe multi-study sweep orchestrator, CI's chaos-smoke gate |
 
 #![warn(missing_docs)]
 

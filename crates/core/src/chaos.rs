@@ -1,0 +1,296 @@
+//! Deterministic chaos injection for the durability layer: I/O faults
+//! and crash points at checkpoint/journal write boundaries.
+//!
+//! The torture tests in `crates/core/tests/chaos_torture.rs` need to
+//! kill a sweep at *every* point where state touches disk and prove the
+//! resume path reconstructs bit-identical results. This module numbers
+//! each durable write (an **op**) in program order and, when a
+//! [`ChaosPlan`] is installed, consults it at every boundary:
+//!
+//! * **Fault injection** — a SplitMix64-keyed draw (the same
+//!   [`FaultPlan`] stream the chip sampler uses) turns the op into an
+//!   `io::Error`, which the write site surfaces as
+//!   [`crate::StudyError::Io`]. Deterministic: the same plan fails the
+//!   same ops every run.
+//! * **Crash points** — when the op counter reaches
+//!   [`ChaosPlan::crash_at`] the process aborts, optionally after a
+//!   *short write* (half the payload lands on disk first), simulating a
+//!   power cut mid-append.
+//!
+//! When no plan is installed the interception is one relaxed atomic
+//! load — studies in production never pay for it. Plans are process
+//! global; install one only from a single-threaded test harness (the
+//! torture tests run each plan in its own subprocess).
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use yac_variation::{FaultPlan, InvalidRateError};
+
+/// Which durable-write boundary an op is about to cross. Names show up
+/// in injected error messages so a surfaced failure points at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoSite {
+    /// A study checkpoint's temp-file write (payload + fsync).
+    Checkpoint,
+    /// The atomic rename publishing a checkpoint (+ parent-dir fsync).
+    CheckpointRename,
+    /// One appended line of a sweep journal (payload + fsync).
+    SweepJournal,
+}
+
+impl IoSite {
+    /// Stable lower-case site name used in injected error messages.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IoSite::Checkpoint => "checkpoint",
+            IoSite::CheckpointRename => "checkpoint-rename",
+            IoSite::SweepJournal => "sweep-journal",
+        }
+    }
+}
+
+/// A deterministic chaos recipe: which ops fail and where to crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    /// Keys the fault draw (and is folded into injected messages).
+    pub seed: u64,
+    /// Abort the process when the op counter reaches this value.
+    pub crash_at: Option<u64>,
+    /// On crash, first write half the payload — a torn tail.
+    pub torn_crash: bool,
+    /// Per-op I/O fault draw; `None` injects no faults.
+    faults: Option<FaultPlan>,
+}
+
+impl ChaosPlan {
+    /// A plan that fails each op with probability `fault_rate` (keyed by
+    /// `seed`) and never crashes; add a crash point with
+    /// [`ChaosPlan::crash_at`] / [`ChaosPlan::torn`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRateError`] unless `fault_rate` is finite and in
+    /// `[0, 1]`.
+    pub fn new(seed: u64, fault_rate: f64) -> Result<Self, InvalidRateError> {
+        let faults = if fault_rate > 0.0 {
+            Some(FaultPlan::new(fault_rate, seed)?)
+        } else {
+            // Validate the rate even when it draws nothing.
+            FaultPlan::new(fault_rate, seed)?;
+            None
+        };
+        Ok(ChaosPlan {
+            seed,
+            crash_at: None,
+            torn_crash: false,
+            faults,
+        })
+    }
+
+    /// Sets the crash point: the process aborts at op `op`.
+    #[must_use]
+    pub fn crash_at(mut self, op: u64) -> Self {
+        self.crash_at = Some(op);
+        self
+    }
+
+    /// Makes the crash torn: half the payload is written first.
+    #[must_use]
+    pub fn torn(mut self, torn: bool) -> Self {
+        self.torn_crash = torn;
+        self
+    }
+
+    /// Whether the fault draw fails op number `op`.
+    #[must_use]
+    pub fn faults_op(&self, op: u64) -> bool {
+        // The plan's seed is already the FaultPlan salt; the stream seed
+        // must differ from it or the two XOR to the same stream for
+        // every plan.
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.fault_for(0, op).is_some())
+    }
+
+    /// Parses a plan from the `YAC_CHAOS` environment variable:
+    /// comma-separated `seed=N`, `rate=F`, `crash_at=N`, `torn=0|1`
+    /// (e.g. `YAC_CHAOS=seed=7,rate=0,crash_at=12,torn=1`). Returns
+    /// `Ok(None)` when the variable is unset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed key or value.
+    pub fn from_env() -> Result<Option<ChaosPlan>, String> {
+        let Ok(spec) = std::env::var("YAC_CHAOS") else {
+            return Ok(None);
+        };
+        Self::parse(&spec).map(Some)
+    }
+
+    /// Parses the `YAC_CHAOS` spec format (see [`ChaosPlan::from_env`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed key or value.
+    pub fn parse(spec: &str) -> Result<ChaosPlan, String> {
+        let (mut seed, mut rate, mut crash_at, mut torn) = (0u64, 0.0f64, None, false);
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec part {part:?} is not key=value"))?;
+            let bad = || format!("chaos spec {key}={value:?}: bad value");
+            match key.trim() {
+                "seed" => seed = value.trim().parse().map_err(|_| bad())?,
+                "rate" => rate = value.trim().parse().map_err(|_| bad())?,
+                "crash_at" => crash_at = Some(value.trim().parse().map_err(|_| bad())?),
+                "torn" => torn = value.trim() == "1",
+                other => return Err(format!("chaos spec has unknown key {other:?}")),
+            }
+        }
+        let mut plan = ChaosPlan::new(seed, rate).map_err(|e| format!("chaos spec rate: {e}"))?;
+        plan.crash_at = crash_at;
+        plan.torn_crash = torn;
+        Ok(plan)
+    }
+}
+
+/// Fast-path gate: `false` means [`intercept_write`] is a passthrough.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Durable-write ops executed since the last [`install`].
+static OPS: AtomicU64 = AtomicU64::new(0);
+/// The installed plan (process global).
+static PLAN: Mutex<Option<ChaosPlan>> = Mutex::new(None);
+
+/// Installs `plan` process-wide and resets the op counter. Only test
+/// harnesses should call this; production runs never install a plan.
+pub fn install(plan: ChaosPlan) {
+    *PLAN
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(plan);
+    OPS.store(0, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Removes any installed plan; writes pass through untouched again. The
+/// op counter keeps its value so a harness can read it after a run.
+pub fn clear() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *PLAN
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+}
+
+/// Durable-write ops executed since the last [`install`]. A harness
+/// runs once with a fault-free plan to learn how many crash points a
+/// workload has, then replays with `crash_at` sweeping `0..ops()`.
+#[must_use]
+pub fn ops() -> u64 {
+    OPS.load(Ordering::SeqCst)
+}
+
+/// Routes one durable write through the chaos layer. `write` receives
+/// the payload to put on disk (possibly truncated for a torn crash);
+/// sites without a payload (renames) pass `&[]`.
+pub(crate) fn intercept_write(
+    site: IoSite,
+    path: &Path,
+    bytes: &[u8],
+    write: impl FnOnce(&[u8]) -> io::Result<()>,
+) -> io::Result<()> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return write(bytes);
+    }
+    let plan = *PLAN
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let Some(plan) = plan else {
+        return write(bytes);
+    };
+    let op = OPS.fetch_add(1, Ordering::SeqCst);
+    if plan.crash_at == Some(op) {
+        if plan.torn_crash && !bytes.is_empty() {
+            let _ = write(&bytes[..bytes.len() / 2]);
+        }
+        // A real crash, not a panic: nothing unwinds, nothing flushes.
+        std::process::abort();
+    }
+    if plan.faults_op(op) {
+        return Err(io::Error::other(format!(
+            "injected chaos fault at {} op {op} ({})",
+            site.name(),
+            path.display()
+        )));
+    }
+    write(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // No test here installs a global plan: tests in one binary share the
+    // process, and a stray installed plan would fail unrelated writes.
+    // Global install/crash behaviour is exercised in the dedicated
+    // `chaos_torture` integration binary, one subprocess per plan.
+
+    #[test]
+    fn plans_parse_from_spec_strings() {
+        let plan = ChaosPlan::parse("seed=7,rate=0,crash_at=12,torn=1").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.crash_at, Some(12));
+        assert!(plan.torn_crash);
+        assert!(!plan.faults_op(0));
+
+        let plain = ChaosPlan::parse("seed=3,rate=1").unwrap();
+        assert_eq!(plain.crash_at, None);
+        assert!(!plain.torn_crash);
+        assert!(plain.faults_op(0), "rate 1 faults every op");
+
+        assert!(ChaosPlan::parse("seed").is_err());
+        assert!(ChaosPlan::parse("seed=x").is_err());
+        assert!(ChaosPlan::parse("rate=2.0").is_err(), "rate out of range");
+        assert!(ChaosPlan::parse("mystery=1").is_err());
+    }
+
+    #[test]
+    fn fault_draw_is_deterministic_and_keyed_by_seed() {
+        let plan = ChaosPlan::new(11, 0.5).unwrap();
+        let draws: Vec<bool> = (0..64).map(|op| plan.faults_op(op)).collect();
+        assert_eq!(
+            draws,
+            (0..64).map(|op| plan.faults_op(op)).collect::<Vec<_>>(),
+            "same plan, same draws"
+        );
+        assert!(draws.iter().any(|&f| f), "rate 0.5 faults some ops");
+        assert!(!draws.iter().all(|&f| f), "rate 0.5 spares some ops");
+        let other = ChaosPlan::new(12, 0.5).unwrap();
+        assert_ne!(
+            draws,
+            (0..64).map(|op| other.faults_op(op)).collect::<Vec<_>>(),
+            "different seed, different draws"
+        );
+    }
+
+    #[test]
+    fn zero_rate_never_faults() {
+        let plan = ChaosPlan::new(1, 0.0).unwrap();
+        assert!((0..1000).all(|op| !plan.faults_op(op)));
+    }
+
+    #[test]
+    fn builder_sets_crash_point() {
+        let plan = ChaosPlan::new(1, 0.0).unwrap().crash_at(5).torn(true);
+        assert_eq!(plan.crash_at, Some(5));
+        assert!(plan.torn_crash);
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        assert!(ChaosPlan::new(1, -0.1).is_err());
+        assert!(ChaosPlan::new(1, 1.1).is_err());
+        assert!(ChaosPlan::new(1, f64::NAN).is_err());
+    }
+}

@@ -166,8 +166,9 @@ impl CheckpointState {
     }
 }
 
-/// IEEE CRC32 (the zlib/PNG polynomial), bitwise.
-fn crc32(bytes: &[u8]) -> u32 {
+/// IEEE CRC32 (the zlib/PNG polynomial), bitwise. Shared with the sweep
+/// journal, whose records carry the same trailer.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     let mut crc: u32 = 0xffff_ffff;
     for &b in bytes {
         crc ^= u32::from(b);
@@ -494,23 +495,49 @@ pub(crate) fn read_state(path: &Path) -> Result<Option<CheckpointState>, StudyEr
     }
 }
 
+/// Syncs `path`'s parent directory, making a just-renamed entry durable
+/// (on Unix a rename lives in the directory, which has its own cache).
+pub(crate) fn fsync_parent(path: &Path) -> std::io::Result<()> {
+    if cfg!(unix) {
+        if let Some(parent) = path.parent() {
+            let dir = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
+            std::fs::File::open(dir)?.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
 pub(crate) fn write_state(path: &Path, state: &CheckpointState) -> Result<(), StudyError> {
     let io_err = |e: std::io::Error| StudyError::Io {
         path: path.display().to_string(),
         message: e.to_string(),
     };
-    // Write, sync, then rename: a kill mid-write leaves the previous
-    // checkpoint intact, and the fsync makes sure the rename cannot
-    // publish a file whose data is still in the page cache only.
+    // Write, sync, rename, then sync the parent directory: a kill
+    // mid-write leaves the previous checkpoint intact, the file fsync
+    // makes sure the rename cannot publish data still in the page cache,
+    // and the directory fsync makes the rename itself survive power loss.
     let tmp = path.with_extension("tmp");
-    {
-        use std::io::Write;
-        let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
-        file.write_all(render_checkpoint(state).as_bytes())
-            .map_err(io_err)?;
-        file.sync_all().map_err(io_err)?;
-    }
-    std::fs::rename(&tmp, path).map_err(io_err)?;
+    crate::chaos::intercept_write(
+        crate::chaos::IoSite::Checkpoint,
+        &tmp,
+        render_checkpoint(state).as_bytes(),
+        |bytes| {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()
+        },
+    )
+    .map_err(io_err)?;
+    crate::chaos::intercept_write(crate::chaos::IoSite::CheckpointRename, path, &[], |_| {
+        std::fs::rename(&tmp, path)?;
+        fsync_parent(path)
+    })
+    .map_err(io_err)?;
     yac_obs::inc(yac_obs::Metric::CheckpointsWritten);
     yac_obs::trace_instant(
         yac_obs::TraceEventKind::CheckpointWritten,

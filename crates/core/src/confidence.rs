@@ -222,7 +222,12 @@ pub fn confidence_study(chips: usize, seeds: &[u64]) -> ConfidenceReport {
             })
             .collect();
         for h in handles {
-            runs.push(h.join().expect("study worker"));
+            // Propagate a worker's own panic payload instead of masking
+            // it behind a fresh "study worker" panic here.
+            match h.join() {
+                Ok(run) => runs.push(run),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
         }
     });
 

@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod chaos;
 pub mod checkpoint;
 pub mod chip;
 pub mod classify;
@@ -44,6 +45,7 @@ pub mod quarantine;
 pub mod report;
 pub mod schemes;
 pub mod sensitivity;
+pub mod sweep;
 pub mod testing;
 
 pub use analysis::{
@@ -51,6 +53,7 @@ pub use analysis::{
     loss_table, saved_config_census, study_from_population, table2, table3, FullStudy,
     InvalidLossReason, LossBreakdown, LossTable, ScatterPoint, SchemeLosses,
 };
+pub use chaos::{ChaosPlan, IoSite};
 pub use checkpoint::{
     run_checkpointed, run_checkpointed_budget, CheckpointState, ShardRecord, ShardStatus,
     StudyError,
@@ -73,6 +76,10 @@ pub use report::{render_constraint_sweep, render_loss_table};
 pub use schemes::{
     DisabledUnit, HYapd, Hybrid, HybridPolicy, NaiveBinning, PowerDownKind, RepairedCache, Scheme,
     SchemeOutcome, Vaca, Yapd,
+};
+pub use sweep::{
+    run_sweep, CpiOptions, StudyResult, StudySpec, StudyStatus, SweepConfig, SweepGrid,
+    SweepOutcome,
 };
 pub use testing::{MeasurementError, TestOutcome};
 

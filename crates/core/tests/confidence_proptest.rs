@@ -1,0 +1,129 @@
+//! Property tests for [`yac_core::yield_interval`]: the interval must be
+//! well-ordered and clamped to the unit range for *every* combination of
+//! shipped/evaluated/missing counts, including the degenerate corners —
+//! nothing evaluated, everything missing, clamping at both ends — and
+//! missing chips must only ever widen it.
+
+use proptest::prelude::*;
+use yac_core::yield_interval;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn interval_is_ordered_and_clamped_to_the_unit_range(
+        evaluated in 0usize..4000,
+        ship_fraction in 0.0f64..1.0,
+        ship_all in any::<bool>(),
+        missing in 0usize..4000,
+    ) {
+        let shipped = if ship_all {
+            evaluated
+        } else {
+            ((evaluated as f64) * ship_fraction) as usize
+        };
+        let iv = yield_interval(shipped.min(evaluated), evaluated, missing);
+        prop_assert!(iv.lo <= iv.hi, "lo {} > hi {}", iv.lo, iv.hi);
+        prop_assert!((0.0..=1.0).contains(&iv.lo), "lo {}", iv.lo);
+        prop_assert!((0.0..=1.0).contains(&iv.hi), "hi {}", iv.hi);
+        prop_assert!((0.0..=1.0).contains(&iv.estimate));
+        prop_assert!(iv.lo.is_finite() && iv.hi.is_finite());
+        prop_assert!(iv.width() >= 0.0);
+    }
+
+    #[test]
+    fn estimate_ignores_missing_chips_but_bounds_honour_them(
+        evaluated in 1usize..2000,
+        shipped_seed in any::<u64>(),
+        missing in 1usize..2000,
+    ) {
+        let shipped = (shipped_seed % (evaluated as u64 + 1)) as usize;
+        let exact = yield_interval(shipped, evaluated, 0);
+        let widened = yield_interval(shipped, evaluated, missing);
+
+        // The point estimate is over evaluated chips only.
+        prop_assert_eq!(widened.estimate.to_bits(), exact.estimate.to_bits());
+        prop_assert_eq!(widened.estimate, shipped as f64 / evaluated as f64);
+
+        // The widened interval nests around the exact one.
+        prop_assert!(widened.lo <= exact.lo, "{} > {}", widened.lo, exact.lo);
+        prop_assert!(widened.hi >= exact.hi, "{} < {}", widened.hi, exact.hi);
+        prop_assert!(widened.contains(exact.estimate));
+    }
+
+    #[test]
+    fn missing_chips_widen_monotonically(
+        evaluated in 1usize..500,
+        shipped_seed in any::<u64>(),
+        missing_a in 0usize..500,
+        extra in 1usize..500,
+    ) {
+        let shipped = (shipped_seed % (evaluated as u64 + 1)) as usize;
+        let a = yield_interval(shipped, evaluated, missing_a);
+        let b = yield_interval(shipped, evaluated, missing_a + extra);
+        // More missing chips never narrows either bound (equality happens
+        // only once a bound is pinned at the 0/1 clamp).
+        prop_assert!(b.lo <= a.lo);
+        prop_assert!(b.hi >= a.hi);
+        prop_assert!(b.width() >= a.width());
+    }
+
+    #[test]
+    fn all_shards_degraded_means_a_vacuous_interval(missing in 1usize..10_000) {
+        // 0 observed chips: the paper's numbers cannot be salvaged, and
+        // the interval must admit it spans everything.
+        let iv = yield_interval(0, 0, missing);
+        prop_assert_eq!(iv.estimate, 0.0);
+        prop_assert_eq!((iv.lo, iv.hi), (0.0, 1.0));
+        prop_assert!(iv.contains(0.0) && iv.contains(0.5) && iv.contains(1.0));
+    }
+
+    #[test]
+    fn extreme_proportions_clamp_instead_of_escaping(
+        evaluated in 1usize..3000,
+        missing in 0usize..3000,
+    ) {
+        // All shipped: hi must clamp at 1 exactly (the Wald term would
+        // push past it; se is 0 here but the missing surplus is not).
+        let all = yield_interval(evaluated, evaluated, missing);
+        prop_assert_eq!(all.estimate, 1.0);
+        prop_assert!(all.hi <= 1.0);
+        if missing == 0 {
+            prop_assert_eq!((all.lo, all.hi), (1.0, 1.0));
+        }
+
+        // None shipped: lo must clamp at 0 exactly.
+        let none = yield_interval(0, evaluated, missing);
+        prop_assert_eq!(none.estimate, 0.0);
+        prop_assert_eq!(none.lo, 0.0);
+        if missing == 0 {
+            prop_assert_eq!((none.lo, none.hi), (0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn small_populations_keep_sane_intervals(
+        evaluated in 1usize..5,
+        shipped_seed in any::<u64>(),
+        missing in 0usize..5,
+    ) {
+        // Tiny shard-sized populations are exactly what degraded sweeps
+        // produce; the normal approximation must still stay clamped.
+        let shipped = (shipped_seed % (evaluated as u64 + 1)) as usize;
+        let iv = yield_interval(shipped, evaluated, missing);
+        prop_assert!(iv.lo >= 0.0 && iv.hi <= 1.0 && iv.lo <= iv.hi);
+    }
+}
+
+#[test]
+fn nothing_evaluated_nothing_missing_is_the_empty_interval() {
+    let iv = yield_interval(0, 0, 0);
+    assert_eq!((iv.estimate, iv.lo, iv.hi), (0.0, 0.0, 0.0));
+    assert!(iv.contains(0.0) && !iv.contains(0.1));
+}
+
+#[test]
+#[should_panic(expected = "cannot ship more")]
+fn shipping_more_than_evaluated_panics() {
+    let _ = yield_interval(5, 4, 100);
+}

@@ -12,8 +12,8 @@
 //!
 //! Field names are append-only: `schema`, `slot`, `thread`, `t_ns`,
 //! `dur_ns` and `kind` are always present; `phase` appears on
-//! `PhaseSpan` lines; `worker`/`shard`/`attempt`/`chip`/`scheme` appear
-//! when the event carried that context. [`parse_ndjson`] reads the
+//! `PhaseSpan` lines; `worker`/`shard`/`attempt`/`chip`/`scheme`/`study`
+//! appear when the event carried that context. [`parse_ndjson`] reads the
 //! format back (a deliberately narrow reader for our own stable writer —
 //! the container carries no JSON dependency), which is also what the CI
 //! trace-validation step and the round-trip tests use.
@@ -82,6 +82,9 @@ fn write_line(out: &mut String, slot: usize, label: &str, event: &TraceEvent) {
     }
     if let Some(s) = event.ctx.scheme {
         let _ = write!(out, ",\"scheme\":{s}");
+    }
+    if let Some(s) = event.ctx.study {
+        let _ = write!(out, ",\"study\":{s}");
     }
     out.push_str("}\n");
 }
@@ -172,6 +175,7 @@ pub fn parse_ndjson(text: &str) -> Result<ParsedTrace, String> {
                     attempt: u64_field(line, "attempt").map(narrow32).transpose()?,
                     chip: u64_field(line, "chip"),
                     scheme: u64_field(line, "scheme").map(narrow16).transpose()?,
+                    study: u64_field(line, "study").map(narrow32).transpose()?,
                 },
             },
         });
@@ -242,6 +246,7 @@ mod tests {
             attempt: Some(2),
             chip: Some(4242),
             scheme: Some(3),
+            study: Some(7),
         };
         for (i, kind) in TraceEventKind::ALL.into_iter().enumerate() {
             j.record_at(kind, ctx, i as u64 * 10, i as u64);
@@ -272,7 +277,7 @@ mod tests {
         j.record_at(TraceEventKind::CheckpointWritten, TraceCtx::default(), 5, 0);
         let text = to_ndjson(&j.snapshot());
         let event_line = text.lines().nth(1).unwrap();
-        for absent in ["worker", "shard", "attempt", "chip", "scheme"] {
+        for absent in ["worker", "shard", "attempt", "chip", "scheme", "study"] {
             assert!(!event_line.contains(absent), "{absent} in {event_line}");
         }
         let parsed = parse_ndjson(&text).unwrap();

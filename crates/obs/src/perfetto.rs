@@ -75,6 +75,10 @@ fn write_event(out: &mut String, tid: usize, event: &TraceEvent) {
         TraceEventKind::PhaseSpan(_) => "phase",
         TraceEventKind::RescueAttempt => "rescue",
         TraceEventKind::CheckpointWritten => "checkpoint",
+        TraceEventKind::StudyStarted
+        | TraceEventKind::StudyCompleted
+        | TraceEventKind::StudyDegraded
+        | TraceEventKind::SweepResumed => "sweep",
         _ => "shard",
     };
     // ts/dur are float microseconds; nanosecond precision survives.
@@ -117,6 +121,9 @@ fn write_event(out: &mut String, tid: usize, event: &TraceEvent) {
     }
     if let Some(s) = event.ctx.scheme {
         arg("scheme", u64::from(s));
+    }
+    if let Some(s) = event.ctx.study {
+        arg("study", u64::from(s));
     }
     out.push_str("}}");
 }

@@ -35,6 +35,8 @@ use std::time::{Duration, Instant};
 pub struct ProgressConfig {
     /// Total chips the run will sample (denominator for % and ETA).
     pub total_chips: u64,
+    /// Total studies a sweep will run; 0 hides the studies segment.
+    pub total_studies: u64,
     /// Worker-thread count (denominator for utilization).
     pub workers: usize,
     /// Time between progress lines.
@@ -47,6 +49,7 @@ impl Default for ProgressConfig {
     fn default() -> Self {
         ProgressConfig {
             total_chips: 0,
+            total_studies: 0,
             workers: 1,
             interval: Duration::from_secs(2),
             label: "yac".to_owned(),
@@ -81,6 +84,17 @@ pub fn render_progress(
 
     let mut line = String::with_capacity(128);
     let _ = write!(line, "[{}] ", config.label);
+    if config.total_studies > 0 {
+        let studies_done = cur.counter(Metric::StudiesCompleted)
+            + cur.counter(Metric::StudiesDegraded)
+            + cur.counter(Metric::StudiesFailed);
+        let _ = write!(
+            line,
+            "study {}/{} | ",
+            studies_done.min(config.total_studies),
+            config.total_studies
+        );
+    }
     if config.total_chips > 0 {
         let pct = 100.0 * done as f64 / config.total_chips as f64;
         let _ = write!(line, "{done}/{} chips ({pct:.1}%)", config.total_chips);
@@ -151,11 +165,15 @@ impl ProgressReporter {
     /// Spawns the sampler thread against `registry`. The thread wakes
     /// every `config.interval`, diffs snapshots and prints one line to
     /// stderr.
+    ///
+    /// If the OS refuses to spawn the sampler thread the reporter is
+    /// returned inert (a warning is printed; the run itself proceeds
+    /// unreported rather than aborting).
     #[must_use]
     pub fn start(registry: &'static Registry, config: ProgressConfig) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("yac-progress".into())
             .spawn(move || {
                 let t0 = Instant::now();
@@ -183,12 +201,15 @@ impl ProgressReporter {
                     "{}",
                     render_progress(&prev, &cur, t0.elapsed(), interval, &config)
                 );
-            })
-            .expect("spawn progress sampler thread");
-        ProgressReporter {
-            stop,
-            handle: Some(handle),
-        }
+            });
+        let handle = match spawned {
+            Ok(handle) => Some(handle),
+            Err(e) => {
+                eprintln!("[yac] progress reporting disabled: {e}");
+                None
+            }
+        };
+        ProgressReporter { stop, handle }
     }
 
     /// Stops the sampler, printing one final progress line.
@@ -218,6 +239,7 @@ mod tests {
     fn config(total: u64, workers: usize) -> ProgressConfig {
         ProgressConfig {
             total_chips: total,
+            total_studies: 0,
             workers,
             interval: Duration::from_secs(1),
             label: "test".into(),
@@ -322,6 +344,35 @@ mod tests {
         // Supervised retries can re-sample chips: the proxy clamps.
         assert!(line.contains("200/200 chips (100.0%)"), "{line}");
         assert!(line.contains("ETA 0s"), "{line}");
+    }
+
+    #[test]
+    fn sweep_runs_lead_with_a_studies_segment() {
+        let reg = Registry::new();
+        reg.enable();
+        let prev = reg.snapshot();
+        reg.add(Metric::StudiesCompleted, 2);
+        reg.add(Metric::StudiesDegraded, 1);
+        let line = render_progress(
+            &prev,
+            &reg.snapshot(),
+            Duration::from_secs(1),
+            Duration::from_secs(1),
+            &ProgressConfig {
+                total_studies: 6,
+                ..config(0, 2)
+            },
+        );
+        assert!(line.contains("study 3/6"), "{line}");
+        // Non-sweep configs never show the segment.
+        let plain = render_progress(
+            &prev,
+            &reg.snapshot(),
+            Duration::from_secs(1),
+            Duration::from_secs(1),
+            &config(0, 2),
+        );
+        assert!(!plain.contains("study"), "{plain}");
     }
 
     #[test]

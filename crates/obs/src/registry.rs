@@ -108,6 +108,12 @@ registry_enum! {
         /// Shards that exhausted their retry budget and were recorded as
         /// degraded (their chips are missing from the merged population).
         DegradedShards => "degraded_shards",
+        /// Sweep studies that ran to completion with every chip observed.
+        StudiesCompleted => "studies_completed",
+        /// Sweep studies that finished degraded (missing chips).
+        StudiesDegraded => "studies_degraded",
+        /// Sweep studies that failed outright (poisoned config or panic).
+        StudiesFailed => "studies_failed",
     }
 }
 
@@ -129,6 +135,8 @@ registry_enum! {
         /// One supervised-executor shard attempt (per-worker busy time; the
         /// ratio of this phase's total to `workers × wall` is utilization).
         ShardExec => "shard_exec",
+        /// One sweep-grid study end to end (population, classify, losses).
+        StudyExec => "study_exec",
     }
 }
 

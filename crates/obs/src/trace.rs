@@ -53,13 +53,13 @@ use std::time::Instant;
 /// beyond this drop their events (counted, never blocking).
 pub const MAX_TRACE_THREADS: usize = 128;
 
-/// Default per-thread ring capacity, in events (~384 KiB per thread at
-/// six words per event).
+/// Default per-thread ring capacity, in events (~448 KiB per thread at
+/// seven words per event).
 pub const DEFAULT_TRACE_CAPACITY: usize = 8192;
 
 /// Words per encoded event: sequence, start, duration, packed kind and
 /// context.
-const WORDS: usize = 6;
+const WORDS: usize = 7;
 
 /// Sentinel byte for "not a phase span" in the packed kind word.
 const NO_PHASE: u8 = u8::MAX;
@@ -85,12 +85,20 @@ pub enum TraceEventKind {
     RescueAttempt,
     /// A study checkpoint was durably written.
     CheckpointWritten,
+    /// A sweep orchestrator started (or resumed) one grid study.
+    StudyStarted,
+    /// A grid study ran to completion with every chip observed.
+    StudyCompleted,
+    /// A grid study finished degraded (missing chips) or failed outright.
+    StudyDegraded,
+    /// A sweep picked up an existing journal and skipped finished work.
+    SweepResumed,
 }
 
 impl TraceEventKind {
     /// Every kind, with `PhaseSpan` represented once (by `Sample`).
     /// Useful for exhaustive schema tests.
-    pub const ALL: [TraceEventKind; 8] = [
+    pub const ALL: [TraceEventKind; 12] = [
         TraceEventKind::PhaseSpan(Phase::Sample),
         TraceEventKind::ShardDispatched,
         TraceEventKind::ShardCompleted,
@@ -99,6 +107,10 @@ impl TraceEventKind {
         TraceEventKind::ShardDegraded,
         TraceEventKind::RescueAttempt,
         TraceEventKind::CheckpointWritten,
+        TraceEventKind::StudyStarted,
+        TraceEventKind::StudyCompleted,
+        TraceEventKind::StudyDegraded,
+        TraceEventKind::SweepResumed,
     ];
 
     /// The stable CamelCase name used in the NDJSON schema.
@@ -113,6 +125,10 @@ impl TraceEventKind {
             TraceEventKind::ShardDegraded => "ShardDegraded",
             TraceEventKind::RescueAttempt => "RescueAttempt",
             TraceEventKind::CheckpointWritten => "CheckpointWritten",
+            TraceEventKind::StudyStarted => "StudyStarted",
+            TraceEventKind::StudyCompleted => "StudyCompleted",
+            TraceEventKind::StudyDegraded => "StudyDegraded",
+            TraceEventKind::SweepResumed => "SweepResumed",
         }
     }
 
@@ -129,6 +145,10 @@ impl TraceEventKind {
             "ShardDegraded" => TraceEventKind::ShardDegraded,
             "RescueAttempt" => TraceEventKind::RescueAttempt,
             "CheckpointWritten" => TraceEventKind::CheckpointWritten,
+            "StudyStarted" => TraceEventKind::StudyStarted,
+            "StudyCompleted" => TraceEventKind::StudyCompleted,
+            "StudyDegraded" => TraceEventKind::StudyDegraded,
+            "SweepResumed" => TraceEventKind::SweepResumed,
             _ => return None,
         })
     }
@@ -143,6 +163,10 @@ impl TraceEventKind {
             TraceEventKind::ShardDegraded => 6,
             TraceEventKind::RescueAttempt => 7,
             TraceEventKind::CheckpointWritten => 8,
+            TraceEventKind::StudyStarted => 9,
+            TraceEventKind::StudyCompleted => 10,
+            TraceEventKind::StudyDegraded => 11,
+            TraceEventKind::SweepResumed => 12,
         }
     }
 
@@ -163,6 +187,10 @@ impl TraceEventKind {
             6 => TraceEventKind::ShardDegraded,
             7 => TraceEventKind::RescueAttempt,
             8 => TraceEventKind::CheckpointWritten,
+            9 => TraceEventKind::StudyStarted,
+            10 => TraceEventKind::StudyCompleted,
+            11 => TraceEventKind::StudyDegraded,
+            12 => TraceEventKind::SweepResumed,
             _ => return None,
         })
     }
@@ -185,6 +213,8 @@ pub struct TraceCtx {
     pub chip: Option<u64>,
     /// Scheme column index (position in the loss table's scheme list).
     pub scheme: Option<u16>,
+    /// Study index within a sweep grid.
+    pub study: Option<u32>,
 }
 
 impl TraceCtx {
@@ -213,6 +243,15 @@ impl TraceCtx {
     pub fn with_scheme(mut self, scheme: u16) -> Self {
         self.scheme = Some(scheme);
         self
+    }
+
+    /// Context for a sweep-level study event.
+    #[must_use]
+    pub fn study(index: u32) -> Self {
+        TraceCtx {
+            study: Some(index),
+            ..TraceCtx::default()
+        }
     }
 }
 
@@ -245,13 +284,14 @@ impl TraceEvent {
             packed_kind,
             packed_shard,
             self.ctx.chip.unwrap_or(u64::MAX),
+            u64::from(self.ctx.study.unwrap_or(u32::MAX)),
         ]
     }
 
     /// Decodes the payload words; `None` for an unknown kind code (a
     /// torn or corrupt cell).
     fn decode(words: [u64; WORDS - 1]) -> Option<TraceEvent> {
-        let [t_ns, dur_ns, packed_kind, packed_shard, chip] = words;
+        let [t_ns, dur_ns, packed_kind, packed_shard, chip, study] = words;
         let kind = TraceEventKind::decode(packed_kind as u8, (packed_kind >> 8) as u8)?;
         let unpack_u32 = |v: u32| (v != u32::MAX).then_some(v);
         Some(TraceEvent {
@@ -267,6 +307,7 @@ impl TraceEvent {
                     let s = (packed_kind >> 16) as u16;
                     (s != u16::MAX).then_some(s)
                 },
+                study: unpack_u32(study as u32),
             },
         })
     }
@@ -629,6 +670,7 @@ mod tests {
             attempt: Some(2),
             chip: Some(123_456),
             scheme: Some(1),
+            study: Some(5),
         };
         for kind in TraceEventKind::ALL {
             let e = event(42, kind, ctx);

@@ -80,7 +80,9 @@ impl fmt::Display for Summary {
 /// The `q`-th percentile (0 ≤ q ≤ 100) using linear interpolation between
 /// order statistics.
 ///
-/// Returns `None` on an empty slice or out-of-range `q`.
+/// Returns `None` on an empty slice, out-of-range `q`, or NaN in the
+/// data (a NaN has no order statistic — better refused than a panic
+/// from inside the sort).
 ///
 /// # Examples
 ///
@@ -92,11 +94,11 @@ impl fmt::Display for Summary {
 /// ```
 #[must_use]
 pub fn percentile(data: &[f64], q: f64) -> Option<f64> {
-    if data.is_empty() || !(0.0..=100.0).contains(&q) {
+    if data.is_empty() || !(0.0..=100.0).contains(&q) || data.iter().any(|v| v.is_nan()) {
         return None;
     }
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN was rejected above"));
     let pos = q / 100.0 * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

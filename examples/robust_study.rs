@@ -55,6 +55,7 @@ fn main() {
                 workers: 4,
                 interval: Duration::from_secs(1),
                 label: "robust_study".to_owned(),
+                total_studies: 0,
             },
         )
     });
