@@ -12,7 +12,7 @@
 //! perf_report [--chips N] [--seed S] [--out PATH] [--label NAME]
 //!             [--baseline PATH] [--max-regress FRAC]
 //!             [--workers N] [--no-pipeline]
-//!             [--trace PATH] [--progress]
+//!             [--trace PATH] [--progress] [--warm-journal PATH]
 //! ```
 //!
 //! With `--baseline`, compares this run's `chips_per_sec` against the
@@ -37,10 +37,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 use yac_cache::CacheConfig;
 use yac_core::perf::canonical_l1d;
+use yac_core::sweep::{render_result, StudyResult, SweepConfig, SweepGrid};
 use yac_core::{
-    render_loss_table, run_supervised, suite_cpis_isolated, table2, table3, ConstraintSpec,
-    ExecutorConfig, LossTable, PerfOptions, Population, PopulationConfig, WayCycleCensus,
-    YieldConstraints,
+    render_loss_table, run_supervised, suite_cpis_isolated, table2, table3, yield_interval,
+    ConstraintSpec, ExecutorConfig, LossTable, PerfOptions, Population, PopulationConfig,
+    PowerDownKind, ResultCache, StudyError, StudyQuery, WayCycleCensus, YieldConstraints,
 };
 use yac_obs::progress::{ProgressConfig, ProgressReporter};
 use yac_obs::{extract_metric, ManifestMetric, Metric, Phase, RunManifest};
@@ -60,7 +61,14 @@ struct Args {
     /// Perfetto trace output path (NDJSON lands next to it).
     trace: Option<String>,
     progress: bool,
+    /// Sweep journal to warm the service result-cache exercise from.
+    warm_journal: Option<String>,
 }
+
+/// Exit code for a sweep-journal grid-fingerprint mismatch: the journal
+/// belongs to a different grid than this run's flags describe, so
+/// rerunning the same command can never succeed.
+const MISMATCH_EXIT: u8 = 4;
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -74,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         pipeline: true,
         trace: None,
         progress: false,
+        warm_journal: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -105,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
             "--no-pipeline" => args.pipeline = false,
             "--trace" => args.trace = Some(value("--trace")?),
             "--progress" => args.progress = true,
+            "--warm-journal" => args.warm_journal = Some(value("--warm-journal")?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -199,6 +209,71 @@ fn main() -> ExitCode {
     // themselves are checked against results/ by the experiment bins).
     let _ = render_loss_table(&t2);
     let _ = render_loss_table(&t3);
+
+    // Service result-cache exercise: key both tables as the single-cell
+    // queries the sweep service would use, then prove the cached bytes
+    // come back identical. Two misses + two hits land in the manifest as
+    // result_cache_misses / result_cache_hits — CI's bench-smoke asserts
+    // the exact counts.
+    let mut cache = ResultCache::new(1 << 20);
+    for (kind, loss) in [
+        (PowerDownKind::Vertical, &t2),
+        (PowerDownKind::Horizontal, &t3),
+    ] {
+        let query = StudyQuery {
+            chips: args.chips,
+            seed: args.seed,
+            constraint: ConstraintSpec::NOMINAL,
+            kind,
+            cpi: None,
+        };
+        let key = query.fingerprint();
+        let shipped = loss.total_chips - loss.base.total();
+        let record = render_result(&StudyResult {
+            yield_interval: yield_interval(shipped, loss.total_chips, 0),
+            evaluated_chips: loss.total_chips + loss.quarantined,
+            missing_chips: 0,
+            degraded_shards: 0,
+            loss: loss.clone(),
+            mean_cpi: None,
+        });
+        if cache.get(key).is_some() {
+            eprintln!("perf_report: cache unexpectedly hit before insert (key {key:016x})");
+            return ExitCode::FAILURE;
+        }
+        cache.insert(key, record.clone());
+        if cache.get(key).as_deref() != Some(record.as_str()) {
+            eprintln!("perf_report: cached record is not byte-identical (key {key:016x})");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(journal) = &args.warm_journal {
+        // Warm from a sweep journal of this run's implied grid (this
+        // chip count and seed, nominal constraint, both organisations).
+        let grid = SweepGrid {
+            chips: args.chips,
+            seeds: vec![args.seed],
+            constraints: vec![ConstraintSpec::NOMINAL],
+            kinds: vec![PowerDownKind::Vertical, PowerDownKind::Horizontal],
+        };
+        match cache.warm_from_journal(
+            &grid,
+            &SweepConfig::default(),
+            std::path::Path::new(journal),
+        ) {
+            Ok(warmed) => {
+                eprintln!("perf_report: warmed {warmed} cache entr(ies) from {journal}");
+            }
+            Err(e @ StudyError::Mismatch(_)) => {
+                eprintln!("perf_report: journal mismatch: {e}");
+                return ExitCode::from(MISMATCH_EXIT);
+            }
+            Err(e) => {
+                eprintln!("perf_report: warming from {journal}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     // Perf half: the full benchmark suite on a healthy cache and on the
     // most common repaired configuration (3-1-0 with the slow way off).

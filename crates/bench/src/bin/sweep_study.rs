@@ -28,10 +28,15 @@ use std::path::Path;
 use std::process::ExitCode;
 use yac_core::sweep::CpiOptions;
 use yac_core::{
-    chaos, render_loss_table, ChaosPlan, ConstraintSpec, ExecutorConfig, PowerDownKind,
+    chaos, render_loss_table, ChaosPlan, ConstraintSpec, ExecutorConfig, PowerDownKind, StudyError,
     StudyStatus, SweepConfig, SweepGrid, SweepOutcome,
 };
 use yac_obs::progress::{ProgressConfig, ProgressReporter};
+
+/// Exit code for a journal/checkpoint grid-fingerprint mismatch: the
+/// on-disk state belongs to a different grid, so rerunning the same
+/// command can never succeed (unlike the generic failure exit).
+const MISMATCH_EXIT: u8 = 4;
 
 struct Args {
     chips: usize,
@@ -267,6 +272,15 @@ fn main() -> ExitCode {
     }
     let outcome = match outcome {
         Ok(o) => o,
+        // A grid-fingerprint mismatch means the journal belongs to a
+        // different sweep — almost always a wrong --journal path or a
+        // changed grid flag, and never something a retry fixes. The
+        // distinct exit code lets wrappers tell "rerun later" from
+        // "operator error".
+        Err(e @ StudyError::Mismatch(_)) => {
+            eprintln!("sweep_study: journal mismatch: {e}");
+            return ExitCode::from(MISMATCH_EXIT);
+        }
         Err(e) => {
             eprintln!("sweep_study: sweep failed: {e}");
             return ExitCode::FAILURE;

@@ -1,0 +1,481 @@
+//! `yac-serve` — the interactive sweep service CLI and its tiny client.
+//!
+//! Serve mode starts a `yac_core::service::SweepService` on a local TCP
+//! socket and runs until a client sends the `shutdown` op:
+//!
+//! ```text
+//! yac-serve serve [--listen ADDR] [--port-file PATH] [--workers N]
+//!                 [--max-inflight N] [--cache-bytes N]
+//!                 [--cache-file PATH] [--warm-journal PATH --chips N --seeds 1,2
+//!                  --constraints nominal,... --schemes regular|horizontal|both
+//!                  [--cpi WARMUP,MEASURE]]
+//!                 [--trace PATH] [--progress]
+//! ```
+//!
+//! `--listen 127.0.0.1:0` (the default) binds an ephemeral port;
+//! `--port-file` writes the bound `ADDR:PORT` once listening, which is
+//! how scripts (and CI's `service-smoke` job) rendezvous. `--cache-file`
+//! loads a `YAC-CACHE v1` snapshot at startup (a corrupt one is
+//! discarded with a warning — the cache is an optimisation) and saves
+//! the cache there on clean shutdown. `--warm-journal` pre-populates
+//! the cache from a completed sweep journal; the grid flags must
+//! describe that journal's grid, and a fingerprint mismatch is refused
+//! with exit code 4.
+//!
+//! Client mode sends one request and prints the raw reply JSON to
+//! stdout (or `--out PATH`):
+//!
+//! ```text
+//! yac-serve query --connect ADDR --chips N --seed S
+//!           --constraint nominal|relaxed|strict --kind vertical|horizontal
+//!           [--cpi WARMUP,MEASURE] [--out PATH]
+//! yac-serve stats --connect ADDR
+//! yac-serve shutdown --connect ADDR
+//! ```
+//!
+//! Query exit codes: 0 for a result, 3 when the service answered
+//! `busy` (typed backpressure — retry later), 1 for anything else.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+use yac_core::service::{self, ServiceConfig, ServiceReply, ServiceRequest, StudyQuery};
+use yac_core::sweep::CpiOptions;
+use yac_core::{
+    ConstraintSpec, PowerDownKind, ResultCache, StudyError, SweepConfig, SweepGrid, SweepService,
+};
+use yac_obs::progress::{ProgressConfig, ProgressReporter};
+
+/// Exit code when the service refuses a query with typed backpressure.
+const BUSY_EXIT: u8 = 3;
+/// Exit code for a warm-journal grid-fingerprint mismatch.
+const MISMATCH_EXIT: u8 = 4;
+
+struct ServeArgs {
+    listen: String,
+    port_file: Option<String>,
+    workers: usize,
+    max_inflight: usize,
+    cache_bytes: usize,
+    cache_file: Option<String>,
+    warm_journal: Option<String>,
+    chips: usize,
+    seeds: Vec<u64>,
+    constraints: Vec<ConstraintSpec>,
+    kinds: Vec<PowerDownKind>,
+    cpi: Option<CpiOptions>,
+    trace: Option<String>,
+    progress: bool,
+}
+
+struct ClientArgs {
+    connect: String,
+    chips: usize,
+    seed: u64,
+    constraint: ConstraintSpec,
+    kind: PowerDownKind,
+    cpi: Option<CpiOptions>,
+    out: Option<String>,
+}
+
+fn parse_constraint(name: &str) -> Result<ConstraintSpec, String> {
+    service::constraint_by_name(name).ok_or_else(|| format!("unknown constraint {name:?}"))
+}
+
+fn parse_cpi(spec: &str) -> Result<CpiOptions, String> {
+    let (warm, meas) = spec
+        .split_once(',')
+        .ok_or_else(|| format!("--cpi: expected WARMUP,MEASURE, got {spec:?}"))?;
+    Ok(CpiOptions {
+        warmup_uops: warm.trim().parse().map_err(|e| format!("--cpi: {e}"))?,
+        measure_uops: meas.trim().parse().map_err(|e| format!("--cpi: {e}"))?,
+    })
+}
+
+fn parse_serve_args(it: &mut impl Iterator<Item = String>) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        listen: "127.0.0.1:0".to_owned(),
+        port_file: None,
+        workers: 2,
+        max_inflight: 2,
+        cache_bytes: 8 << 20,
+        cache_file: None,
+        warm_journal: None,
+        chips: 200,
+        seeds: vec![2006],
+        constraints: vec![ConstraintSpec::NOMINAL],
+        kinds: vec![PowerDownKind::Vertical, PowerDownKind::Horizontal],
+        cpi: None,
+        trace: None,
+        progress: false,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--max-inflight" => {
+                args.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?;
+            }
+            "--cache-bytes" => {
+                args.cache_bytes = value("--cache-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--cache-bytes: {e}"))?;
+            }
+            "--cache-file" => args.cache_file = Some(value("--cache-file")?),
+            "--warm-journal" => args.warm_journal = Some(value("--warm-journal")?),
+            "--chips" => {
+                args.chips = value("--chips")?
+                    .parse()
+                    .map_err(|e| format!("--chips: {e}"))?;
+            }
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--seeds: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--constraints" => {
+                args.constraints = value("--constraints")?
+                    .split(',')
+                    .map(|s| parse_constraint(s.trim()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--schemes" => {
+                args.kinds = match value("--schemes")?.as_str() {
+                    "regular" => vec![PowerDownKind::Vertical],
+                    "horizontal" => vec![PowerDownKind::Horizontal],
+                    "both" => vec![PowerDownKind::Vertical, PowerDownKind::Horizontal],
+                    other => return Err(format!("--schemes: unknown set {other:?}")),
+                };
+            }
+            "--cpi" => args.cpi = Some(parse_cpi(&value("--cpi")?)?),
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--progress" => args.progress = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_client_args(it: &mut impl Iterator<Item = String>) -> Result<ClientArgs, String> {
+    let mut args = ClientArgs {
+        connect: String::new(),
+        chips: 200,
+        seed: 2006,
+        constraint: ConstraintSpec::NOMINAL,
+        kind: PowerDownKind::Vertical,
+        cpi: None,
+        out: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--connect" => args.connect = value("--connect")?,
+            "--chips" => {
+                args.chips = value("--chips")?
+                    .parse()
+                    .map_err(|e| format!("--chips: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--constraint" => args.constraint = parse_constraint(&value("--constraint")?)?,
+            "--kind" => {
+                args.kind = match value("--kind")?.as_str() {
+                    "vertical" => PowerDownKind::Vertical,
+                    "horizontal" => PowerDownKind::Horizontal,
+                    other => return Err(format!("--kind: unknown kind {other:?}")),
+                };
+            }
+            "--cpi" => args.cpi = Some(parse_cpi(&value("--cpi")?)?),
+            "--out" => args.out = Some(value("--out")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.connect.is_empty() {
+        return Err("--connect ADDR:PORT is required".into());
+    }
+    Ok(args)
+}
+
+fn run_serve(args: &ServeArgs) -> ExitCode {
+    let registry = yac_obs::global();
+    yac_obs::enable();
+    registry.reset();
+    if args.trace.is_some() {
+        yac_obs::trace_label_thread("main");
+        yac_obs::trace_enable();
+    }
+
+    let mut config = ServiceConfig {
+        exec: yac_core::ExecutorConfig::with_workers(args.workers.max(1)),
+        max_inflight: args.max_inflight.max(1),
+        cache_bytes: args.cache_bytes,
+    };
+    config.exec.shard_chips = config.exec.shard_chips.min(args.chips.max(1));
+    let service = Arc::new(SweepService::new(config));
+
+    if let Some(path) = &args.cache_file {
+        match ResultCache::load(Path::new(path), args.cache_bytes) {
+            Ok(Some(loaded)) => {
+                let entries = loaded.len();
+                service.with_cache(|cache| *cache = loaded);
+                eprintln!("yac-serve: loaded {entries} cache entr(ies) from {path}");
+            }
+            Ok(None) => eprintln!("yac-serve: no cache file at {path}, starting cold"),
+            Err(e) => {
+                // The cache is an optimisation: refuse to trust the
+                // file, but serve anyway.
+                eprintln!("yac-serve: discarding cache file {path}: {e}");
+            }
+        }
+    }
+    if let Some(journal) = &args.warm_journal {
+        let grid = SweepGrid {
+            chips: args.chips,
+            seeds: args.seeds.clone(),
+            constraints: args.constraints.clone(),
+            kinds: args.kinds.clone(),
+        };
+        let sweep_config = SweepConfig {
+            cpi: args.cpi,
+            ..SweepConfig::default()
+        };
+        let warmed = service
+            .with_cache(|cache| cache.warm_from_journal(&grid, &sweep_config, Path::new(journal)));
+        match warmed {
+            Ok(n) => eprintln!("yac-serve: warmed {n} cache entr(ies) from {journal}"),
+            Err(e @ StudyError::Mismatch(_)) => {
+                eprintln!("yac-serve: journal mismatch: {e}");
+                return ExitCode::from(MISMATCH_EXIT);
+            }
+            Err(e) => {
+                eprintln!("yac-serve: warming from {journal}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let listener = match std::net::TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("yac-serve: binding {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = match listener.local_addr() {
+        Ok(addr) => addr.to_string(),
+        Err(e) => {
+            eprintln!("yac-serve: local_addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.port_file {
+        // Write to a temp name then rename, so readers polling the path
+        // never observe a half-written address.
+        let tmp = format!("{path}.tmp");
+        if let Err(e) = std::fs::write(&tmp, &bound).and_then(|()| std::fs::rename(&tmp, path)) {
+            eprintln!("yac-serve: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "yac-serve: listening on {bound} ({} worker(s), {} inflight, {} cache bytes)",
+        args.workers.max(1),
+        args.max_inflight.max(1),
+        args.cache_bytes,
+    );
+
+    let reporter = args.progress.then(|| {
+        ProgressReporter::start(
+            registry,
+            ProgressConfig {
+                total_chips: 0,
+                workers: args.workers.max(1),
+                interval: std::time::Duration::from_secs(1),
+                label: "yac-serve".to_owned(),
+                total_studies: 0,
+            },
+        )
+    });
+
+    let served = service::serve(&listener, &service);
+    if let Some(reporter) = reporter {
+        reporter.stop();
+    }
+    if let Err(e) = served {
+        eprintln!("yac-serve: serve loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let stats = service.stats();
+    eprintln!(
+        "yac-serve: shutting down: {} queries ({} served, {} busy), \
+         cache {} hit(s) / {} miss(es) / {} eviction(s), {} task(s) stolen",
+        stats.queries,
+        stats.served,
+        stats.busy,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.stolen,
+    );
+    if let Some(path) = &args.cache_file {
+        let saved = service.with_cache(|cache| cache.save(Path::new(path)));
+        match saved {
+            Ok(()) => eprintln!("yac-serve: saved cache to {path}"),
+            Err(e) => {
+                eprintln!("yac-serve: saving cache to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(trace_path) = &args.trace {
+        yac_obs::trace_disable();
+        let snapshot = yac_obs::journal().snapshot();
+        let trace_path = Path::new(trace_path);
+        let ndjson_path = trace_path.with_extension("ndjson");
+        if let Err(e) = yac_obs::perfetto::write_chrome_json(trace_path, &snapshot) {
+            eprintln!("yac-serve: writing {}: {e}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = yac_obs::ndjson::write_ndjson(&ndjson_path, &snapshot) {
+            eprintln!("yac-serve: writing {}: {e}", ndjson_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "yac-serve: traced {} event(s) on {} thread(s) ({} dropped) -> {} + {}",
+            snapshot.total_events(),
+            snapshot.threads.len(),
+            snapshot.dropped_events,
+            trace_path.display(),
+            ndjson_path.display(),
+        );
+    }
+
+    match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        // A handler thread still holds a reference; workers park until
+        // process exit. Harmless, but say so.
+        Err(_) => eprintln!("yac-serve: a connection handler outlived the serve loop"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_client(request: &ServiceRequest, connect: &str, out: Option<&str>) -> ExitCode {
+    let (reply, raw) = match service::client_request(connect, request) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("yac-serve: {connect}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, &raw) {
+            eprintln!("yac-serve: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!("{raw}");
+    }
+    match reply {
+        ServiceReply::Result { cached, key, .. } => {
+            eprintln!(
+                "yac-serve: result key {key:016x} ({})",
+                if cached { "cache hit" } else { "computed" }
+            );
+            ExitCode::SUCCESS
+        }
+        ServiceReply::Stats(_) | ServiceReply::Bye => ExitCode::SUCCESS,
+        ServiceReply::Busy { inflight, limit } => {
+            eprintln!("yac-serve: busy ({inflight}/{limit} in flight) — retry later");
+            ExitCode::from(BUSY_EXIT)
+        }
+        ServiceReply::Cancelled => {
+            eprintln!("yac-serve: query was cancelled");
+            ExitCode::FAILURE
+        }
+        ServiceReply::Error { message } => {
+            eprintln!("yac-serve: error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut it = std::env::args().skip(1);
+    let mode = it.next().unwrap_or_default();
+    match mode.as_str() {
+        "serve" => match parse_serve_args(&mut it) {
+            Ok(args) => run_serve(&args),
+            Err(e) => {
+                eprintln!("yac-serve: serve: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "query" => match parse_client_args(&mut it) {
+            Ok(args) => {
+                let request = ServiceRequest::Query(StudyQuery {
+                    chips: args.chips,
+                    seed: args.seed,
+                    constraint: args.constraint,
+                    kind: args.kind,
+                    cpi: args.cpi,
+                });
+                run_client(&request, &args.connect, args.out.as_deref())
+            }
+            Err(e) => {
+                eprintln!("yac-serve: query: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "stats" | "shutdown" => {
+            let request = if mode == "stats" {
+                ServiceRequest::Stats
+            } else {
+                ServiceRequest::Shutdown
+            };
+            let mut connect = None;
+            let mut out = None;
+            loop {
+                let Some(flag) = it.next() else { break };
+                let Some(value) = it.next() else {
+                    eprintln!("yac-serve: {mode}: {flag} requires a value");
+                    return ExitCode::FAILURE;
+                };
+                match flag.as_str() {
+                    "--connect" => connect = Some(value),
+                    "--out" => out = Some(value),
+                    other => {
+                        eprintln!("yac-serve: {mode}: unknown flag {other}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let Some(connect) = connect else {
+                eprintln!("yac-serve: {mode}: --connect ADDR:PORT is required");
+                return ExitCode::FAILURE;
+            };
+            run_client(&request, &connect, out.as_deref())
+        }
+        "" => {
+            eprintln!("yac-serve: expected a mode: serve | query | stats | shutdown");
+            ExitCode::FAILURE
+        }
+        other => {
+            eprintln!("yac-serve: unknown mode {other:?} (serve | query | stats | shutdown)");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -194,7 +194,7 @@ impl CacheConfig {
             if h >= self.address_regions {
                 return fail(CacheConfigIssue::DisabledRegionOutOfRange);
             }
-            if self.address_regions == 0 || !self.sets.is_multiple_of(self.address_regions) {
+            if self.address_regions == 0 || self.sets % self.address_regions != 0 {
                 return fail(CacheConfigIssue::UnevenAddressRegions);
             }
         }

@@ -92,16 +92,13 @@ impl CacheGeometry {
         {
             return Err(GeometryError::ZeroDimension);
         }
-        if self.bitline_segments == 0 || !self.rows_per_bank.is_multiple_of(self.bitline_segments) {
+        if self.bitline_segments == 0 || self.rows_per_bank % self.bitline_segments != 0 {
             return Err(GeometryError::UnevenBitlineSegments);
         }
-        if !self.bits_per_way().is_multiple_of(8) {
+        if self.bits_per_way() % 8 != 0 {
             return Err(GeometryError::FractionalBytes);
         }
-        if !self
-            .capacity_bytes()
-            .is_multiple_of(self.ways * self.block_bytes)
-        {
+        if self.capacity_bytes() % (self.ways * self.block_bytes) != 0 {
             return Err(GeometryError::UnevenBlocks);
         }
         if !self.sets().is_power_of_two() {

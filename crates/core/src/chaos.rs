@@ -38,6 +38,8 @@ pub enum IoSite {
     CheckpointRename,
     /// One appended line of a sweep journal (payload + fsync).
     SweepJournal,
+    /// A service result-cache file write (full rewrite + fsync).
+    CacheFile,
 }
 
 impl IoSite {
@@ -48,6 +50,7 @@ impl IoSite {
             IoSite::Checkpoint => "checkpoint",
             IoSite::CheckpointRename => "checkpoint-rename",
             IoSite::SweepJournal => "sweep-journal",
+            IoSite::CacheFile => "cache-file",
         }
     }
 }

@@ -212,7 +212,7 @@ impl StudyOutcome {
 }
 
 /// What one shard reported back to the supervisor.
-enum ShardMsg {
+pub(crate) enum ShardMsg {
     Done {
         spec: ShardSpec,
         chips: Vec<ChipSample>,
@@ -275,18 +275,22 @@ enum ShardAbort {
 }
 
 /// One attempt's cancellation state: the worker's watch, the attempt's
-/// tag (so only a cancel aimed at *this* attempt stops it) and its start
-/// time (so the deadline is enforced against the attempt's own clock).
+/// tag (so only a cancel aimed at *this* attempt stops it), its start
+/// time (so the deadline is enforced against the attempt's own clock)
+/// and an optional external abort flag (the sweep service's per-query
+/// cancel, raised when a client disconnects).
 struct AttemptGuard<'a> {
     watch: &'a WorkerWatch,
     tag: u64,
     t0: Instant,
+    abort: Option<&'a AtomicBool>,
 }
 
 impl AttemptGuard<'_> {
     fn cancelled(&self, deadline: Option<Duration>) -> bool {
         self.watch.cancel.load(Ordering::Relaxed) == self.tag
             || deadline.is_some_and(|d| self.t0.elapsed() > d)
+            || self.abort.is_some_and(|a| a.load(Ordering::Relaxed))
     }
 }
 
@@ -388,6 +392,7 @@ fn run_shard_supervised(
             watch,
             tag,
             t0: Instant::now(),
+            abort: None,
         };
         let exec_span = yac_obs::phase_ctx(Phase::ShardExec, ctx(attempt));
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -430,6 +435,93 @@ fn run_shard_supervised(
                 attempts: attempt + 1,
                 error,
             };
+        }
+        yac_obs::inc(Metric::ShardRetries);
+        yac_obs::trace_instant(TraceEventKind::ShardRetried, ctx(attempt));
+        let backoff = exec.backoff.saturating_mul(1u32 << attempt.min(16));
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        attempt += 1;
+    }
+}
+
+/// Runs one shard under full supervision (retry, backoff, deadline,
+/// degrade) on a work-stealing service worker — the sweep service's
+/// counterpart of [`run_shard_supervised`].
+///
+/// Differences from the batch path: the deadline is enforced purely by
+/// the worker's own between-chip clock (the service runs no watchdog
+/// thread), and `abort` — the query's cancel flag, raised when the
+/// client disconnects — stops the shard *without* burning retries:
+/// `None` is returned and the supervisor discards the query.
+pub(crate) fn run_shard_stealing(
+    mc: &MonteCarlo,
+    config: &PopulationConfig,
+    exec: &ExecutorConfig,
+    spec: ShardSpec,
+    worker: u32,
+    abort: &AtomicBool,
+) -> Option<ShardMsg> {
+    let watch = WorkerWatch::default();
+    let mut attempt: u32 = 0;
+    let ctx = |attempt: u32| TraceCtx::shard(worker, spec.index as u32, attempt);
+    yac_obs::trace_instant(TraceEventKind::ShardDispatched, ctx(0));
+    loop {
+        if abort.load(Ordering::Relaxed) {
+            return None;
+        }
+        let guard = AttemptGuard {
+            watch: &watch,
+            tag: u64::MAX, // No watchdog: the tag can never be matched.
+            t0: Instant::now(),
+            abort: Some(abort),
+        };
+        let exec_span = yac_obs::phase_ctx(Phase::ShardExec, ctx(attempt));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_shard_once(mc, config, exec, spec, attempt, &guard)
+        }));
+        drop(exec_span);
+
+        let error = match result {
+            Ok(Ok(partial)) => {
+                yac_obs::inc(Metric::ShardsCompleted);
+                yac_obs::trace_instant(TraceEventKind::ShardCompleted, ctx(attempt));
+                return Some(ShardMsg::Done {
+                    spec,
+                    chips: partial.chips,
+                    quarantine: partial.quarantine,
+                });
+            }
+            Ok(Err(ShardAbort::Cancelled)) => {
+                if abort.load(Ordering::Relaxed) {
+                    // Query cancelled, not a deadline: no retry, no
+                    // degrade — the whole query is being discarded.
+                    return None;
+                }
+                yac_obs::inc(Metric::ShardTimeouts);
+                yac_obs::trace_instant(TraceEventKind::ShardTimedOut, ctx(attempt));
+                format!(
+                    "shard {} (chips {}..{}) exceeded its deadline on attempt {attempt}",
+                    spec.index,
+                    spec.start,
+                    spec.start + spec.len as u64
+                )
+            }
+            Err(payload) => format!(
+                "shard {} panicked: {}",
+                spec.index,
+                panic_message(&*payload)
+            ),
+        };
+        if attempt >= exec.max_retries {
+            yac_obs::inc(Metric::DegradedShards);
+            yac_obs::trace_instant(TraceEventKind::ShardDegraded, ctx(attempt));
+            return Some(ShardMsg::Degraded {
+                spec,
+                attempts: attempt + 1,
+                error,
+            });
         }
         yac_obs::inc(Metric::ShardRetries);
         yac_obs::trace_instant(TraceEventKind::ShardRetried, ctx(attempt));
@@ -528,7 +620,7 @@ fn execute_shards(
 
 /// Inserts one shard's chips (a contiguous, already-sorted run) into the
 /// merged chip vector at its sorted position.
-fn insert_chips_sorted(completed: &mut Vec<ChipSample>, mut chips: Vec<ChipSample>) {
+pub(crate) fn insert_chips_sorted(completed: &mut Vec<ChipSample>, mut chips: Vec<ChipSample>) {
     let Some(first) = chips.first() else { return };
     let at = completed.partition_point(|c| c.index < first.index);
     completed.splice(at..at, chips.drain(..));
@@ -541,7 +633,7 @@ fn insert_shard_record(records: &mut Vec<ShardRecord>, record: ShardRecord) {
 
 /// Builds the outcome: merged population plus a yield interval widened by
 /// the chips the degraded shards failed to deliver.
-fn finish_outcome(
+pub(crate) fn finish_outcome(
     population: Population,
     degraded: Vec<DegradedShard>,
     requested_chips: usize,

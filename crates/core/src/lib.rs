@@ -45,6 +45,8 @@ pub mod quarantine;
 pub mod report;
 pub mod schemes;
 pub mod sensitivity;
+pub mod service;
+pub mod stealing;
 pub mod sweep;
 pub mod testing;
 
@@ -77,6 +79,11 @@ pub use schemes::{
     DisabledUnit, HYapd, Hybrid, HybridPolicy, NaiveBinning, PowerDownKind, RepairedCache, Scheme,
     SchemeOutcome, Vaca, Yapd,
 };
+pub use service::{
+    client_request, constraint_by_name, read_frame, serve, write_frame, ResultCache, ServiceConfig,
+    ServiceReply, ServiceRequest, ServiceStats, StudyQuery, SweepService,
+};
+pub use stealing::{PoolTask, StealPool, WorkDeque};
 pub use sweep::{
     run_sweep, CpiOptions, StudyResult, StudySpec, StudyStatus, SweepConfig, SweepGrid,
     SweepOutcome,

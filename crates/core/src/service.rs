@@ -1,0 +1,1802 @@
+//! The interactive sweep service: study queries over a content-addressed
+//! result cache, computed on a work-stealing shard pool.
+//!
+//! Batch sweeps ([`crate::sweep::run_sweep`]) run a fixed grid to a
+//! journal and exit. The service inverts the workload: it stays up,
+//! accepts single-study queries over a local TCP socket, and answers
+//! repeat queries from a cache instead of recomputing them. Three
+//! properties carry over from the batch path unchanged:
+//!
+//! * **Bit-identical results.** A query key is the SplitMix64
+//!   fingerprint of the *single-cell sweep grid* the query denotes
+//!   ([`StudyQuery::fingerprint`] delegates to
+//!   [`SweepGrid::fingerprint`]), and the cached value is the canonical
+//!   [`render_result`] text — every `f64` an IEEE bit image. A cache hit
+//!   is therefore byte-identical to recomputation, and to the `S` record
+//!   a sweep journal would hold for the same cell; tests assert all
+//!   three ways.
+//! * **Supervised execution.** Misses run on a [`StealPool`] of
+//!   work-stealing workers ([`crate::stealing`]), each shard under the
+//!   full retry/backoff/deadline/degrade discipline of
+//!   `run_shard_stealing`. Degraded results are returned honestly — but
+//!   **not cached**, because they depend on which shards happened to
+//!   fail.
+//! * **Bounded admission.** At most [`ServiceConfig::max_inflight`]
+//!   queries compute at once; the next miss gets a typed
+//!   [`ServiceReply::Busy`], never an unbounded queue. Cache hits are
+//!   deliberately served even when saturated — a hit costs one map
+//!   lookup, and refusing it would punish exactly the queries the cache
+//!   exists to make cheap.
+//!
+//! Cancellation is cooperative and per query: the connection handler
+//! watches for client disconnect and raises the query's cancel flag,
+//! which stops its shards between chips without burning retries.
+//!
+//! # Wire protocol
+//!
+//! Length-prefixed JSON over TCP: each frame is a big-endian `u32` byte
+//! length followed by that many bytes of a flat JSON object (no nesting,
+//! scalars only). Requests carry an `"op"` key (`query`, `stats`,
+//! `shutdown`); replies a `"status"` key (`ok`, `busy`, `cancelled`,
+//! `error`, `stats`, `bye`). Study records travel as the canonical
+//! [`render_result`] token text inside the `"record"` string, so the
+//! bytes a client receives are exactly the bytes the cache holds.
+//!
+//! # Cache persistence (`YAC-CACHE v1`)
+//!
+//! [`ResultCache::save`] writes the cache as CRC-trailed lines (the
+//! sweep journal's discipline): a magic line, then one `E <key>
+//! <record>` line per entry in ascending recency, so LRU order survives
+//! a round trip. The write runs through the chaos layer
+//! ([`IoSite::CacheFile`]) and is fully rewritten each time; a torn or
+//! rotted file is refused as [`StudyError::Corrupt`] on load — the cache
+//! is an optimisation, never a source of silent corruption. A cold cache
+//! can also be warmed from a completed sweep journal
+//! ([`ResultCache::warm_from_journal`]), re-keying each `Completed`
+//! record by its cell's query fingerprint.
+//!
+//! # Examples
+//!
+//! ```
+//! use yac_core::service::{ServiceConfig, StudyQuery, SweepService, ServiceReply};
+//! use std::sync::Arc;
+//! use std::sync::atomic::AtomicBool;
+//!
+//! let mut config = ServiceConfig::default();
+//! config.exec.workers = 2;
+//! let service = SweepService::new(config);
+//! let query = StudyQuery {
+//!     chips: 24,
+//!     seed: 7,
+//!     constraint: yac_core::ConstraintSpec::NOMINAL,
+//!     kind: yac_core::PowerDownKind::Vertical,
+//!     cpi: None,
+//! };
+//! let cancel = Arc::new(AtomicBool::new(false));
+//! let first = service.query(&query, &cancel);
+//! let second = service.query(&query, &cancel);
+//! match (first, second) {
+//!     (
+//!         ServiceReply::Result { record: a, cached: false, .. },
+//!         ServiceReply::Result { record: b, cached: true, .. },
+//!     ) => assert_eq!(a, b, "cache hit is byte-identical"),
+//!     other => panic!("expected result replies, got {other:?}"),
+//! }
+//! service.shutdown();
+//! ```
+
+use crate::chaos::{intercept_write, IoSite};
+use crate::checkpoint::{fsync_parent, StudyError};
+use crate::chip::{ChipSample, Population, PopulationConfig};
+use crate::constraints::ConstraintSpec;
+use crate::executor::{
+    finish_outcome, insert_chips_sorted, run_shard_stealing, shards_for, DegradedShard,
+    ExecutorConfig, ShardMsg,
+};
+use crate::quarantine::QuarantineLedger;
+use crate::schemes::PowerDownKind;
+use crate::stealing::StealPool;
+use crate::sweep::{
+    check_crc_line, crc_line, parse_journal, parse_result, render_result,
+    study_result_from_outcome, CpiOptions, StudySpec, StudyStatus, SweepConfig, SweepGrid,
+};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+use yac_obs::{Metric, Phase, TraceCtx, TraceEventKind};
+use yac_variation::MonteCarlo;
+
+/// Cache-file magic line content (before its CRC trailer).
+const CACHE_MAGIC: &str = "YAC-CACHE v1";
+
+/// Largest frame either side of the wire protocol will accept.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Looks up one of the paper's constraint recipes by its stable name.
+#[must_use]
+pub fn constraint_by_name(name: &str) -> Option<ConstraintSpec> {
+    [
+        ConstraintSpec::NOMINAL,
+        ConstraintSpec::RELAXED,
+        ConstraintSpec::STRICT,
+    ]
+    .into_iter()
+    .find(|c| c.name == name)
+}
+
+/// One cacheable unit of service work: a single sweep-grid cell.
+///
+/// The query deliberately exposes only result-shaping inputs — chips,
+/// seed, constraint recipe, organisation, CPI budgets. Executor tuning
+/// (workers, shard size, retries) belongs to the service, not the query,
+/// exactly as [`SweepGrid::fingerprint`] excludes it: two deployments
+/// with different worker counts must hit each other's cache entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudyQuery {
+    /// Chips in the study population.
+    pub chips: usize,
+    /// Monte Carlo seed.
+    pub seed: u64,
+    /// Constraint recipe the population is classified under.
+    pub constraint: ConstraintSpec,
+    /// Which organisation's loss table the study builds.
+    pub kind: PowerDownKind,
+    /// Optional CPI measurement budgets.
+    pub cpi: Option<CpiOptions>,
+}
+
+impl StudyQuery {
+    /// The query a sweep-grid cell denotes, used to warm the cache from
+    /// a journal: the cell keyed this way and the same cell queried
+    /// directly produce the same fingerprint.
+    #[must_use]
+    pub fn from_spec(grid: &SweepGrid, config: &SweepConfig, spec: &StudySpec) -> Self {
+        StudyQuery {
+            chips: grid.chips,
+            seed: spec.seed,
+            constraint: spec.constraint,
+            kind: spec.kind,
+            cpi: config.cpi,
+        }
+    }
+
+    /// The query's cache key: the [`SweepGrid::fingerprint`] of the
+    /// single-cell grid this query denotes (same SplitMix64 fold, same
+    /// inputs), under a fault-free config. Not a new hash — the existing
+    /// one, applied to a one-cell sweep.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let grid = SweepGrid {
+            chips: self.chips,
+            seeds: vec![self.seed],
+            constraints: vec![self.constraint],
+            kinds: vec![self.kind],
+        };
+        let config = SweepConfig {
+            cpi: self.cpi,
+            ..SweepConfig::default()
+        };
+        grid.fingerprint(&config)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The result cache
+// ---------------------------------------------------------------------
+
+/// Bytes charged to an entry beyond its record text (key, recency tick,
+/// map slot). Keeps the byte budget honest about small entries.
+pub const ENTRY_OVERHEAD: usize = 48;
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    /// Canonical [`render_result`] text.
+    record: String,
+    /// Recency: the cache-wide tick of the entry's last touch.
+    last_used: u64,
+}
+
+fn entry_bytes(record: &str) -> usize {
+    record.len() + ENTRY_OVERHEAD
+}
+
+/// A content-addressed LRU cache of study records under a byte budget.
+///
+/// Keys are [`StudyQuery::fingerprint`] values; values are canonical
+/// [`render_result`] text, so a hit hands back the exact bytes a
+/// recomputation would render. Eviction is strict LRU over a global
+/// recency tick (ties are impossible — every touch bumps the tick), so
+/// eviction order is deterministic given the operation sequence.
+#[derive(Debug)]
+pub struct ResultCache {
+    budget: usize,
+    entries: HashMap<u64, CacheEntry>,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `budget` bytes of entries.
+    #[must_use]
+    pub fn new(budget: usize) -> Self {
+        ResultCache {
+            budget,
+            entries: HashMap::new(),
+            bytes: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configured byte budget.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently charged against the budget.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Lookups that found an entry.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted to stay under budget.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up `key`, bumping its recency on a hit. Counts the outcome
+    /// in the metric registry and trace ring ([`TraceEventKind::CacheHit`]
+    /// / [`TraceEventKind::CacheMiss`]).
+    pub fn get(&mut self, key: u64) -> Option<String> {
+        self.tick += 1;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                yac_obs::inc(Metric::ResultCacheHits);
+                yac_obs::trace_instant(TraceEventKind::CacheHit, TraceCtx::default());
+                Some(entry.record.clone())
+            }
+            None => {
+                self.misses += 1;
+                yac_obs::inc(Metric::ResultCacheMisses);
+                yac_obs::trace_instant(TraceEventKind::CacheMiss, TraceCtx::default());
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, evicting least-recently-used
+    /// entries until the budget holds. Returns `false` — caching
+    /// nothing — when the record alone exceeds the whole budget.
+    pub fn insert(&mut self, key: u64, record: String) -> bool {
+        let size = entry_bytes(&record);
+        if size > self.budget {
+            return false;
+        }
+        self.tick += 1;
+        if let Some(old) = self.entries.insert(
+            key,
+            CacheEntry {
+                record,
+                last_used: self.tick,
+            },
+        ) {
+            self.bytes -= entry_bytes(&old.record);
+        }
+        self.bytes += size;
+        while self.bytes > self.budget {
+            self.evict_lru();
+        }
+        true
+    }
+
+    /// Removes the least-recently-used entry. The just-inserted entry
+    /// holds the maximum tick, so it is only ever the victim when it is
+    /// the sole entry — excluded by the `size > budget` refusal above.
+    fn evict_lru(&mut self) {
+        let Some(victim) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| *k)
+        else {
+            return;
+        };
+        if let Some(old) = self.entries.remove(&victim) {
+            self.bytes -= entry_bytes(&old.record);
+            self.evictions += 1;
+            yac_obs::inc(Metric::ResultCacheEvictions);
+        }
+    }
+
+    fn io_err(path: &Path, e: io::Error) -> StudyError {
+        StudyError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        }
+    }
+
+    /// Persists the cache to `path` in `YAC-CACHE v1` format: CRC-trailed
+    /// lines, entries in ascending recency so a load replays them in LRU
+    /// order. One full rewrite through the chaos layer
+    /// ([`IoSite::CacheFile`]), fsynced file and parent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError::Io`] when the write fails (including
+    /// injected chaos faults).
+    pub fn save(&self, path: &Path) -> Result<(), StudyError> {
+        let mut ordered: Vec<(&u64, &CacheEntry)> = self.entries.iter().collect();
+        ordered.sort_by_key(|(_, e)| e.last_used);
+        let mut text = crc_line(CACHE_MAGIC);
+        for (key, entry) in ordered {
+            text.push_str(&crc_line(&format!("E {key:016x} {}", entry.record)));
+        }
+        intercept_write(IoSite::CacheFile, path, text.as_bytes(), |bytes| {
+            let mut f = std::fs::File::create(path)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            fsync_parent(path)
+        })
+        .map_err(|e| Self::io_err(path, e))
+    }
+
+    /// Loads a cache persisted by [`ResultCache::save`]. `Ok(None)` when
+    /// no file exists (a cold start). Unlike the append-only sweep
+    /// journal, the cache file is rewritten whole, so *any* CRC failure
+    /// — torn tail included — is refused as corrupt; the caller discards
+    /// the file and starts cold.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::Io`] when the file cannot be read;
+    /// [`StudyError::Corrupt`] for CRC failures, a bad magic or
+    /// malformed entry lines.
+    pub fn load(path: &Path, budget: usize) -> Result<Option<ResultCache>, StudyError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(Self::io_err(path, e)),
+        };
+        let mut cache = ResultCache::new(budget);
+        for (lineno, line) in text.lines().enumerate() {
+            let line_number = lineno + 1;
+            let corrupt = |what: String| StudyError::Corrupt {
+                line: line_number,
+                what,
+            };
+            let Some(body) = check_crc_line(line) else {
+                return Err(corrupt("cache line fails its CRC".into()));
+            };
+            if line_number == 1 {
+                if body != CACHE_MAGIC {
+                    return Err(corrupt(format!("bad cache magic {body:?}")));
+                }
+                continue;
+            }
+            let rest = body
+                .strip_prefix("E ")
+                .ok_or_else(|| corrupt(format!("unknown cache record {body:?}")))?;
+            let (key_hex, record) = rest
+                .split_once(' ')
+                .ok_or_else(|| corrupt("cache entry missing record".into()))?;
+            let key = u64::from_str_radix(key_hex, 16)
+                .map_err(|_| corrupt(format!("bad cache key {key_hex:?}")))?;
+            // Parse and re-render: refuses malformed records and pins the
+            // stored text to the canonical rendering.
+            let result = parse_result(record, line_number)?;
+            cache.insert(key, render_result(&result));
+        }
+        if text.is_empty() {
+            return Err(StudyError::Corrupt {
+                line: 1,
+                what: "cache file is empty (missing magic)".into(),
+            });
+        }
+        Ok(Some(cache))
+    }
+
+    /// Warms the cache from a completed sweep journal: every `Completed`
+    /// study record is re-rendered and inserted under its cell's
+    /// [`StudyQuery::fingerprint`]. Degraded records are skipped (the
+    /// service never caches partial results) and fault-injected sweeps
+    /// are refused — service queries are fault-free cells, so their keys
+    /// must never map to fault-shaped results. Returns how many entries
+    /// were inserted.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::Io`] when the journal cannot be read,
+    /// [`StudyError::Corrupt`] when it fails its own CRC discipline, and
+    /// [`StudyError::Mismatch`] when its grid fingerprint disagrees with
+    /// `grid`/`config` or the config injects faults.
+    pub fn warm_from_journal(
+        &mut self,
+        grid: &SweepGrid,
+        config: &SweepConfig,
+        path: &Path,
+    ) -> Result<usize, StudyError> {
+        if config.faults.is_some() {
+            return Err(StudyError::Mismatch(
+                "fault-injected sweeps cannot warm the service cache: \
+                 queries denote fault-free cells"
+                    .into(),
+            ));
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| Self::io_err(path, e))?;
+        let Some(journal) = parse_journal(&text)? else {
+            return Ok(0); // Headerless journal: nothing durable to warm from.
+        };
+        let specs = grid.studies();
+        let fingerprint = grid.fingerprint(config);
+        if journal.grid_hash != fingerprint || journal.studies != specs.len() {
+            return Err(StudyError::Mismatch(format!(
+                "sweep journal belongs to a different grid \
+                 (journal {:016x}/{} studies, this grid {:016x}/{})",
+                journal.grid_hash,
+                journal.studies,
+                fingerprint,
+                specs.len()
+            )));
+        }
+        let mut warmed = 0;
+        for (index, status) in &journal.terminal {
+            if let StudyStatus::Completed(result) = status {
+                let query = StudyQuery::from_spec(grid, config, &specs[*index]);
+                if self.insert(query.fingerprint(), render_result(result)) {
+                    warmed += 1;
+                }
+            }
+        }
+        Ok(warmed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------
+
+/// Tuning for a [`SweepService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Executor tuning for query computation. `exec.workers` sizes the
+    /// work-stealing pool; the retry/backoff/deadline/fault knobs apply
+    /// to every query's shards.
+    pub exec: ExecutorConfig,
+    /// Queries computing at once; the next miss is refused with
+    /// [`ServiceReply::Busy`]. Clamped to at least 1.
+    pub max_inflight: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    /// Default executor, two queries in flight, an 8 MiB cache.
+    fn default() -> Self {
+        ServiceConfig {
+            exec: ExecutorConfig::default(),
+            max_inflight: 2,
+            cache_bytes: 8 << 20,
+        }
+    }
+}
+
+/// A point-in-time snapshot of service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Queries received (any outcome).
+    pub queries: u64,
+    /// Queries answered with a result (cached or computed).
+    pub served: u64,
+    /// Queries refused with [`ServiceReply::Busy`].
+    pub busy: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache evictions.
+    pub cache_evictions: u64,
+    /// Entries currently cached.
+    pub cache_entries: usize,
+    /// Bytes currently charged against the cache budget.
+    pub cache_bytes: usize,
+    /// Tasks stolen between pool workers.
+    pub stolen: u64,
+    /// Queries computing right now.
+    pub inflight: usize,
+    /// The admission limit.
+    pub limit: usize,
+}
+
+/// A request a client can put on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceRequest {
+    /// Compute (or fetch from cache) one study.
+    Query(StudyQuery),
+    /// Report service counters.
+    Stats,
+    /// Shut the service down cleanly.
+    Shutdown,
+}
+
+/// What the service answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceReply {
+    /// The study's canonical record text.
+    Result {
+        /// Canonical [`render_result`] text — exactly the cached bytes.
+        record: String,
+        /// The query's fingerprint (the cache key).
+        key: u64,
+        /// Whether the record came from the cache.
+        cached: bool,
+    },
+    /// The service is saturated; retry later. Backpressure is typed,
+    /// never an unbounded queue.
+    Busy {
+        /// Queries computing when the refusal was made.
+        inflight: usize,
+        /// The admission limit.
+        limit: usize,
+    },
+    /// The query's client disconnected mid-computation.
+    Cancelled,
+    /// The query could not be answered.
+    Error {
+        /// One-line diagnostic.
+        message: String,
+    },
+    /// Service counters, answering [`ServiceRequest::Stats`].
+    Stats(ServiceStats),
+    /// Acknowledges [`ServiceRequest::Shutdown`].
+    Bye,
+}
+
+/// Everything one query's shard tasks share.
+struct QueryJob {
+    mc: MonteCarlo,
+    pop: PopulationConfig,
+    exec: ExecutorConfig,
+    cancel: Arc<AtomicBool>,
+}
+
+/// RAII decrement of the inflight gauge.
+struct InflightSlot<'a>(&'a AtomicUsize);
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The long-lived sweep service: a work-stealing pool, a result cache
+/// and bounded admission. See the module docs for the architecture.
+#[derive(Debug)]
+pub struct SweepService {
+    config: ServiceConfig,
+    pool: StealPool,
+    cache: Mutex<ResultCache>,
+    inflight: AtomicUsize,
+    queries: AtomicU64,
+    served: AtomicU64,
+    busy: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl SweepService {
+    /// Builds a service: spawns `config.exec.workers` pool workers and
+    /// an empty cache of `config.cache_bytes`.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        let cache = Mutex::new(ResultCache::new(config.cache_bytes));
+        let pool = StealPool::new(config.exec.workers);
+        SweepService {
+            config,
+            pool,
+            cache,
+            inflight: AtomicUsize::new(0),
+            queries: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The service's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Queries computing right now.
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// Runs `f` against the result cache (for warm-start, persistence
+    /// and inspection). The lock is held for the duration of `f`; keep
+    /// it short — queries block on the same lock for hit checks.
+    pub fn with_cache<R>(&self, f: impl FnOnce(&mut ResultCache) -> R) -> R {
+        f(&mut self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Asks the serve loop (and idle connection handlers) to wind down.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Joins the worker pool. Call after the serve loop has exited.
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+
+    /// A snapshot of the service counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        self.with_cache(|cache| ServiceStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            cache_evictions: cache.evictions(),
+            cache_entries: cache.len(),
+            cache_bytes: cache.bytes(),
+            stolen: self.pool.stolen(),
+            inflight: self.inflight.load(Ordering::Acquire),
+            limit: self.config.max_inflight.max(1),
+        })
+    }
+
+    /// Answers one query: cache first, then bounded admission, then
+    /// supervised computation on the stealing pool. `cancel` is the
+    /// query's cooperative abort flag — raise it (the connection handler
+    /// does, on client disconnect) and the computation stops between
+    /// chips and answers [`ServiceReply::Cancelled`].
+    ///
+    /// Cache hits bypass admission by design: a saturated service keeps
+    /// answering the cheap queries.
+    pub fn query(&self, query: &StudyQuery, cancel: &Arc<AtomicBool>) -> ServiceReply {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        yac_obs::inc(Metric::QueriesReceived);
+        yac_obs::trace_instant(TraceEventKind::QueryReceived, TraceCtx::default());
+        if query.chips == 0 {
+            return ServiceReply::Error {
+                message: "query asks for zero chips".into(),
+            };
+        }
+        let key = query.fingerprint();
+        if let Some(record) = self.with_cache(|cache| cache.get(key)) {
+            return self.served(ServiceReply::Result {
+                record,
+                key,
+                cached: true,
+            });
+        }
+        let limit = self.config.max_inflight.max(1);
+        if !self.try_admit(limit) {
+            self.busy.fetch_add(1, Ordering::Relaxed);
+            yac_obs::inc(Metric::QueriesBusy);
+            return ServiceReply::Busy {
+                inflight: self.inflight.load(Ordering::Acquire),
+                limit,
+            };
+        }
+        let _slot = InflightSlot(&self.inflight);
+        let _span = yac_obs::phase_ctx(Phase::QueryExec, TraceCtx::default());
+        let reply = self.compute(query, key, cancel);
+        match reply {
+            ServiceReply::Result { .. } => self.served(reply),
+            other => other,
+        }
+    }
+
+    fn served(&self, reply: ServiceReply) -> ServiceReply {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        yac_obs::inc(Metric::QueriesServed);
+        yac_obs::trace_instant(TraceEventKind::QueryServed, TraceCtx::default());
+        reply
+    }
+
+    fn try_admit(&self, limit: usize) -> bool {
+        let mut current = self.inflight.load(Ordering::Acquire);
+        loop {
+            if current >= limit {
+                return false;
+            }
+            match self.inflight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    /// Computes a missed query on the stealing pool and caches the
+    /// record if (and only if) every chip was observed — degraded
+    /// results depend on which shards failed, so they are returned but
+    /// never cached.
+    fn compute(&self, query: &StudyQuery, key: u64, cancel: &Arc<AtomicBool>) -> ServiceReply {
+        let mut pop = PopulationConfig::paper(query.seed);
+        pop.chips = query.chips;
+        let mc = match MonteCarlo::try_new(pop.variation) {
+            Ok(mc) => mc,
+            Err(e) => {
+                return ServiceReply::Error {
+                    message: StudyError::Config(e).to_string(),
+                }
+            }
+        };
+        let shards = shards_for(query.chips, self.config.exec.shard_chips);
+        let job = Arc::new(QueryJob {
+            mc,
+            pop,
+            exec: self.config.exec.clone(),
+            cancel: Arc::clone(cancel),
+        });
+        let (tx, rx) = mpsc::channel::<Option<ShardMsg>>();
+        for spec in &shards {
+            let job = Arc::clone(&job);
+            let tx = tx.clone();
+            let spec = *spec;
+            self.pool.submit(Box::new(move |worker| {
+                let msg = if job.cancel.load(Ordering::Relaxed) {
+                    None
+                } else {
+                    run_shard_stealing(
+                        &job.mc,
+                        &job.pop,
+                        &job.exec,
+                        spec,
+                        worker as u32,
+                        &job.cancel,
+                    )
+                };
+                let _ = tx.send(msg);
+            }));
+        }
+        drop(tx);
+
+        let mut completed: Vec<ChipSample> = Vec::with_capacity(query.chips);
+        let mut quarantine = QuarantineLedger::new();
+        let mut degraded: Vec<DegradedShard> = Vec::new();
+        let mut cancelled = false;
+        for msg in rx {
+            match msg {
+                Some(ShardMsg::Done {
+                    chips,
+                    quarantine: q,
+                    ..
+                }) => {
+                    yac_obs::add(Metric::ChipsQuarantined, q.len() as u64);
+                    insert_chips_sorted(&mut completed, chips);
+                    quarantine.absorb(q);
+                }
+                Some(ShardMsg::Degraded {
+                    spec,
+                    attempts,
+                    error,
+                }) => degraded.push(DegradedShard {
+                    start: spec.start,
+                    len: spec.len,
+                    attempts,
+                    error,
+                }),
+                None => cancelled = true,
+            }
+        }
+        if cancelled || cancel.load(Ordering::Relaxed) {
+            return ServiceReply::Cancelled;
+        }
+        degraded.sort_by_key(|d| d.start);
+        let population = Population::from_parts(
+            completed,
+            quarantine,
+            *job.pop.regular_model.calibration(),
+            job.pop.seed,
+        );
+        let outcome = finish_outcome(population, degraded, query.chips);
+        match study_result_from_outcome(
+            &outcome,
+            query.constraint,
+            query.kind,
+            query.seed,
+            query.cpi.as_ref(),
+        ) {
+            Ok(result) => {
+                let record = render_result(&result);
+                if result.missing_chips == 0 {
+                    self.with_cache(|cache| cache.insert(key, record.clone()));
+                }
+                ServiceReply::Result {
+                    record,
+                    key,
+                    cached: false,
+                }
+            }
+            Err(e) => ServiceReply::Error {
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flat JSON encoding
+// ---------------------------------------------------------------------
+//
+// The protocol needs exactly flat objects of scalars, so the codec is
+// ~100 lines here instead of a dependency: an escaping writer and a
+// recursive-descent parser for one object of string/number/bool/null
+// values. Numbers are kept as raw token text until a typed accessor
+// parses them, so `u64` seeds survive without an `f64` round trip.
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// One scalar value in a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonScalar {
+    Str(String),
+    /// Raw number token, parsed on demand by the typed accessors.
+    Num(String),
+    Bool(bool),
+    Null,
+}
+
+/// A parsed flat JSON object with typed, diagnostic-bearing accessors.
+#[derive(Debug)]
+struct FlatObject {
+    fields: Vec<(String, JsonScalar)>,
+}
+
+impl FlatObject {
+    fn get(&self, key: &str) -> Option<&JsonScalar> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        match self.get(key) {
+            Some(JsonScalar::Str(s)) => Ok(s),
+            Some(_) => Err(format!("field {key:?} is not a string")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        match self.get(key) {
+            Some(JsonScalar::Num(raw)) => raw
+                .parse()
+                .map_err(|_| format!("field {key:?} is not an unsigned integer")),
+            Some(_) => Err(format!("field {key:?} is not a number")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, String> {
+        self.u64(key).map(|v| v as usize)
+    }
+
+    fn opt_u64(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(_) => self.u64(key).map(Some),
+        }
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key) {
+            Some(JsonScalar::Bool(b)) => Ok(*b),
+            Some(_) => Err(format!("field {key:?} is not a bool")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.chars.next_if(|c| c.is_ascii_whitespace()).is_some() {}
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(format!("expected {want:?}, got {c:?}")),
+            None => Err(format!("expected {want:?}, got end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = self
+                                .chars
+                                .next()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + digit;
+                        }
+                        // Surrogates don't appear in our own output;
+                        // foreign ones are refused rather than mangled.
+                        out.push(char::from_u32(code).ok_or("\\u escape is not a scalar value")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<JsonScalar, String> {
+        match self.chars.peek() {
+            Some('"') => self.string().map(JsonScalar::Str),
+            Some('t') => self.literal("true").map(|()| JsonScalar::Bool(true)),
+            Some('f') => self.literal("false").map(|()| JsonScalar::Bool(false)),
+            Some('n') => self.literal("null").map(|()| JsonScalar::Null),
+            Some(c) if *c == '-' || c.is_ascii_digit() => {
+                let mut raw = String::new();
+                while let Some(c) = self
+                    .chars
+                    .next_if(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+                {
+                    raw.push(c);
+                }
+                // Validate the token shape once; integer accessors
+                // re-parse the raw text exactly.
+                raw.parse::<f64>()
+                    .map_err(|_| format!("bad number {raw:?}"))?;
+                Ok(JsonScalar::Num(raw))
+            }
+            Some(c) => Err(format!("unexpected {c:?} (nested values not supported)")),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        for want in word.chars() {
+            self.expect(want)?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses one flat JSON object (string/number/bool/null values only).
+fn parse_flat_object(text: &str) -> Result<FlatObject, String> {
+    let mut p = JsonParser {
+        chars: text.chars().peekable(),
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.chars.peek() == Some(&'}') {
+        p.chars.next();
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(':')?;
+            p.skip_ws();
+            let value = p.scalar()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.chars.next() {
+                Some(',') => {}
+                Some('}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if let Some(c) = p.chars.next() {
+        return Err(format!("trailing {c:?} after object"));
+    }
+    Ok(FlatObject { fields })
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    let _ = std::fmt::Write::write_fmt(out, format_args!("\"{key}\":\""));
+    json_escape(out, value);
+    out.push('"');
+}
+
+impl ServiceRequest {
+    /// Renders the request as its wire JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            ServiceRequest::Query(q) => {
+                let kind = match q.kind {
+                    PowerDownKind::Vertical => "vertical",
+                    PowerDownKind::Horizontal => "horizontal",
+                };
+                let mut out = format!(
+                    "{{\"op\":\"query\",\"chips\":{},\"seed\":{},\"constraint\":\"{}\",\"kind\":\"{kind}\"",
+                    q.chips, q.seed, q.constraint.name
+                );
+                if let Some(cpi) = &q.cpi {
+                    let _ = std::fmt::Write::write_fmt(
+                        &mut out,
+                        format_args!(
+                            ",\"warmup\":{},\"measure\":{}",
+                            cpi.warmup_uops, cpi.measure_uops
+                        ),
+                    );
+                }
+                out.push('}');
+                out
+            }
+            ServiceRequest::Stats => "{\"op\":\"stats\"}".to_owned(),
+            ServiceRequest::Shutdown => "{\"op\":\"shutdown\"}".to_owned(),
+        }
+    }
+
+    /// Parses a wire request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line diagnostic naming the malformed field; the
+    /// server sends it back as [`ServiceReply::Error`].
+    pub fn parse(text: &str) -> Result<ServiceRequest, String> {
+        let obj = parse_flat_object(text)?;
+        match obj.str("op")? {
+            "stats" => Ok(ServiceRequest::Stats),
+            "shutdown" => Ok(ServiceRequest::Shutdown),
+            "query" => {
+                let name = obj.str("constraint")?;
+                let constraint = constraint_by_name(name)
+                    .ok_or_else(|| format!("unknown constraint {name:?}"))?;
+                let kind = match obj.str("kind")? {
+                    "vertical" => PowerDownKind::Vertical,
+                    "horizontal" => PowerDownKind::Horizontal,
+                    other => return Err(format!("unknown kind {other:?}")),
+                };
+                let cpi = match (obj.opt_u64("warmup")?, obj.opt_u64("measure")?) {
+                    (Some(warmup_uops), Some(measure_uops)) => Some(CpiOptions {
+                        warmup_uops,
+                        measure_uops,
+                    }),
+                    (None, None) => None,
+                    _ => return Err("warmup and measure must be given together".into()),
+                };
+                Ok(ServiceRequest::Query(StudyQuery {
+                    chips: obj.usize("chips")?,
+                    seed: obj.u64("seed")?,
+                    constraint,
+                    kind,
+                    cpi,
+                }))
+            }
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+impl ServiceReply {
+    /// Renders the reply as its wire JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            ServiceReply::Result {
+                record,
+                key,
+                cached,
+            } => {
+                let mut out =
+                    format!("{{\"status\":\"ok\",\"cached\":{cached},\"key\":\"{key:016x}\",");
+                push_str_field(&mut out, "record", record);
+                out.push('}');
+                out
+            }
+            ServiceReply::Busy { inflight, limit } => {
+                format!("{{\"status\":\"busy\",\"inflight\":{inflight},\"limit\":{limit}}}")
+            }
+            ServiceReply::Cancelled => "{\"status\":\"cancelled\"}".to_owned(),
+            ServiceReply::Error { message } => {
+                let mut out = "{\"status\":\"error\",".to_owned();
+                push_str_field(&mut out, "message", message);
+                out.push('}');
+                out
+            }
+            ServiceReply::Stats(s) => format!(
+                "{{\"status\":\"stats\",\"queries\":{},\"served\":{},\"busy\":{},\
+                 \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+                 \"cache_entries\":{},\"cache_bytes\":{},\"stolen\":{},\
+                 \"inflight\":{},\"limit\":{}}}",
+                s.queries,
+                s.served,
+                s.busy,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_evictions,
+                s.cache_entries,
+                s.cache_bytes,
+                s.stolen,
+                s.inflight,
+                s.limit
+            ),
+            ServiceReply::Bye => "{\"status\":\"bye\"}".to_owned(),
+        }
+    }
+
+    /// Parses a wire reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line diagnostic naming the malformed field.
+    pub fn parse(text: &str) -> Result<ServiceReply, String> {
+        let obj = parse_flat_object(text)?;
+        match obj.str("status")? {
+            "ok" => {
+                let key_hex = obj.str("key")?;
+                let key =
+                    u64::from_str_radix(key_hex, 16).map_err(|_| format!("bad key {key_hex:?}"))?;
+                Ok(ServiceReply::Result {
+                    record: obj.str("record")?.to_owned(),
+                    key,
+                    cached: obj.bool("cached")?,
+                })
+            }
+            "busy" => Ok(ServiceReply::Busy {
+                inflight: obj.usize("inflight")?,
+                limit: obj.usize("limit")?,
+            }),
+            "cancelled" => Ok(ServiceReply::Cancelled),
+            "error" => Ok(ServiceReply::Error {
+                message: obj.str("message")?.to_owned(),
+            }),
+            "stats" => Ok(ServiceReply::Stats(ServiceStats {
+                queries: obj.u64("queries")?,
+                served: obj.u64("served")?,
+                busy: obj.u64("busy")?,
+                cache_hits: obj.u64("cache_hits")?,
+                cache_misses: obj.u64("cache_misses")?,
+                cache_evictions: obj.u64("cache_evictions")?,
+                cache_entries: obj.usize("cache_entries")?,
+                cache_bytes: obj.usize("cache_bytes")?,
+                stolen: obj.u64("stolen")?,
+                inflight: obj.usize("inflight")?,
+                limit: obj.usize("limit")?,
+            })),
+            "bye" => Ok(ServiceReply::Bye),
+            other => Err(format!("unknown status {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing and the TCP serve loop
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame (big-endian `u32` length, then the
+/// payload) and flushes.
+///
+/// # Errors
+///
+/// Propagates the underlying write error; refuses payloads over
+/// [`MAX_FRAME`] as [`io::ErrorKind::InvalidData`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    let len = payload.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame from a *blocking* reader. `Ok(None)`
+/// means the peer closed the connection cleanly before a frame started.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::UnexpectedEof`] when the peer closes mid-frame;
+/// [`io::ErrorKind::InvalidData`] for frames over [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut at = 0;
+    while at < len {
+        match r.read(&mut payload[at..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => at += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Whether an error is the nonblocking "no data yet" signal.
+fn is_would_block(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one frame from a *nonblocking* connection socket, idling in
+/// 5 ms naps. `Ok(None)` means clean EOF before a frame, or shutdown
+/// was requested while idle (between frames).
+fn read_frame_idle(stream: &mut TcpStream, service: &SweepService) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match stream.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if is_would_block(&e) => {
+                if service.shutdown_requested() {
+                    return Ok(None);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut at = 0;
+    while at < len {
+        match stream.read(&mut payload[at..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => at += n,
+            Err(e) if is_would_block(&e) => {
+                if service.shutdown_requested() {
+                    return Ok(None); // Connection is being torn down anyway.
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Writes all of `bytes` to a nonblocking socket, napping on
+/// `WouldBlock`.
+fn write_all_idle(stream: &mut TcpStream, bytes: &[u8]) -> io::Result<()> {
+    let mut at = 0;
+    while at < bytes.len() {
+        match stream.write(&bytes[at..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "socket refused bytes",
+                ))
+            }
+            Ok(n) => at += n,
+            Err(e) if is_would_block(&e) => std::thread::sleep(Duration::from_millis(1)),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn send_reply(stream: &mut TcpStream, reply: &ServiceReply) -> io::Result<()> {
+    let payload = reply.to_json().into_bytes();
+    let mut frame = Vec::with_capacity(payload.len() + 4);
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&payload);
+    write_all_idle(stream, &frame)
+}
+
+/// Watches a query's connection for client disconnect and raises the
+/// query's cancel flag when the peer goes away. The watcher peeks a
+/// shared-description clone of the socket, so it consumes nothing the
+/// handler will later read.
+struct DisconnectMonitor {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DisconnectMonitor {
+    fn spawn(stream: &TcpStream, cancel: Arc<AtomicBool>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = stream.try_clone().ok().map(|peek_stream| {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("svc-disconnect".into())
+                .spawn(move || {
+                    let mut byte = [0u8; 1];
+                    while !stop.load(Ordering::Relaxed) {
+                        match peek_stream.peek(&mut byte) {
+                            // Orderly shutdown by the peer.
+                            Ok(0) => {
+                                cancel.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                            // Pipelined bytes: the client is alive.
+                            Ok(_) => {}
+                            Err(e) if is_would_block(&e) => {}
+                            // Reset or any hard error: treat as gone.
+                            Err(_) => {
+                                cancel.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                })
+                .expect("spawning the disconnect watcher")
+        });
+        DisconnectMonitor { stop, handle }
+    }
+}
+
+impl Drop for DisconnectMonitor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &Arc<SweepService>) {
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    // The whole handler runs nonblocking (the disconnect watcher shares
+    // the socket description, so the flag is process-wide per socket
+    // anyway) with explicit idle naps.
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        let payload = match read_frame_idle(&mut stream, service) {
+            Ok(Some(payload)) => payload,
+            Ok(None) | Err(_) => return,
+        };
+        let request = String::from_utf8(payload)
+            .map_err(|_| "request is not UTF-8".to_owned())
+            .and_then(|text| ServiceRequest::parse(&text));
+        match request {
+            Err(message) => {
+                if send_reply(&mut stream, &ServiceReply::Error { message }).is_err() {
+                    return;
+                }
+            }
+            Ok(ServiceRequest::Query(query)) => {
+                let cancel = Arc::new(AtomicBool::new(false));
+                let monitor = DisconnectMonitor::spawn(&stream, Arc::clone(&cancel));
+                let reply = service.query(&query, &cancel);
+                drop(monitor);
+                if send_reply(&mut stream, &reply).is_err() {
+                    return;
+                }
+            }
+            Ok(ServiceRequest::Stats) => {
+                if send_reply(&mut stream, &ServiceReply::Stats(service.stats())).is_err() {
+                    return;
+                }
+            }
+            Ok(ServiceRequest::Shutdown) => {
+                let _ = send_reply(&mut stream, &ServiceReply::Bye);
+                service.request_shutdown();
+                return;
+            }
+        }
+    }
+}
+
+/// Runs the accept loop until [`SweepService::request_shutdown`] (any
+/// connection's `shutdown` op, or the embedding process). Each
+/// connection gets its own handler thread; all are joined before the
+/// loop returns, so a clean return means no request is still in flight.
+///
+/// # Errors
+///
+/// Propagates listener errors other than the nonblocking idle signal.
+pub fn serve(listener: &TcpListener, service: &Arc<SweepService>) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !service.shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let service = Arc::clone(service);
+                handlers.push(
+                    std::thread::Builder::new()
+                        .name("svc-conn".into())
+                        .spawn(move || handle_connection(stream, &service))
+                        .map_err(io::Error::other)?,
+                );
+            }
+            Err(e) if is_would_block(&e) => {
+                handlers.retain(|h| !h.is_finished());
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+/// Sends one request over a fresh blocking connection and returns the
+/// typed reply plus the raw reply JSON (callers print or persist the
+/// raw text so nothing is re-rendered on the client side).
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures; a malformed reply surfaces
+/// as [`io::ErrorKind::InvalidData`].
+pub fn client_request(addr: &str, request: &ServiceRequest) -> io::Result<(ServiceReply, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    write_frame(&mut stream, request.to_json().as_bytes())?;
+    let payload = read_frame(&mut stream)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed without replying",
+        )
+    })?;
+    let text = String::from_utf8(payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let reply =
+        ServiceReply::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok((reply, text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query() -> StudyQuery {
+        StudyQuery {
+            chips: 32,
+            seed: 11,
+            constraint: ConstraintSpec::STRICT,
+            kind: PowerDownKind::Horizontal,
+            cpi: Some(CpiOptions {
+                warmup_uops: 100,
+                measure_uops: 400,
+            }),
+        }
+    }
+
+    #[test]
+    fn query_fingerprint_is_the_single_cell_grid_fingerprint() {
+        let q = query();
+        let grid = SweepGrid {
+            chips: q.chips,
+            seeds: vec![q.seed],
+            constraints: vec![q.constraint],
+            kinds: vec![q.kind],
+        };
+        let config = SweepConfig {
+            cpi: q.cpi,
+            ..SweepConfig::default()
+        };
+        assert_eq!(q.fingerprint(), grid.fingerprint(&config));
+
+        // Executor tuning on the service side must not move the key.
+        let mut other = config.clone();
+        other.exec.workers = 13;
+        other.checkpoint_every = 2;
+        assert_eq!(q.fingerprint(), grid.fingerprint(&other));
+
+        // Every result-shaping field must.
+        for changed in [
+            StudyQuery { chips: 33, ..q },
+            StudyQuery { seed: 12, ..q },
+            StudyQuery {
+                constraint: ConstraintSpec::NOMINAL,
+                ..q
+            },
+            StudyQuery {
+                kind: PowerDownKind::Vertical,
+                ..q
+            },
+            StudyQuery { cpi: None, ..q },
+        ] {
+            assert_ne!(changed.fingerprint(), q.fingerprint(), "{changed:?}");
+        }
+    }
+
+    #[test]
+    fn from_spec_keys_match_direct_queries() {
+        let grid = SweepGrid {
+            chips: 16,
+            seeds: vec![5, 6],
+            constraints: vec![ConstraintSpec::NOMINAL, ConstraintSpec::STRICT],
+            kinds: vec![PowerDownKind::Vertical],
+        };
+        let config = SweepConfig::default();
+        for spec in grid.studies() {
+            let warm = StudyQuery::from_spec(&grid, &config, &spec);
+            let direct = StudyQuery {
+                chips: 16,
+                seed: spec.seed,
+                constraint: spec.constraint,
+                kind: spec.kind,
+                cpi: None,
+            };
+            assert_eq!(warm.fingerprint(), direct.fingerprint());
+        }
+    }
+
+    #[test]
+    fn cache_serves_lru_under_byte_budget() {
+        let record = "x".repeat(52); // 100 bytes with overhead
+        let mut cache = ResultCache::new(2 * entry_bytes(&record));
+        assert!(cache.insert(1, record.clone()));
+        assert!(cache.insert(2, record.clone()));
+        assert_eq!(cache.bytes(), 2 * entry_bytes(&record));
+
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(cache.get(1).as_deref(), Some(record.as_str()));
+        assert!(cache.insert(3, record.clone()));
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(2).is_none(), "LRU entry 2 was evicted");
+        assert!(cache.get(1).is_some() && cache.get(3).is_some());
+        assert!(cache.bytes() <= cache.budget());
+
+        // An entry bigger than the whole budget is refused, not churned.
+        let before = cache.len();
+        assert!(!cache.insert(4, "y".repeat(cache.budget() + 1)));
+        assert_eq!(cache.len(), before);
+
+        // Reinserting an existing key replaces, not double-counts.
+        assert!(cache.insert(1, record.clone()));
+        assert_eq!(cache.bytes(), 2 * entry_bytes(&record));
+    }
+
+    #[test]
+    fn requests_round_trip_through_wire_json() {
+        for request in [
+            ServiceRequest::Query(query()),
+            ServiceRequest::Query(StudyQuery {
+                cpi: None,
+                ..query()
+            }),
+            ServiceRequest::Stats,
+            ServiceRequest::Shutdown,
+        ] {
+            let json = request.to_json();
+            assert_eq!(ServiceRequest::parse(&json).unwrap(), request, "{json}");
+        }
+    }
+
+    #[test]
+    fn replies_round_trip_through_wire_json() {
+        for reply in [
+            ServiceReply::Result {
+                record: "total 4 quarantined 0 \"quoted\\path\"\n".into(),
+                key: 0xdead_beef_0bad_cafe,
+                cached: true,
+            },
+            ServiceReply::Busy {
+                inflight: 2,
+                limit: 2,
+            },
+            ServiceReply::Cancelled,
+            ServiceReply::Error {
+                message: "shard 3 panicked: \"boom\"".into(),
+            },
+            ServiceReply::Stats(ServiceStats {
+                queries: 9,
+                served: 7,
+                busy: 1,
+                cache_hits: 4,
+                cache_misses: 3,
+                cache_evictions: 2,
+                cache_entries: 1,
+                cache_bytes: 812,
+                stolen: 5,
+                inflight: 1,
+                limit: 2,
+            }),
+            ServiceReply::Bye,
+        ] {
+            let json = reply.to_json();
+            assert_eq!(ServiceReply::parse(&json).unwrap(), reply, "{json}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_diagnosed_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            "{\"op\":\"query\"}",
+            "{\"op\":\"mystery\"}",
+            "{\"op\":\"query\",\"chips\":8,\"seed\":1,\"constraint\":\"bogus\",\"kind\":\"vertical\"}",
+            "{\"op\":\"query\",\"chips\":8,\"seed\":1,\"constraint\":\"nominal\",\"kind\":\"diagonal\"}",
+            "{\"op\":\"query\",\"chips\":8,\"seed\":1,\"constraint\":\"nominal\",\"kind\":\"vertical\",\"warmup\":5}",
+            "{\"op\":\"query\",\"chips\":-3,\"seed\":1,\"constraint\":\"nominal\",\"kind\":\"vertical\"}",
+            "{\"op\":\"query\",\"chips\":{},\"seed\":1,\"constraint\":\"nominal\",\"kind\":\"vertical\"}",
+            "{\"op\":\"stats\"} trailing",
+        ] {
+            assert!(ServiceRequest::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn json_strings_escape_and_unescape() {
+        let mut out = String::new();
+        json_escape(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+        let obj = parse_flat_object(&format!("{{\"k\":\"{out}\"}}")).unwrap();
+        assert_eq!(obj.str("k").unwrap(), "a\"b\\c\nd\te\u{1}");
+        // Foreign escapes parse too.
+        let obj = parse_flat_object("{\"k\":\"\\u0041\\/\\b\\f\\r\"}").unwrap();
+        assert_eq!(obj.str("k").unwrap(), "A/\u{8}\u{c}\r");
+    }
+
+    #[test]
+    fn frames_round_trip_and_enforce_the_cap() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        // A frame length over the cap is refused before allocation.
+        let mut huge = io::Cursor::new(((MAX_FRAME + 1) as u32).to_be_bytes().to_vec());
+        assert_eq!(
+            read_frame(&mut huge).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // A torn frame is an UnexpectedEof, not a silent truncation.
+        let mut torn = Vec::new();
+        write_frame(&mut torn, b"full payload").unwrap();
+        torn.truncate(torn.len() - 3);
+        let mut r = io::Cursor::new(torn);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn constraint_lookup_covers_the_paper_recipes() {
+        for spec in [
+            ConstraintSpec::NOMINAL,
+            ConstraintSpec::RELAXED,
+            ConstraintSpec::STRICT,
+        ] {
+            assert_eq!(constraint_by_name(spec.name), Some(spec));
+        }
+        assert_eq!(constraint_by_name("bogus"), None);
+    }
+}

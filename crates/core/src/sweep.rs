@@ -189,8 +189,9 @@ impl SweepGrid {
     }
 }
 
-/// SplitMix64-style finalising fold used for the grid fingerprint.
-fn mix(h: u64, v: u64) -> u64 {
+/// SplitMix64-style finalising fold used for the grid fingerprint (and
+/// the service's per-query fingerprint, which must mix identically).
+pub(crate) fn mix(h: u64, v: u64) -> u64 {
     let mut z = h
         .wrapping_add(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(v.wrapping_mul(0xbf58_476d_1ce4_e5b9));
@@ -366,14 +367,14 @@ impl SweepOutcome {
 // ---------------------------------------------------------------------
 
 /// Appends the per-line CRC trailer.
-fn crc_line(body: &str) -> String {
+pub(crate) fn crc_line(body: &str) -> String {
     format!("{body} CRC {:08x}\n", crc32(body.as_bytes()))
 }
 
 /// Splits a journal line into its body and verifies the CRC trailer.
 /// `None` means the line is torn or rotted (only tolerable as the final
 /// line of the file).
-fn check_crc_line(line: &str) -> Option<&str> {
+pub(crate) fn check_crc_line(line: &str) -> Option<&str> {
     let (body, hex) = line.rsplit_once(" CRC ")?;
     let stated = u32::from_str_radix(hex, 16).ok()?;
     (crc32(body.as_bytes()) == stated).then_some(body)
@@ -395,7 +396,14 @@ fn render_breakdown(out: &mut String, b: &LossBreakdown) {
 
 /// Serialises a [`StudyResult`] as journal tokens (floats as IEEE bit
 /// images, so replaying the record is bit-identical to recomputing).
-fn render_result(r: &StudyResult) -> String {
+///
+/// The rendering is **canonical**: re-rendering a parsed record
+/// reproduces it byte for byte. The sweep journal's `S`/`D` records,
+/// the service's result cache and its wire replies all carry exactly
+/// this text, which is what makes "cached equals recomputed" a byte
+/// comparison.
+#[must_use]
+pub fn render_result(r: &StudyResult) -> String {
     let mut out = String::with_capacity(128);
     let _ = write!(
         out,
@@ -484,7 +492,14 @@ impl<'a> TokenReader<'a> {
     }
 }
 
-fn parse_result(tokens: &str, line: usize) -> Result<StudyResult, StudyError> {
+/// Parses [`render_result`] tokens back into a [`StudyResult`] (bit
+/// exact). `line` is folded into [`StudyError::Corrupt`] diagnostics.
+///
+/// # Errors
+///
+/// Returns [`StudyError::Corrupt`] when the tokens are truncated,
+/// malformed or carry trailing garbage.
+pub fn parse_result(tokens: &str, line: usize) -> Result<StudyResult, StudyError> {
     let mut r = TokenReader {
         tokens: tokens.split_ascii_whitespace(),
         line,
@@ -554,23 +569,23 @@ fn parse_result(tokens: &str, line: usize) -> Result<StudyResult, StudyError> {
 
 /// What a journal parse recovered.
 #[derive(Debug)]
-struct ParsedJournal {
-    grid_hash: u64,
-    studies: usize,
+pub(crate) struct ParsedJournal {
+    pub(crate) grid_hash: u64,
+    pub(crate) studies: usize,
     /// Last terminal record per study index.
-    terminal: Vec<(usize, StudyStatus)>,
+    pub(crate) terminal: Vec<(usize, StudyStatus)>,
     /// A torn (CRC-failing or newline-less) final line was dropped; the
     /// file must be truncated to `valid_len` before appending, or the
     /// next record would concatenate onto the partial line.
-    torn_tail: bool,
+    pub(crate) torn_tail: bool,
     /// Byte length of the CRC-valid prefix.
-    valid_len: u64,
+    pub(crate) valid_len: u64,
 }
 
 /// Parses journal text. `Ok(None)` means the file holds no complete
 /// header — the signature of a crash during creation — and the sweep
 /// should start fresh (rewriting the file).
-fn parse_journal(text: &str) -> Result<Option<ParsedJournal>, StudyError> {
+pub(crate) fn parse_journal(text: &str) -> Result<Option<ParsedJournal>, StudyError> {
     // A crash mid-append can only tear the final line: CRC-check line by
     // line, tolerating damage (bad CRC or a missing newline) only at the
     // very end of the file. Damage anywhere else is bit rot and fatal.
@@ -733,18 +748,18 @@ fn study_checkpoint(journal: &Path, index: usize) -> PathBuf {
     journal.with_extension(format!("s{index}.ckpt"))
 }
 
-/// Runs one grid cell end to end: population (checkpointed, supervised),
-/// classification, loss table, interval, optional CPI.
-fn run_one_study(
-    grid: &SweepGrid,
-    config: &SweepConfig,
-    spec: &StudySpec,
-    ckpt: &Path,
+/// Turns a supervised-executor outcome into a [`StudyResult`]:
+/// classification, loss table, interval, optional CPI. Shared verbatim
+/// by the sweep orchestrator and the service's work-stealing path, so a
+/// service-computed result is bit-identical to the sweep's for the same
+/// grid cell by construction.
+pub(crate) fn study_result_from_outcome(
+    outcome: &crate::executor::StudyOutcome,
+    constraint: ConstraintSpec,
+    kind: PowerDownKind,
+    seed: u64,
+    cpi: Option<&CpiOptions>,
 ) -> Result<StudyResult, StudyError> {
-    let mut pop_cfg = PopulationConfig::paper(spec.seed);
-    pop_cfg.chips = grid.chips;
-    pop_cfg.faults = config.faults;
-    let outcome = run_checkpointed_workers(&pop_cfg, &config.exec, ckpt, config.checkpoint_every)?;
     if outcome.population.is_empty() {
         // YieldConstraints::derive needs at least one surviving chip.
         return Err(StudyError::Degraded {
@@ -752,19 +767,19 @@ fn run_one_study(
             requested: outcome.requested_chips,
         });
     }
-    let constraints = YieldConstraints::derive(&outcome.population, spec.constraint);
-    let loss = match spec.kind {
+    let constraints = YieldConstraints::derive(&outcome.population, constraint);
+    let loss = match kind {
         PowerDownKind::Vertical => table2(&outcome.population, &constraints),
         PowerDownKind::Horizontal => table3(&outcome.population, &constraints),
     };
     let missing = outcome.missing_chips();
     let shipped = loss.total_chips - loss.base.total();
     let interval = yield_interval(shipped, loss.total_chips, missing);
-    let mean_cpi = config.cpi.as_ref().and_then(|c| {
+    let mean_cpi = cpi.and_then(|c| {
         let opts = PerfOptions {
             warmup_uops: c.warmup_uops,
             measure_uops: c.measure_uops,
-            trace_seed: spec.seed,
+            trace_seed: seed,
         };
         let (cpis, _failures) =
             suite_cpis_isolated(&CacheConfig::l1d_paper(), &PipelineConfig::paper(), &opts);
@@ -782,6 +797,27 @@ fn run_one_study(
         loss,
         mean_cpi,
     })
+}
+
+/// Runs one grid cell end to end: population (checkpointed, supervised),
+/// classification, loss table, interval, optional CPI.
+fn run_one_study(
+    grid: &SweepGrid,
+    config: &SweepConfig,
+    spec: &StudySpec,
+    ckpt: &Path,
+) -> Result<StudyResult, StudyError> {
+    let mut pop_cfg = PopulationConfig::paper(spec.seed);
+    pop_cfg.chips = grid.chips;
+    pop_cfg.faults = config.faults;
+    let outcome = run_checkpointed_workers(&pop_cfg, &config.exec, ckpt, config.checkpoint_every)?;
+    study_result_from_outcome(
+        &outcome,
+        spec.constraint,
+        spec.kind,
+        spec.seed,
+        config.cpi.as_ref(),
+    )
 }
 
 /// Runs (or resumes) a sweep, journalling progress at `journal_path`.

@@ -1,0 +1,152 @@
+//! Stress tests for the work-stealing deque and pool: concurrent owner
+//! pops racing thief steals must deliver every task exactly once, and a
+//! deliberately imbalanced pool must actually steal.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use yac_core::{StealPool, WorkDeque};
+
+/// SplitMix64, used only to vary thread interleavings across rounds.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One owner popping and two thieves stealing halves, concurrently, must
+/// partition the deque's contents: every item lands in exactly one
+/// collector, none duplicated, none lost. Several seeded rounds vary the
+/// interleaving via yield patterns.
+#[test]
+fn concurrent_pops_and_steals_partition_the_deque() {
+    const ITEMS: usize = 4000;
+    for round in 0..6u64 {
+        let deque = Arc::new(WorkDeque::new());
+        for i in 0..ITEMS {
+            deque.push(i);
+        }
+        let owner_done = Arc::new(AtomicBool::new(false));
+        let collected: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+
+        std::thread::scope(|scope| {
+            {
+                let deque = Arc::clone(&deque);
+                let owner_done = Arc::clone(&owner_done);
+                let collected = Arc::clone(&collected);
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    let mut state = mix(round ^ 0xB0B);
+                    while let Some(item) = deque.pop() {
+                        mine.push(item);
+                        state = mix(state);
+                        if state % 7 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    owner_done.store(true, Ordering::Release);
+                    collected.lock().unwrap().extend(mine);
+                });
+            }
+            for thief in 0..2u64 {
+                let deque = Arc::clone(&deque);
+                let owner_done = Arc::clone(&owner_done);
+                let collected = Arc::clone(&collected);
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    let mut state = mix(round.wrapping_mul(31) ^ thief);
+                    loop {
+                        let batch = deque.steal_half();
+                        if batch.is_empty() && owner_done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        mine.extend(batch);
+                        state = mix(state);
+                        if state % 3 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    collected.lock().unwrap().extend(mine);
+                });
+            }
+        });
+
+        let mut all = Arc::try_unwrap(collected)
+            .expect("threads joined")
+            .into_inner()
+            .unwrap();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..ITEMS).collect::<Vec<_>>(),
+            "round {round}: items lost or duplicated under concurrent pop/steal"
+        );
+        assert!(deque.is_empty());
+    }
+}
+
+/// Submitting every task to one worker of a multi-worker pool forces the
+/// idle workers to steal; each task still runs exactly once, and the
+/// pool's stolen counter proves redistribution happened.
+#[test]
+fn imbalanced_pool_steals_and_runs_each_task_exactly_once() {
+    const TASKS: usize = 300;
+    let pool = StealPool::new(4);
+    assert_eq!(pool.workers(), 4);
+    let runs: Arc<Vec<AtomicUsize>> = Arc::new((0..TASKS).map(|_| AtomicUsize::new(0)).collect());
+    let done = Arc::new(AtomicUsize::new(0));
+
+    for i in 0..TASKS {
+        let runs = Arc::clone(&runs);
+        let done = Arc::clone(&done);
+        pool.submit_to(
+            0,
+            Box::new(move |_worker| {
+                // A short stall keeps worker 0's deque non-empty long
+                // enough for thieves to find it.
+                std::thread::sleep(Duration::from_micros(100));
+                runs[i].fetch_add(1, Ordering::AcqRel);
+                done.fetch_add(1, Ordering::AcqRel);
+            }),
+        );
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while done.load(Ordering::Acquire) < TASKS {
+        assert!(
+            Instant::now() < deadline,
+            "pool failed to drain {TASKS} tasks"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for (i, count) in runs.iter().enumerate() {
+        assert_eq!(
+            count.load(Ordering::Acquire),
+            1,
+            "task {i} ran a wrong number of times"
+        );
+    }
+    assert!(
+        pool.stolen() > 0,
+        "all work pinned to worker 0 yet nothing was stolen"
+    );
+    pool.shutdown();
+}
+
+/// Round-robin submission across workers also delivers exactly-once, and
+/// shutdown drains queued work rather than dropping it.
+#[test]
+fn round_robin_pool_drains_all_work_on_shutdown() {
+    const TASKS: usize = 500;
+    let pool = StealPool::new(3);
+    let done = Arc::new(AtomicUsize::new(0));
+    for _ in 0..TASKS {
+        let done = Arc::clone(&done);
+        pool.submit(Box::new(move |_worker| {
+            done.fetch_add(1, Ordering::AcqRel);
+        }));
+    }
+    pool.shutdown();
+    assert_eq!(done.load(Ordering::Acquire), TASKS);
+}

@@ -114,6 +114,20 @@ registry_enum! {
         StudiesDegraded => "studies_degraded",
         /// Sweep studies that failed outright (poisoned config or panic).
         StudiesFailed => "studies_failed",
+        /// Study queries received by the sweep service (before admission).
+        QueriesReceived => "queries_received",
+        /// Study queries answered with a result (cached or computed).
+        QueriesServed => "queries_served",
+        /// Study queries rejected with typed backpressure (`Busy`).
+        QueriesBusy => "queries_busy",
+        /// Service result-cache lookups answered from the cache.
+        ResultCacheHits => "result_cache_hits",
+        /// Service result-cache lookups that missed and forced a compute.
+        ResultCacheMisses => "result_cache_misses",
+        /// Service result-cache entries evicted to honour the byte budget.
+        ResultCacheEvictions => "result_cache_evictions",
+        /// Tasks moved between work-stealing worker deques by steal-half.
+        TasksStolen => "tasks_stolen",
     }
 }
 
@@ -137,6 +151,8 @@ registry_enum! {
         ShardExec => "shard_exec",
         /// One sweep-grid study end to end (population, classify, losses).
         StudyExec => "study_exec",
+        /// One service query end to end (cache lookup through compute).
+        QueryExec => "query_exec",
     }
 }
 

@@ -93,12 +93,22 @@ pub enum TraceEventKind {
     StudyDegraded,
     /// A sweep picked up an existing journal and skipped finished work.
     SweepResumed,
+    /// The sweep service received a study query.
+    QueryReceived,
+    /// The sweep service answered a study query with a result.
+    QueryServed,
+    /// A study query was answered from the content-addressed result cache.
+    CacheHit,
+    /// A study query missed the result cache and forced a compute.
+    CacheMiss,
+    /// A work-stealing worker stole tasks from another worker's deque.
+    TaskStolen,
 }
 
 impl TraceEventKind {
     /// Every kind, with `PhaseSpan` represented once (by `Sample`).
     /// Useful for exhaustive schema tests.
-    pub const ALL: [TraceEventKind; 12] = [
+    pub const ALL: [TraceEventKind; 17] = [
         TraceEventKind::PhaseSpan(Phase::Sample),
         TraceEventKind::ShardDispatched,
         TraceEventKind::ShardCompleted,
@@ -111,6 +121,11 @@ impl TraceEventKind {
         TraceEventKind::StudyCompleted,
         TraceEventKind::StudyDegraded,
         TraceEventKind::SweepResumed,
+        TraceEventKind::QueryReceived,
+        TraceEventKind::QueryServed,
+        TraceEventKind::CacheHit,
+        TraceEventKind::CacheMiss,
+        TraceEventKind::TaskStolen,
     ];
 
     /// The stable CamelCase name used in the NDJSON schema.
@@ -129,6 +144,11 @@ impl TraceEventKind {
             TraceEventKind::StudyCompleted => "StudyCompleted",
             TraceEventKind::StudyDegraded => "StudyDegraded",
             TraceEventKind::SweepResumed => "SweepResumed",
+            TraceEventKind::QueryReceived => "QueryReceived",
+            TraceEventKind::QueryServed => "QueryServed",
+            TraceEventKind::CacheHit => "CacheHit",
+            TraceEventKind::CacheMiss => "CacheMiss",
+            TraceEventKind::TaskStolen => "TaskStolen",
         }
     }
 
@@ -149,6 +169,11 @@ impl TraceEventKind {
             "StudyCompleted" => TraceEventKind::StudyCompleted,
             "StudyDegraded" => TraceEventKind::StudyDegraded,
             "SweepResumed" => TraceEventKind::SweepResumed,
+            "QueryReceived" => TraceEventKind::QueryReceived,
+            "QueryServed" => TraceEventKind::QueryServed,
+            "CacheHit" => TraceEventKind::CacheHit,
+            "CacheMiss" => TraceEventKind::CacheMiss,
+            "TaskStolen" => TraceEventKind::TaskStolen,
             _ => return None,
         })
     }
@@ -167,6 +192,11 @@ impl TraceEventKind {
             TraceEventKind::StudyCompleted => 10,
             TraceEventKind::StudyDegraded => 11,
             TraceEventKind::SweepResumed => 12,
+            TraceEventKind::QueryReceived => 13,
+            TraceEventKind::QueryServed => 14,
+            TraceEventKind::CacheHit => 15,
+            TraceEventKind::CacheMiss => 16,
+            TraceEventKind::TaskStolen => 17,
         }
     }
 
@@ -191,6 +221,11 @@ impl TraceEventKind {
             10 => TraceEventKind::StudyCompleted,
             11 => TraceEventKind::StudyDegraded,
             12 => TraceEventKind::SweepResumed,
+            13 => TraceEventKind::QueryReceived,
+            14 => TraceEventKind::QueryServed,
+            15 => TraceEventKind::CacheHit,
+            16 => TraceEventKind::CacheMiss,
+            17 => TraceEventKind::TaskStolen,
             _ => return None,
         })
     }
