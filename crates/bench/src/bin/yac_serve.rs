@@ -1,11 +1,15 @@
-//! `yac-serve` — the interactive sweep service CLI and its tiny client.
+//! `yac-serve` — the interactive sweep service CLI, its resilient
+//! client, and the network torture harness.
 //!
 //! Serve mode starts a `yac_core::service::SweepService` on a local TCP
-//! socket and runs until a client sends the `shutdown` op:
+//! socket and runs until a client sends the `shutdown` op (or `drain`,
+//! which finishes in-flight queries first):
 //!
 //! ```text
 //! yac-serve serve [--listen ADDR] [--port-file PATH] [--workers N]
 //!                 [--max-inflight N] [--cache-bytes N]
+//!                 [--max-conns N] [--read-deadline-ms N]
+//!                 [--write-deadline-ms N] [--retry-after-ms N]
 //!                 [--cache-file PATH] [--warm-journal PATH --chips N --seeds 1,2
 //!                  --constraints nominal,... --schemes regular|horizontal|both
 //!                  [--cpi WARMUP,MEASURE]]
@@ -20,36 +24,76 @@
 //! the cache there on clean shutdown. `--warm-journal` pre-populates
 //! the cache from a completed sweep journal; the grid flags must
 //! describe that journal's grid, and a fingerprint mismatch is refused
-//! with exit code 4.
+//! with exit code 4. Serve mode honours `YAC_CHAOS` (including the
+//! `net_rate`/`net_delay_us` wire-fault keys), so a chaos-injected
+//! server can be stood up from the environment alone.
 //!
-//! Client mode sends one request and prints the raw reply JSON to
-//! stdout (or `--out PATH`):
+//! Client modes send requests and print the raw reply JSON to stdout
+//! (or `--out PATH`):
 //!
 //! ```text
 //! yac-serve query --connect ADDR --chips N --seed S
 //!           --constraint nominal|relaxed|strict --kind vertical|horizontal
-//!           [--cpi WARMUP,MEASURE] [--out PATH]
+//!           [--cpi WARMUP,MEASURE] [--deadline-ms N] [--retries N]
+//!           [--out PATH]
 //! yac-serve stats --connect ADDR
+//! yac-serve drain --connect ADDR
 //! yac-serve shutdown --connect ADDR
 //! ```
 //!
-//! Query exit codes: 0 for a result, 3 when the service answered
-//! `busy` (typed backpressure — retry later), 1 for anything else.
+//! Query mode uses the resilient client: transport faults and `busy`
+//! refusals are retried with jittered exponential backoff (honouring
+//! the server's `retry_after_ms` hint) under a circuit breaker;
+//! `--retries` caps the attempts and `--deadline-ms` both bounds the
+//! whole call client-side and rides the wire so the server cancels the
+//! query cooperatively when it expires.
+//!
+//! Torture mode runs a seeded client/server chaos campaign in one
+//! process and checks the resilience invariants (see `run_torture`):
+//!
+//! ```text
+//! yac-serve torture [--seed N] [--net-rate R] [--clients N]
+//!           [--requests N] [--chips N] [--trace PATH]
+//! ```
+//!
+//! # Exit codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success (result, stats, bye, or a drain acknowledged) |
+//! | 1    | error: bad flags, transport failure, server `error` reply, torture invariant violation |
+//! | 3    | the service answered `busy` after all retries (typed backpressure — retry later) |
+//! | 4    | warm-journal grid-fingerprint mismatch |
+//! | 5    | the service is draining and refused the query |
+//! | 6    | the query's deadline expired server-side (shards cancelled cooperatively) |
+//! | 7    | the resilient client gave up: breaker open, attempts exhausted, or client deadline |
 
+use std::io::{Read, Write};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
+use yac_core::client::{ClientConfig, ClientError, ResilientClient};
 use yac_core::service::{self, ServiceConfig, ServiceReply, ServiceRequest, StudyQuery};
 use yac_core::sweep::CpiOptions;
 use yac_core::{
-    ConstraintSpec, PowerDownKind, ResultCache, StudyError, SweepConfig, SweepGrid, SweepService,
+    chaos, ChaosPlan, ConstraintSpec, PowerDownKind, ResultCache, StudyError, SweepConfig,
+    SweepGrid, SweepService,
 };
 use yac_obs::progress::{ProgressConfig, ProgressReporter};
+use yac_obs::Metric;
 
 /// Exit code when the service refuses a query with typed backpressure.
 const BUSY_EXIT: u8 = 3;
 /// Exit code for a warm-journal grid-fingerprint mismatch.
 const MISMATCH_EXIT: u8 = 4;
+/// Exit code when the service is draining and refused the query.
+const DRAINING_EXIT: u8 = 5;
+/// Exit code when the query's server-side deadline expired.
+const DEADLINE_EXIT: u8 = 6;
+/// Exit code when the resilient client gave up (breaker, retries or
+/// client deadline).
+const UNAVAILABLE_EXIT: u8 = 7;
 
 struct ServeArgs {
     listen: String,
@@ -57,6 +101,10 @@ struct ServeArgs {
     workers: usize,
     max_inflight: usize,
     cache_bytes: usize,
+    max_conns: usize,
+    read_deadline_ms: u64,
+    write_deadline_ms: u64,
+    retry_after_ms: u64,
     cache_file: Option<String>,
     warm_journal: Option<String>,
     chips: usize,
@@ -75,7 +123,18 @@ struct ClientArgs {
     constraint: ConstraintSpec,
     kind: PowerDownKind,
     cpi: Option<CpiOptions>,
+    deadline_ms: Option<u64>,
+    retries: u32,
     out: Option<String>,
+}
+
+struct TortureArgs {
+    seed: u64,
+    net_rate: f64,
+    clients: usize,
+    requests: usize,
+    chips: usize,
+    trace: Option<String>,
 }
 
 fn parse_constraint(name: &str) -> Result<ConstraintSpec, String> {
@@ -93,12 +152,17 @@ fn parse_cpi(spec: &str) -> Result<CpiOptions, String> {
 }
 
 fn parse_serve_args(it: &mut impl Iterator<Item = String>) -> Result<ServeArgs, String> {
+    let defaults = ServiceConfig::default();
     let mut args = ServeArgs {
         listen: "127.0.0.1:0".to_owned(),
         port_file: None,
         workers: 2,
         max_inflight: 2,
         cache_bytes: 8 << 20,
+        max_conns: defaults.max_conns,
+        read_deadline_ms: defaults.read_deadline.as_millis() as u64,
+        write_deadline_ms: defaults.write_deadline.as_millis() as u64,
+        retry_after_ms: defaults.retry_after_ms,
         cache_file: None,
         warm_journal: None,
         chips: 200,
@@ -128,6 +192,26 @@ fn parse_serve_args(it: &mut impl Iterator<Item = String>) -> Result<ServeArgs, 
                 args.cache_bytes = value("--cache-bytes")?
                     .parse()
                     .map_err(|e| format!("--cache-bytes: {e}"))?;
+            }
+            "--max-conns" => {
+                args.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+            }
+            "--read-deadline-ms" => {
+                args.read_deadline_ms = value("--read-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-deadline-ms: {e}"))?;
+            }
+            "--write-deadline-ms" => {
+                args.write_deadline_ms = value("--write-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--write-deadline-ms: {e}"))?;
+            }
+            "--retry-after-ms" => {
+                args.retry_after_ms = value("--retry-after-ms")?
+                    .parse()
+                    .map_err(|e| format!("--retry-after-ms: {e}"))?;
             }
             "--cache-file" => args.cache_file = Some(value("--cache-file")?),
             "--warm-journal" => args.warm_journal = Some(value("--warm-journal")?),
@@ -173,6 +257,8 @@ fn parse_client_args(it: &mut impl Iterator<Item = String>) -> Result<ClientArgs
         constraint: ConstraintSpec::NOMINAL,
         kind: PowerDownKind::Vertical,
         cpi: None,
+        deadline_ms: None,
+        retries: ClientConfig::default().max_attempts,
         out: None,
     };
     while let Some(flag) = it.next() {
@@ -198,6 +284,18 @@ fn parse_client_args(it: &mut impl Iterator<Item = String>) -> Result<ClientArgs
                 };
             }
             "--cpi" => args.cpi = Some(parse_cpi(&value("--cpi")?)?),
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+            }
+            "--retries" => {
+                args.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
             "--out" => args.out = Some(value("--out")?),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -208,6 +306,97 @@ fn parse_client_args(it: &mut impl Iterator<Item = String>) -> Result<ClientArgs
     Ok(args)
 }
 
+fn parse_torture_args(it: &mut impl Iterator<Item = String>) -> Result<TortureArgs, String> {
+    let mut args = TortureArgs {
+        seed: 2006,
+        net_rate: 0.05,
+        clients: 4,
+        requests: 12,
+        chips: 24,
+        trace: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--net-rate" => {
+                args.net_rate = value("--net-rate")?
+                    .parse()
+                    .map_err(|e| format!("--net-rate: {e}"))?;
+            }
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+            }
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--chips" => {
+                args.chips = value("--chips")?
+                    .parse()
+                    .map_err(|e| format!("--chips: {e}"))?;
+            }
+            "--trace" => args.trace = Some(value("--trace")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Installs the `YAC_CHAOS` plan if the environment carries one.
+/// Returns `false` (after printing the diagnostic) when the spec is
+/// malformed.
+fn install_env_chaos(mode: &str) -> bool {
+    match ChaosPlan::from_env() {
+        Ok(None) => true,
+        Ok(Some(plan)) => {
+            eprintln!("yac-serve: {mode}: chaos plan installed: {plan:?}");
+            chaos::install(plan);
+            true
+        }
+        Err(e) => {
+            eprintln!("yac-serve: {mode}: YAC_CHAOS: {e}");
+            false
+        }
+    }
+}
+
+/// Writes the bound address to `path` via a temp-name rename, so
+/// readers polling the path never observe a half-written address.
+fn write_port_file(path: &str, bound: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, bound)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Dumps the trace journal as Chrome JSON plus NDJSON next to it.
+fn write_traces(trace_path: &str) -> Result<(), String> {
+    yac_obs::trace_disable();
+    let snapshot = yac_obs::journal().snapshot();
+    let trace_path = Path::new(trace_path);
+    let ndjson_path = trace_path.with_extension("ndjson");
+    yac_obs::perfetto::write_chrome_json(trace_path, &snapshot)
+        .map_err(|e| format!("writing {}: {e}", trace_path.display()))?;
+    yac_obs::ndjson::write_ndjson(&ndjson_path, &snapshot)
+        .map_err(|e| format!("writing {}: {e}", ndjson_path.display()))?;
+    eprintln!(
+        "yac-serve: traced {} event(s) on {} thread(s) ({} dropped) -> {} + {}",
+        snapshot.total_events(),
+        snapshot.threads.len(),
+        snapshot.dropped_events,
+        trace_path.display(),
+        ndjson_path.display(),
+    );
+    Ok(())
+}
+
 fn run_serve(args: &ServeArgs) -> ExitCode {
     let registry = yac_obs::global();
     yac_obs::enable();
@@ -216,11 +405,18 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
         yac_obs::trace_label_thread("main");
         yac_obs::trace_enable();
     }
+    if !install_env_chaos("serve") {
+        return ExitCode::FAILURE;
+    }
 
     let mut config = ServiceConfig {
         exec: yac_core::ExecutorConfig::with_workers(args.workers.max(1)),
         max_inflight: args.max_inflight.max(1),
         cache_bytes: args.cache_bytes,
+        max_conns: args.max_conns.max(1),
+        read_deadline: Duration::from_millis(args.read_deadline_ms.max(1)),
+        write_deadline: Duration::from_millis(args.write_deadline_ms.max(1)),
+        retry_after_ms: args.retry_after_ms,
     };
     config.exec.shard_chips = config.exec.shard_chips.min(args.chips.max(1));
     let service = Arc::new(SweepService::new(config));
@@ -281,18 +477,16 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
         }
     };
     if let Some(path) = &args.port_file {
-        // Write to a temp name then rename, so readers polling the path
-        // never observe a half-written address.
-        let tmp = format!("{path}.tmp");
-        if let Err(e) = std::fs::write(&tmp, &bound).and_then(|()| std::fs::rename(&tmp, path)) {
+        if let Err(e) = write_port_file(path, &bound) {
             eprintln!("yac-serve: writing {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
     eprintln!(
-        "yac-serve: listening on {bound} ({} worker(s), {} inflight, {} cache bytes)",
+        "yac-serve: listening on {bound} ({} worker(s), {} inflight, {} conn(s), {} cache bytes)",
         args.workers.max(1),
         args.max_inflight.max(1),
+        args.max_conns.max(1),
         args.cache_bytes,
     );
 
@@ -302,7 +496,7 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
             ProgressConfig {
                 total_chips: 0,
                 workers: args.workers.max(1),
-                interval: std::time::Duration::from_secs(1),
+                interval: Duration::from_secs(1),
                 label: "yac-serve".to_owned(),
                 total_studies: 0,
             },
@@ -321,7 +515,8 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
     let stats = service.stats();
     eprintln!(
         "yac-serve: shutting down: {} queries ({} served, {} busy), \
-         cache {} hit(s) / {} miss(es) / {} eviction(s), {} task(s) stolen",
+         cache {} hit(s) / {} miss(es) / {} eviction(s), {} task(s) stolen, \
+         {} slow client(s) evicted, {} connection(s) rejected",
         stats.queries,
         stats.served,
         stats.busy,
@@ -329,6 +524,8 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
         stats.cache_misses,
         stats.cache_evictions,
         stats.stolen,
+        stats.evicted,
+        stats.rejected,
     );
     if let Some(path) = &args.cache_file {
         let saved = service.with_cache(|cache| cache.save(Path::new(path)));
@@ -342,26 +539,10 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
     }
 
     if let Some(trace_path) = &args.trace {
-        yac_obs::trace_disable();
-        let snapshot = yac_obs::journal().snapshot();
-        let trace_path = Path::new(trace_path);
-        let ndjson_path = trace_path.with_extension("ndjson");
-        if let Err(e) = yac_obs::perfetto::write_chrome_json(trace_path, &snapshot) {
-            eprintln!("yac-serve: writing {}: {e}", trace_path.display());
+        if let Err(e) = write_traces(trace_path) {
+            eprintln!("yac-serve: {e}");
             return ExitCode::FAILURE;
         }
-        if let Err(e) = yac_obs::ndjson::write_ndjson(&ndjson_path, &snapshot) {
-            eprintln!("yac-serve: writing {}: {e}", ndjson_path.display());
-            return ExitCode::FAILURE;
-        }
-        eprintln!(
-            "yac-serve: traced {} event(s) on {} thread(s) ({} dropped) -> {} + {}",
-            snapshot.total_events(),
-            snapshot.threads.len(),
-            snapshot.dropped_events,
-            trace_path.display(),
-            ndjson_path.display(),
-        );
     }
 
     match Arc::try_unwrap(service) {
@@ -373,34 +554,40 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run_client(request: &ServiceRequest, connect: &str, out: Option<&str>) -> ExitCode {
-    let (reply, raw) = match service::client_request(connect, request) {
-        Ok(pair) => pair,
-        Err(e) => {
-            eprintln!("yac-serve: {connect}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if let Some(path) = out {
-        if let Err(e) = std::fs::write(path, &raw) {
-            eprintln!("yac-serve: writing {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    } else {
-        println!("{raw}");
-    }
+/// Maps a terminal reply to the documented exit code. `drain_mode`
+/// flips `Draining` from a refusal into the expected acknowledgement.
+fn reply_exit(reply: &ServiceReply, drain_mode: bool) -> ExitCode {
     match reply {
         ServiceReply::Result { cached, key, .. } => {
             eprintln!(
                 "yac-serve: result key {key:016x} ({})",
-                if cached { "cache hit" } else { "computed" }
+                if *cached { "cache hit" } else { "computed" }
             );
             ExitCode::SUCCESS
         }
         ServiceReply::Stats(_) | ServiceReply::Bye => ExitCode::SUCCESS,
-        ServiceReply::Busy { inflight, limit } => {
-            eprintln!("yac-serve: busy ({inflight}/{limit} in flight) — retry later");
+        ServiceReply::Busy {
+            inflight,
+            limit,
+            retry_after_ms,
+        } => {
+            eprintln!(
+                "yac-serve: busy ({inflight}/{limit} in flight) — retry in {retry_after_ms} ms"
+            );
             ExitCode::from(BUSY_EXIT)
+        }
+        ServiceReply::Draining { inflight } => {
+            if drain_mode {
+                eprintln!("yac-serve: draining acknowledged ({inflight} in flight)");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("yac-serve: service is draining ({inflight} in flight)");
+                ExitCode::from(DRAINING_EXIT)
+            }
+        }
+        ServiceReply::Deadline { elapsed_ms } => {
+            eprintln!("yac-serve: query deadline expired after {elapsed_ms} ms");
+            ExitCode::from(DEADLINE_EXIT)
         }
         ServiceReply::Cancelled => {
             eprintln!("yac-serve: query was cancelled");
@@ -411,6 +598,294 @@ fn run_client(request: &ServiceRequest, connect: &str, out: Option<&str>) -> Exi
             ExitCode::FAILURE
         }
     }
+}
+
+/// Sends one request through the resilient client and prints the raw
+/// reply (stdout or `--out`).
+fn run_client(
+    request: &ServiceRequest,
+    connect: &str,
+    out: Option<&str>,
+    config: ClientConfig,
+    drain_mode: bool,
+) -> ExitCode {
+    if !install_env_chaos("client") {
+        return ExitCode::FAILURE;
+    }
+    let mut client = ResilientClient::new(connect, config);
+    let (reply, raw) = match client.request(request) {
+        Ok(pair) => pair,
+        Err(e @ ClientError::BreakerOpen { .. })
+        | Err(e @ ClientError::DeadlineExceeded { .. })
+        | Err(e @ ClientError::Exhausted { .. }) => {
+            eprintln!("yac-serve: {connect}: {e}");
+            return ExitCode::from(UNAVAILABLE_EXIT);
+        }
+    };
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, &raw) {
+            eprintln!("yac-serve: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!("{raw}");
+    }
+    reply_exit(&reply, drain_mode)
+}
+
+/// One slowloris pass: opens a connection, dribbles half a frame
+/// header, then stalls past the server's read deadline. Returns whether
+/// the server dropped it (EOF/reset instead of a hang).
+fn slowloris_once(addr: &str, stall: Duration) -> bool {
+    let Ok(mut stream) = std::net::TcpStream::connect(addr) else {
+        return false;
+    };
+    // Half a header: enough to arm the server's frame deadline.
+    if stream.write_all(&[0, 0, 0, 9]).is_err() {
+        return true; // already refused — counts as handled
+    }
+    std::thread::sleep(stall);
+    // An evicting server closed the socket: the read must not hang and
+    // must not deliver a reply frame.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut byte = [0u8; 1];
+    matches!(stream.read(&mut byte), Ok(0) | Err(_))
+}
+
+/// The slowloris campaign: stall connections until the server counts an
+/// eviction. Under wire chaos an individual pass can end early — a
+/// chaos-injected disconnect kills the connection with a plain error
+/// before the eviction deadline fires — so keep poking (bounded) until
+/// the `slow_clients_evicted` counter moves. Returns whether every pass
+/// was dropped rather than hung on.
+fn slowloris(addr: &str, stall: Duration) -> bool {
+    let registry = yac_obs::global();
+    let before = registry.counter(Metric::SlowClientsEvicted);
+    for _ in 0..10 {
+        if !slowloris_once(addr, stall) {
+            return false;
+        }
+        if registry.counter(Metric::SlowClientsEvicted) > before {
+            return true;
+        }
+    }
+    // Dropped every time but never via the eviction path; the counter
+    // invariant will report it.
+    true
+}
+
+/// The network torture campaign: one in-process server under wire
+/// chaos, a swarm of resilient clients hammering a small query space, a
+/// deliberate slowloris peer, then a graceful drain. Invariants:
+///
+/// 1. Every request ends in a typed reply or a typed client error —
+///    never a hang (the process itself completing is the proof).
+/// 2. All `Result` replies for the same key are bit-identical.
+/// 3. The slowloris peer is evicted, not serviced and not hung on.
+/// 4. After the drain, the serve loop exits cleanly with no in-flight
+///    queries and no leaked admission slots.
+/// 5. Chaos made the clients work for it: at least one retry when the
+///    fault rate is nonzero.
+fn run_torture(args: &TortureArgs) -> ExitCode {
+    let registry = yac_obs::global();
+    yac_obs::enable();
+    registry.reset();
+    yac_obs::trace_label_thread("main");
+    yac_obs::trace_enable();
+
+    // The environment wins so CI can steer the chaos; flags otherwise.
+    if std::env::var("YAC_CHAOS").is_ok() {
+        if !install_env_chaos("torture") {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        let plan = ChaosPlan::new(args.seed, 0.0)
+            .and_then(|p| p.with_net(args.net_rate, Duration::from_micros(500)));
+        match plan {
+            Ok(plan) => {
+                eprintln!("yac-serve: torture: chaos plan installed: {plan:?}");
+                chaos::install(plan);
+            }
+            Err(e) => {
+                eprintln!("yac-serve: torture: --net-rate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let read_deadline = Duration::from_millis(250);
+    let mut config = ServiceConfig {
+        exec: yac_core::ExecutorConfig::with_workers(2),
+        max_inflight: 2,
+        cache_bytes: 8 << 20,
+        max_conns: args.clients.max(1) * 2 + 4,
+        read_deadline,
+        write_deadline: Duration::from_millis(500),
+        retry_after_ms: 25,
+    };
+    config.exec.shard_chips = config.exec.shard_chips.min(args.chips.max(1));
+    let service = Arc::new(SweepService::new(config));
+    let listener = match std::net::TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("yac-serve: torture: bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match listener.local_addr() {
+        Ok(a) => a.to_string(),
+        Err(e) => {
+            eprintln!("yac-serve: torture: local_addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let serve_service = Arc::clone(&service);
+    let server = std::thread::spawn(move || service::serve(&listener, &serve_service));
+    eprintln!(
+        "yac-serve: torture: server on {addr}, {} client(s) x {} request(s), chips {}",
+        args.clients.max(1),
+        args.requests.max(1),
+        args.chips.max(1)
+    );
+
+    // The slowloris peer runs alongside the swarm.
+    let loris_addr = addr.clone();
+    let loris = std::thread::spawn(move || slowloris(&loris_addr, read_deadline * 3));
+
+    // The swarm: each client cycles a tiny query space so cache hits,
+    // misses and busy refusals all occur. Records per key collect for
+    // the bit-identity check.
+    let chips = args.chips.max(1);
+    let mut swarm = Vec::new();
+    for client_index in 0..args.clients.max(1) {
+        let addr = addr.clone();
+        let requests = args.requests.max(1);
+        let seed_base = args.seed;
+        swarm.push(std::thread::spawn(move || {
+            yac_obs::trace_label_thread(&format!("client-{client_index}"));
+            let mut client = ResilientClient::new(
+                addr,
+                ClientConfig {
+                    max_attempts: 6,
+                    base_backoff: Duration::from_millis(10),
+                    max_backoff: Duration::from_millis(200),
+                    deadline: Some(Duration::from_secs(20)),
+                    breaker_threshold: 8,
+                    breaker_cooldown: Duration::from_millis(100),
+                    seed: seed_base ^ (client_index as u64).wrapping_mul(0x9e37),
+                },
+            );
+            let mut results: Vec<(u64, String)> = Vec::new();
+            let mut typed_errors = 0usize;
+            for i in 0..requests {
+                let query = StudyQuery {
+                    chips,
+                    seed: seed_base + (i % 3) as u64,
+                    constraint: ConstraintSpec::NOMINAL,
+                    kind: PowerDownKind::Vertical,
+                    cpi: None,
+                };
+                let request = ServiceRequest::Query {
+                    query,
+                    deadline_ms: Some(15_000),
+                };
+                match client.request(&request) {
+                    Ok((ServiceReply::Result { record, key, .. }, _)) => {
+                        results.push((key, record));
+                    }
+                    Ok(_) | Err(_) => typed_errors += 1,
+                }
+            }
+            (results, typed_errors)
+        }));
+    }
+
+    let mut records_by_key: std::collections::HashMap<u64, String> =
+        std::collections::HashMap::new();
+    let mut results = 0usize;
+    let mut typed_errors = 0usize;
+    let mut mismatches = 0usize;
+    for handle in swarm {
+        let Ok((client_results, errors)) = handle.join() else {
+            eprintln!("yac-serve: torture: a client thread panicked");
+            return ExitCode::FAILURE;
+        };
+        typed_errors += errors;
+        for (key, record) in client_results {
+            results += 1;
+            match records_by_key.get(&key) {
+                None => {
+                    records_by_key.insert(key, record);
+                }
+                Some(seen) if *seen == record => {}
+                Some(_) => mismatches += 1,
+            }
+        }
+    }
+    let loris_evicted = loris.join().unwrap_or(false);
+
+    // Drain: the server finishes in-flight work and exits on its own.
+    let mut drainer = ResilientClient::new(addr, ClientConfig::default());
+    let drain_ok = matches!(
+        drainer.request(&ServiceRequest::Drain),
+        Ok((ServiceReply::Draining { .. }, _))
+    );
+    let serve_result = server.join();
+    let clean_exit = matches!(serve_result, Ok(Ok(())));
+    let inflight_after = service.inflight();
+    let stats = service.stats();
+
+    let retries = registry.counter(Metric::RetryAttempts);
+    let evictions = registry.counter(Metric::SlowClientsEvicted);
+    let net_faults = registry.counter(Metric::NetFaultsInjected);
+    eprintln!(
+        "yac-serve: torture: {results} result(s), {typed_errors} typed error(s)/refusal(s), \
+         {} distinct key(s), {retries} retry(ies), {evictions} eviction(s), \
+         {net_faults} net fault(s), {} rejected, inflight {inflight_after}",
+        records_by_key.len(),
+        stats.rejected,
+    );
+
+    if let Some(trace_path) = &args.trace {
+        if let Err(e) = write_traces(trace_path) {
+            eprintln!("yac-serve: torture: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => eprintln!("yac-serve: torture: a handler outlived the serve loop"),
+    }
+
+    let mut failed = false;
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("yac-serve: torture: INVARIANT VIOLATED: {what}");
+            failed = true;
+        }
+    };
+    check(mismatches == 0, "same-key results must be bit-identical");
+    check(results > 0, "at least one request must succeed");
+    check(
+        loris_evicted,
+        "the slowloris peer must be evicted, not hung on",
+    );
+    check(evictions >= 1, "the eviction must be counted");
+    check(drain_ok, "the drain request must be acknowledged");
+    check(
+        clean_exit,
+        "the serve loop must exit cleanly after the drain",
+    );
+    check(inflight_after == 0, "no admission slot may leak");
+    check(
+        args.net_rate <= 0.0 || retries >= 1,
+        "nonzero chaos must provoke at least one retry",
+    );
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    eprintln!("yac-serve: torture: all invariants held");
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -426,25 +901,39 @@ fn main() -> ExitCode {
         },
         "query" => match parse_client_args(&mut it) {
             Ok(args) => {
-                let request = ServiceRequest::Query(StudyQuery {
-                    chips: args.chips,
-                    seed: args.seed,
-                    constraint: args.constraint,
-                    kind: args.kind,
-                    cpi: args.cpi,
-                });
-                run_client(&request, &args.connect, args.out.as_deref())
+                let request = ServiceRequest::Query {
+                    query: StudyQuery {
+                        chips: args.chips,
+                        seed: args.seed,
+                        constraint: args.constraint,
+                        kind: args.kind,
+                        cpi: args.cpi,
+                    },
+                    deadline_ms: args.deadline_ms,
+                };
+                let config = ClientConfig {
+                    max_attempts: args.retries.max(1),
+                    ..ClientConfig::default()
+                };
+                run_client(&request, &args.connect, args.out.as_deref(), config, false)
             }
             Err(e) => {
                 eprintln!("yac-serve: query: {e}");
                 ExitCode::FAILURE
             }
         },
-        "stats" | "shutdown" => {
-            let request = if mode == "stats" {
-                ServiceRequest::Stats
-            } else {
-                ServiceRequest::Shutdown
+        "torture" => match parse_torture_args(&mut it) {
+            Ok(args) => run_torture(&args),
+            Err(e) => {
+                eprintln!("yac-serve: torture: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "stats" | "drain" | "shutdown" => {
+            let request = match mode.as_str() {
+                "stats" => ServiceRequest::Stats,
+                "drain" => ServiceRequest::Drain,
+                _ => ServiceRequest::Shutdown,
             };
             let mut connect = None;
             let mut out = None;
@@ -467,14 +956,24 @@ fn main() -> ExitCode {
                 eprintln!("yac-serve: {mode}: --connect ADDR:PORT is required");
                 return ExitCode::FAILURE;
             };
-            run_client(&request, &connect, out.as_deref())
+            run_client(
+                &request,
+                &connect,
+                out.as_deref(),
+                ClientConfig::default(),
+                mode == "drain",
+            )
         }
         "" => {
-            eprintln!("yac-serve: expected a mode: serve | query | stats | shutdown");
+            eprintln!(
+                "yac-serve: expected a mode: serve | query | stats | drain | shutdown | torture"
+            );
             ExitCode::FAILURE
         }
         other => {
-            eprintln!("yac-serve: unknown mode {other:?} (serve | query | stats | shutdown)");
+            eprintln!(
+                "yac-serve: unknown mode {other:?} (serve | query | stats | drain | shutdown | torture)"
+            );
             ExitCode::FAILURE
         }
     }

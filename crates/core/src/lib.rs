@@ -36,6 +36,7 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod chip;
 pub mod classify;
+pub mod client;
 pub mod confidence;
 pub mod constraints;
 pub mod economics;
@@ -55,13 +56,14 @@ pub use analysis::{
     loss_table, saved_config_census, study_from_population, table2, table3, FullStudy,
     InvalidLossReason, LossBreakdown, LossTable, ScatterPoint, SchemeLosses,
 };
-pub use chaos::{ChaosPlan, IoSite};
+pub use chaos::{ChaosPlan, ChaosStream, IoSite, NetPlan, NetSite};
 pub use checkpoint::{
     run_checkpointed, run_checkpointed_budget, CheckpointState, ShardRecord, ShardStatus,
     StudyError,
 };
 pub use chip::{ChipSample, Population, PopulationConfig};
 pub use classify::{classify, LossReason, WayCycleCensus};
+pub use client::{CircuitBreaker, ClientConfig, ClientError, ResilientClient};
 pub use confidence::{yield_interval, YieldInterval};
 pub use constraints::{ConstraintSpec, YieldConstraints};
 pub use economics::PriceError;

@@ -34,13 +34,40 @@
 //!
 //! # Wire protocol
 //!
-//! Length-prefixed JSON over TCP: each frame is a big-endian `u32` byte
-//! length followed by that many bytes of a flat JSON object (no nesting,
-//! scalars only). Requests carry an `"op"` key (`query`, `stats`,
-//! `shutdown`); replies a `"status"` key (`ok`, `busy`, `cancelled`,
-//! `error`, `stats`, `bye`). Study records travel as the canonical
-//! [`render_result`] token text inside the `"record"` string, so the
-//! bytes a client receives are exactly the bytes the cache holds.
+//! Length-prefixed, CRC-checked JSON over TCP: each frame is a
+//! big-endian `u32` byte length, a big-endian `u32` CRC-32 of the
+//! payload, then the payload — a flat JSON object (no nesting, scalars
+//! only). The CRC turns wire corruption (including the chaos layer's
+//! injected bit flips) into a typed `InvalidData` error instead of a
+//! silently wrong record. Requests carry an `"op"` key (`query`,
+//! `stats`, `drain`, `shutdown`); replies a `"status"` key (`ok`,
+//! `busy`, `draining`, `deadline`, `cancelled`, `error`, `stats`,
+//! `bye`). Study records travel as the canonical [`render_result`]
+//! token text inside the `"record"` string, so the bytes a client
+//! receives are exactly the bytes the cache holds.
+//!
+//! # Overload hardening
+//!
+//! The serving tier refuses to be wedged by a slow, dead or malicious
+//! peer (the disk path got the same treatment in the sweep journal):
+//!
+//! * **Per-frame deadlines** — once a frame's first byte arrives, the
+//!   rest must follow within [`ServiceConfig::read_deadline`]; replies
+//!   must drain within [`ServiceConfig::write_deadline`]. A peer that
+//!   stalls mid-frame (the classic slowloris) is evicted, counted in
+//!   `slow_clients_evicted` and traced as `SlowClientEvicted`.
+//! * **A connection cap** — [`ServiceConfig::max_conns`]; the excess
+//!   connection gets a best-effort `Busy` frame and is closed
+//!   (`conns_rejected` / `ConnRejected`).
+//! * **Typed backpressure with a hint** — [`ServiceReply::Busy`] carries
+//!   `retry_after_ms` so clients back off without guessing.
+//! * **Client deadlines** — a query's `deadline_ms` arms a server-side
+//!   watchdog that raises the query's cooperative-cancel flag and
+//!   answers [`ServiceReply::Deadline`]; abandoned work stops between
+//!   chips instead of burning the pool.
+//! * **Graceful drain** — the `drain` op finishes in-flight queries,
+//!   answers new ones with [`ServiceReply::Draining`], and exits the
+//!   serve loop once the last in-flight query completes.
 //!
 //! # Cache persistence (`YAC-CACHE v1`)
 //!
@@ -85,8 +112,8 @@
 //! service.shutdown();
 //! ```
 
-use crate::chaos::{intercept_write, IoSite};
-use crate::checkpoint::{fsync_parent, StudyError};
+use crate::chaos::{intercept_write, ChaosStream, IoSite, NetSite};
+use crate::checkpoint::{crc32, fsync_parent, StudyError};
 use crate::chip::{ChipSample, Population, PopulationConfig};
 use crate::constraints::ConstraintSpec;
 use crate::executor::{
@@ -105,8 +132,8 @@ use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 use yac_obs::{Metric, Phase, TraceCtx, TraceEventKind};
 use yac_variation::MonteCarlo;
 
@@ -504,18 +531,39 @@ pub struct ServiceConfig {
     pub max_inflight: usize,
     /// Result-cache byte budget.
     pub cache_bytes: usize,
+    /// Connections served at once; the excess connection gets a
+    /// best-effort [`ServiceReply::Busy`] and is closed. Clamped to at
+    /// least 1.
+    pub max_conns: usize,
+    /// Once a frame's first byte arrives, the rest must follow within
+    /// this window or the peer is evicted as a slow client.
+    pub read_deadline: Duration,
+    /// A reply frame must drain to the peer within this window or the
+    /// peer is evicted.
+    pub write_deadline: Duration,
+    /// The backoff hint carried by every [`ServiceReply::Busy`].
+    pub retry_after_ms: u64,
 }
 
 impl Default for ServiceConfig {
-    /// Default executor, two queries in flight, an 8 MiB cache.
+    /// Default executor, two queries in flight, an 8 MiB cache, 64
+    /// connections, two-second frame deadlines, a 200 ms retry hint.
     fn default() -> Self {
         ServiceConfig {
             exec: ExecutorConfig::default(),
             max_inflight: 2,
             cache_bytes: 8 << 20,
+            max_conns: 64,
+            read_deadline: Duration::from_secs(2),
+            write_deadline: Duration::from_secs(2),
+            retry_after_ms: DEFAULT_RETRY_AFTER_MS,
         }
     }
 }
+
+/// The `retry_after_ms` a client assumes when a `busy` reply omits the
+/// field (a pre-hint server); also the default hint servers send.
+pub const DEFAULT_RETRY_AFTER_MS: u64 = 200;
 
 /// A point-in-time snapshot of service counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -542,15 +590,33 @@ pub struct ServiceStats {
     pub inflight: usize,
     /// The admission limit.
     pub limit: usize,
+    /// Slow clients evicted for stalling mid-frame.
+    pub evicted: u64,
+    /// Connections refused at the connection cap.
+    pub rejected: u64,
+    /// Whether the service is draining (refusing new queries).
+    pub draining: bool,
 }
 
 /// A request a client can put on the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceRequest {
     /// Compute (or fetch from cache) one study.
-    Query(StudyQuery),
+    Query {
+        /// The study to compute or fetch.
+        query: StudyQuery,
+        /// Give up after this many milliseconds: the server arms a
+        /// watchdog that raises the query's cancel flag and answers
+        /// [`ServiceReply::Deadline`]. Deliberately *not* part of
+        /// [`StudyQuery`] — it shapes scheduling, not the result, so it
+        /// must not move the cache key.
+        deadline_ms: Option<u64>,
+    },
     /// Report service counters.
     Stats,
+    /// Finish in-flight queries, refuse new ones, then exit the serve
+    /// loop.
+    Drain,
     /// Shut the service down cleanly.
     Shutdown,
 }
@@ -574,6 +640,22 @@ pub enum ServiceReply {
         inflight: usize,
         /// The admission limit.
         limit: usize,
+        /// How long the server suggests waiting before retrying. Absent
+        /// on the wire from older servers; clients assume
+        /// [`DEFAULT_RETRY_AFTER_MS`].
+        retry_after_ms: u64,
+    },
+    /// The service is draining: in-flight queries finish, new ones are
+    /// refused, and the serve loop exits once the last completes.
+    Draining {
+        /// Queries still computing when the refusal was made.
+        inflight: usize,
+    },
+    /// The query's `deadline_ms` expired before it finished; its shards
+    /// were cancelled cooperatively.
+    Deadline {
+        /// Milliseconds the query ran before the deadline fired.
+        elapsed_ms: u64,
     },
     /// The query's client disconnected mid-computation.
     Cancelled,
@@ -596,12 +678,15 @@ struct QueryJob {
     cancel: Arc<AtomicBool>,
 }
 
-/// RAII decrement of the inflight gauge.
-struct InflightSlot<'a>(&'a AtomicUsize);
+/// RAII decrement of the inflight gauge. Dropping also unparks the
+/// serve loop — a draining service exits the moment the last in-flight
+/// query completes instead of waiting out a poll tick.
+struct InflightSlot<'a>(&'a SweepService);
 
 impl Drop for InflightSlot<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::AcqRel);
+        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.0.unpark();
     }
 }
 
@@ -616,7 +701,16 @@ pub struct SweepService {
     queries: AtomicU64,
     served: AtomicU64,
     busy: AtomicU64,
+    evicted: AtomicU64,
+    rejected: AtomicU64,
+    draining: AtomicBool,
     shutdown: AtomicBool,
+    /// Parks the serve loop between accepts. The mutex guards nothing
+    /// but the wait itself: wake conditions are re-checked under it in
+    /// [`SweepService::park`], and every signal site takes it in
+    /// [`SweepService::unpark`] before notifying, so a wakeup raced
+    /// against the pre-wait check cannot be lost.
+    parker: (Mutex<()>, Condvar),
 }
 
 impl SweepService {
@@ -634,7 +728,11 @@ impl SweepService {
             queries: AtomicU64::new(0),
             served: AtomicU64::new(0),
             busy: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
+            parker: (Mutex::new(()), Condvar::new()),
         }
     }
 
@@ -663,12 +761,73 @@ impl SweepService {
     /// Asks the serve loop (and idle connection handlers) to wind down.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.unpark();
     }
 
     /// Whether shutdown has been requested.
     #[must_use]
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Starts draining: in-flight queries finish, new ones are answered
+    /// with [`ServiceReply::Draining`], and the serve loop exits once
+    /// the last in-flight query completes.
+    pub fn request_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.unpark();
+    }
+
+    /// Whether the service is draining.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Counts a slow-client eviction (metric, trace and stats).
+    pub fn note_evicted(&self) {
+        self.evicted.fetch_add(1, Ordering::Relaxed);
+        yac_obs::inc(Metric::SlowClientsEvicted);
+        yac_obs::trace_instant(TraceEventKind::SlowClientEvicted, TraceCtx::default());
+    }
+
+    /// Counts a connection refused at the cap (metric, trace and stats).
+    pub fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        yac_obs::inc(Metric::ConnsRejected);
+        yac_obs::trace_instant(TraceEventKind::ConnRejected, TraceCtx::default());
+    }
+
+    /// Whether the serve loop has a reason to wake right now.
+    fn wake_now(&self) -> bool {
+        self.shutdown_requested() || (self.draining() && self.inflight() == 0)
+    }
+
+    /// Parks the calling thread until [`SweepService::unpark`] or
+    /// `timeout`, whichever comes first. The wake condition is
+    /// re-checked under the parker lock before waiting, and signal
+    /// sites notify under the same lock, so a signal raised between the
+    /// caller's own check and this wait still wakes it immediately.
+    fn park(&self, timeout: Duration) {
+        let (lock, cv) = &self.parker;
+        let guard = lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if self.wake_now() {
+            return;
+        }
+        let _ = cv.wait_timeout(guard, timeout);
+    }
+
+    /// Wakes a parked serve loop (shutdown, drain, or a freed inflight
+    /// slot the drain logic may be waiting on).
+    fn unpark(&self) {
+        let (lock, cv) = &self.parker;
+        drop(
+            lock.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        cv.notify_all();
     }
 
     /// Joins the worker pool. Call after the serve loop has exited.
@@ -691,6 +850,9 @@ impl SweepService {
             stolen: self.pool.stolen(),
             inflight: self.inflight.load(Ordering::Acquire),
             limit: self.config.max_inflight.max(1),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            draining: self.draining(),
         })
     }
 
@@ -711,6 +873,12 @@ impl SweepService {
                 message: "query asks for zero chips".into(),
             };
         }
+        if self.draining() {
+            yac_obs::inc(Metric::QueriesDraining);
+            return ServiceReply::Draining {
+                inflight: self.inflight(),
+            };
+        }
         let key = query.fingerprint();
         if let Some(record) = self.with_cache(|cache| cache.get(key)) {
             return self.served(ServiceReply::Result {
@@ -726,9 +894,10 @@ impl SweepService {
             return ServiceReply::Busy {
                 inflight: self.inflight.load(Ordering::Acquire),
                 limit,
+                retry_after_ms: self.config.retry_after_ms,
             };
         }
-        let _slot = InflightSlot(&self.inflight);
+        let _slot = InflightSlot(self);
         let _span = yac_obs::phase_ctx(Phase::QueryExec, TraceCtx::default());
         let reply = self.compute(query, key, cancel);
         match reply {
@@ -954,6 +1123,13 @@ impl FlatObject {
             None => Err(format!("missing field {key:?}")),
         }
     }
+
+    fn opt_bool(&self, key: &str) -> Result<Option<bool>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(_) => self.bool(key).map(Some),
+        }
+    }
 }
 
 struct JsonParser<'a> {
@@ -1089,7 +1265,10 @@ impl ServiceRequest {
     #[must_use]
     pub fn to_json(&self) -> String {
         match self {
-            ServiceRequest::Query(q) => {
+            ServiceRequest::Query {
+                query: q,
+                deadline_ms,
+            } => {
                 let kind = match q.kind {
                     PowerDownKind::Vertical => "vertical",
                     PowerDownKind::Horizontal => "horizontal",
@@ -1107,10 +1286,15 @@ impl ServiceRequest {
                         ),
                     );
                 }
+                if let Some(ms) = deadline_ms {
+                    let _ =
+                        std::fmt::Write::write_fmt(&mut out, format_args!(",\"deadline_ms\":{ms}"));
+                }
                 out.push('}');
                 out
             }
             ServiceRequest::Stats => "{\"op\":\"stats\"}".to_owned(),
+            ServiceRequest::Drain => "{\"op\":\"drain\"}".to_owned(),
             ServiceRequest::Shutdown => "{\"op\":\"shutdown\"}".to_owned(),
         }
     }
@@ -1125,6 +1309,7 @@ impl ServiceRequest {
         let obj = parse_flat_object(text)?;
         match obj.str("op")? {
             "stats" => Ok(ServiceRequest::Stats),
+            "drain" => Ok(ServiceRequest::Drain),
             "shutdown" => Ok(ServiceRequest::Shutdown),
             "query" => {
                 let name = obj.str("constraint")?;
@@ -1143,13 +1328,16 @@ impl ServiceRequest {
                     (None, None) => None,
                     _ => return Err("warmup and measure must be given together".into()),
                 };
-                Ok(ServiceRequest::Query(StudyQuery {
-                    chips: obj.usize("chips")?,
-                    seed: obj.u64("seed")?,
-                    constraint,
-                    kind,
-                    cpi,
-                }))
+                Ok(ServiceRequest::Query {
+                    query: StudyQuery {
+                        chips: obj.usize("chips")?,
+                        seed: obj.u64("seed")?,
+                        constraint,
+                        kind,
+                        cpi,
+                    },
+                    deadline_ms: obj.opt_u64("deadline_ms")?,
+                })
             }
             other => Err(format!("unknown op {other:?}")),
         }
@@ -1172,8 +1360,19 @@ impl ServiceReply {
                 out.push('}');
                 out
             }
-            ServiceReply::Busy { inflight, limit } => {
-                format!("{{\"status\":\"busy\",\"inflight\":{inflight},\"limit\":{limit}}}")
+            ServiceReply::Busy {
+                inflight,
+                limit,
+                retry_after_ms,
+            } => format!(
+                "{{\"status\":\"busy\",\"inflight\":{inflight},\"limit\":{limit},\
+                 \"retry_after_ms\":{retry_after_ms}}}"
+            ),
+            ServiceReply::Draining { inflight } => {
+                format!("{{\"status\":\"draining\",\"inflight\":{inflight}}}")
+            }
+            ServiceReply::Deadline { elapsed_ms } => {
+                format!("{{\"status\":\"deadline\",\"elapsed_ms\":{elapsed_ms}}}")
             }
             ServiceReply::Cancelled => "{\"status\":\"cancelled\"}".to_owned(),
             ServiceReply::Error { message } => {
@@ -1186,7 +1385,8 @@ impl ServiceReply {
                 "{{\"status\":\"stats\",\"queries\":{},\"served\":{},\"busy\":{},\
                  \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
                  \"cache_entries\":{},\"cache_bytes\":{},\"stolen\":{},\
-                 \"inflight\":{},\"limit\":{}}}",
+                 \"inflight\":{},\"limit\":{},\"evicted\":{},\"rejected\":{},\
+                 \"draining\":{}}}",
                 s.queries,
                 s.served,
                 s.busy,
@@ -1197,7 +1397,10 @@ impl ServiceReply {
                 s.cache_bytes,
                 s.stolen,
                 s.inflight,
-                s.limit
+                s.limit,
+                s.evicted,
+                s.rejected,
+                s.draining
             ),
             ServiceReply::Bye => "{\"status\":\"bye\"}".to_owned(),
         }
@@ -1224,6 +1427,16 @@ impl ServiceReply {
             "busy" => Ok(ServiceReply::Busy {
                 inflight: obj.usize("inflight")?,
                 limit: obj.usize("limit")?,
+                // Absent from pre-hint servers: assume the default.
+                retry_after_ms: obj
+                    .opt_u64("retry_after_ms")?
+                    .unwrap_or(DEFAULT_RETRY_AFTER_MS),
+            }),
+            "draining" => Ok(ServiceReply::Draining {
+                inflight: obj.usize("inflight")?,
+            }),
+            "deadline" => Ok(ServiceReply::Deadline {
+                elapsed_ms: obj.u64("elapsed_ms")?,
             }),
             "cancelled" => Ok(ServiceReply::Cancelled),
             "error" => Ok(ServiceReply::Error {
@@ -1241,6 +1454,10 @@ impl ServiceReply {
                 stolen: obj.u64("stolen")?,
                 inflight: obj.usize("inflight")?,
                 limit: obj.usize("limit")?,
+                // Hardening-era fields; absent from older servers.
+                evicted: obj.opt_u64("evicted")?.unwrap_or(0),
+                rejected: obj.opt_u64("rejected")?.unwrap_or(0),
+                draining: obj.opt_bool("draining")?.unwrap_or(false),
             })),
             "bye" => Ok(ServiceReply::Bye),
             other => Err(format!("unknown status {other:?}")),
@@ -1252,39 +1469,42 @@ impl ServiceReply {
 // Framing and the TCP serve loop
 // ---------------------------------------------------------------------
 
-/// Writes one length-prefixed frame (big-endian `u32` length, then the
-/// payload) and flushes.
-///
-/// # Errors
-///
-/// Propagates the underlying write error; refuses payloads over
-/// [`MAX_FRAME`] as [`io::ErrorKind::InvalidData`].
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+/// Renders the wire image of one frame: big-endian `u32` length,
+/// big-endian `u32` CRC-32 of the payload, then the payload.
+fn frame_bytes(payload: &[u8]) -> io::Result<Vec<u8>> {
     if payload.len() > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
         ));
     }
-    let len = payload.len() as u32;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&crc32(payload).to_be_bytes());
+    frame.extend_from_slice(payload);
+    Ok(frame)
 }
 
-/// Reads one length-prefixed frame from a *blocking* reader. `Ok(None)`
-/// means the peer closed the connection cleanly before a frame started.
+/// Writes one CRC-checked, length-prefixed frame (big-endian `u32`
+/// length, big-endian `u32` payload CRC-32, then the payload) and
+/// flushes.
 ///
 /// # Errors
 ///
-/// [`io::ErrorKind::UnexpectedEof`] when the peer closes mid-frame;
-/// [`io::ErrorKind::InvalidData`] for frames over [`MAX_FRAME`].
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len_bytes = [0u8; 4];
+/// Propagates the underlying write error; refuses payloads over
+/// [`MAX_FRAME`] as [`io::ErrorKind::InvalidData`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&frame_bytes(payload)?)?;
+    w.flush()
+}
+
+/// Reads `buf.len()` bytes from a *blocking* reader. `Ok(false)` means
+/// clean EOF before the first byte (only honoured when `at_start`).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8], at_start: bool) -> io::Result<bool> {
     let mut filled = 0;
-    while filled < 4 {
-        match r.read(&mut len_bytes[filled..]) {
-            Ok(0) if filled == 0 => return Ok(None),
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 && at_start => return Ok(false),
             Ok(0) => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
@@ -1296,6 +1516,36 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             Err(e) => return Err(e),
         }
     }
+    Ok(true)
+}
+
+/// Diagnoses a frame whose payload fails its CRC.
+fn crc_mismatch(want: u32, got: u32) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("frame payload fails its CRC (header {want:08x}, payload {got:08x})"),
+    )
+}
+
+/// Reads one CRC-checked, length-prefixed frame from a *blocking*
+/// reader. `Ok(None)` means the peer closed the connection cleanly
+/// before a frame started.
+///
+/// The payload buffer grows as bytes actually arrive (in steps of at
+/// most 64 KiB), so a hostile header claiming [`MAX_FRAME`] bytes on a
+/// connection that then stalls or closes never costs a 16 MiB
+/// allocation up front.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::UnexpectedEof`] when the peer closes mid-frame;
+/// [`io::ErrorKind::InvalidData`] for frames over [`MAX_FRAME`] or
+/// payloads failing their CRC.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    if !read_exact_or_eof(r, &mut len_bytes, true)? {
+        return Ok(None);
+    }
     let len = u32::from_be_bytes(len_bytes) as usize;
     if len > MAX_FRAME {
         return Err(io::Error::new(
@@ -1303,25 +1553,34 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             format!("frame of {len} bytes exceeds MAX_FRAME"),
         ));
     }
-    let mut payload = vec![0u8; len];
-    let mut at = 0;
-    while at < len {
-        match r.read(&mut payload[at..]) {
+    let mut crc_bytes = [0u8; 4];
+    read_exact_or_eof(r, &mut crc_bytes, false)?;
+    let want = u32::from_be_bytes(crc_bytes);
+    let mut payload = Vec::with_capacity(len.min(64 << 10));
+    let mut chunk = [0u8; 4096];
+    while payload.len() < len {
+        let step = (len - payload.len()).min(chunk.len());
+        match r.read(&mut chunk[..step]) {
             Ok(0) => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "peer closed mid-frame",
                 ))
             }
-            Ok(n) => at += n,
+            Ok(n) => payload.extend_from_slice(&chunk[..n]),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }
+    let got = crc32(&payload);
+    if got != want {
+        return Err(crc_mismatch(want, got));
+    }
     Ok(Some(payload))
 }
 
-/// Whether an error is the nonblocking "no data yet" signal.
+/// Whether an error is the "no data within the socket timeout" signal.
+/// `set_read_timeout` surfaces as either kind depending on platform.
 fn is_would_block(e: &io::Error) -> bool {
     matches!(
         e.kind(),
@@ -1329,66 +1588,108 @@ fn is_would_block(e: &io::Error) -> bool {
     )
 }
 
-/// Reads one frame from a *nonblocking* connection socket, idling in
-/// 5 ms naps. `Ok(None)` means clean EOF before a frame, or shutdown
-/// was requested while idle (between frames).
-fn read_frame_idle(stream: &mut TcpStream, service: &SweepService) -> io::Result<Option<Vec<u8>>> {
-    let mut len_bytes = [0u8; 4];
+/// How long connection sockets block per read/write attempt. The kernel
+/// parks the thread for up to one tick (`SO_RCVTIMEO`/`SO_SNDTIMEO`),
+/// so idling costs no CPU; shutdown and frame deadlines are checked
+/// once per tick.
+const IO_TICK: Duration = Duration::from_millis(20);
+
+/// One read attempt from a frame loop.
+enum FrameIn {
+    /// A whole frame arrived.
+    Frame(Vec<u8>),
+    /// Clean EOF before a frame, or shutdown was requested while idle.
+    Closed,
+    /// The peer stalled mid-frame past the read deadline: evict it.
+    Evicted,
+}
+
+/// Reads one frame from a connection socket whose read timeout is
+/// [`IO_TICK`]. Idle ticks *between* frames are free — a connected
+/// client may stay silent forever — but once the first byte of a frame
+/// arrives the rest must follow within `deadline` or the peer is
+/// reported as [`FrameIn::Evicted`].
+fn read_frame_conn(
+    stream: &mut ChaosStream<TcpStream>,
+    service: &SweepService,
+    deadline: Duration,
+) -> io::Result<FrameIn> {
+    let mut header = [0u8; 8];
     let mut filled = 0;
-    while filled < 4 {
-        match stream.read(&mut len_bytes[filled..]) {
-            Ok(0) if filled == 0 => return Ok(None),
+    let mut started: Option<Instant> = None;
+    // Header: length then CRC. The eviction clock arms at byte one.
+    while filled < 8 {
+        match stream.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(FrameIn::Closed),
             Ok(0) => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "peer closed mid-frame",
                 ))
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                started.get_or_insert_with(Instant::now);
+                filled += n;
+            }
             Err(e) if is_would_block(&e) => {
-                if service.shutdown_requested() {
-                    return Ok(None);
+                if filled == 0 {
+                    if service.shutdown_requested() {
+                        return Ok(FrameIn::Closed);
+                    }
+                } else if started.is_some_and(|t| t.elapsed() >= deadline) {
+                    return Ok(FrameIn::Evicted);
                 }
-                std::thread::sleep(Duration::from_millis(5));
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }
-    let len = u32::from_be_bytes(len_bytes) as usize;
+    let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("frame of {len} bytes exceeds MAX_FRAME"),
         ));
     }
-    let mut payload = vec![0u8; len];
-    let mut at = 0;
-    while at < len {
-        match stream.read(&mut payload[at..]) {
+    let want = u32::from_be_bytes([header[4], header[5], header[6], header[7]]);
+    let armed = started.unwrap_or_else(Instant::now);
+    let mut payload = Vec::with_capacity(len.min(64 << 10));
+    let mut chunk = [0u8; 4096];
+    while payload.len() < len {
+        let step = (len - payload.len()).min(chunk.len());
+        match stream.read(&mut chunk[..step]) {
             Ok(0) => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "peer closed mid-frame",
                 ))
             }
-            Ok(n) => at += n,
+            Ok(n) => payload.extend_from_slice(&chunk[..n]),
             Err(e) if is_would_block(&e) => {
-                if service.shutdown_requested() {
-                    return Ok(None); // Connection is being torn down anyway.
+                if armed.elapsed() >= deadline {
+                    return Ok(FrameIn::Evicted);
                 }
-                std::thread::sleep(Duration::from_millis(5));
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }
-    Ok(Some(payload))
+    let got = crc32(&payload);
+    if got != want {
+        return Err(crc_mismatch(want, got));
+    }
+    Ok(FrameIn::Frame(payload))
 }
 
-/// Writes all of `bytes` to a nonblocking socket, napping on
-/// `WouldBlock`.
-fn write_all_idle(stream: &mut TcpStream, bytes: &[u8]) -> io::Result<()> {
+/// Writes all of `bytes` to a connection socket whose write timeout is
+/// [`IO_TICK`], giving up (`TimedOut`) when the peer accepts nothing
+/// for `deadline`.
+fn write_all_deadline(
+    stream: &mut ChaosStream<TcpStream>,
+    bytes: &[u8],
+    deadline: Duration,
+) -> io::Result<()> {
+    let started = Instant::now();
     let mut at = 0;
     while at < bytes.len() {
         match stream.write(&bytes[at..]) {
@@ -1399,7 +1700,14 @@ fn write_all_idle(stream: &mut TcpStream, bytes: &[u8]) -> io::Result<()> {
                 ))
             }
             Ok(n) => at += n,
-            Err(e) if is_would_block(&e) => std::thread::sleep(Duration::from_millis(1)),
+            Err(e) if is_would_block(&e) => {
+                if started.elapsed() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stalled accepting the reply",
+                    ));
+                }
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
@@ -1407,58 +1715,99 @@ fn write_all_idle(stream: &mut TcpStream, bytes: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
-fn send_reply(stream: &mut TcpStream, reply: &ServiceReply) -> io::Result<()> {
-    let payload = reply.to_json().into_bytes();
-    let mut frame = Vec::with_capacity(payload.len() + 4);
-    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    frame.extend_from_slice(&payload);
-    write_all_idle(stream, &frame)
+/// Frames and sends one reply under the service's write deadline. A
+/// stalled peer is evicted (counted and traced) and reported as an
+/// error so the handler drops the connection.
+fn send_reply(
+    stream: &mut ChaosStream<TcpStream>,
+    service: &SweepService,
+    reply: &ServiceReply,
+) -> io::Result<()> {
+    let frame = frame_bytes(reply.to_json().as_bytes())?;
+    match write_all_deadline(stream, &frame, service.config().write_deadline) {
+        Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+            service.note_evicted();
+            Err(e)
+        }
+        other => other,
+    }
 }
 
-/// Watches a query's connection for client disconnect and raises the
-/// query's cancel flag when the peer goes away. The watcher peeks a
-/// shared-description clone of the socket, so it consumes nothing the
-/// handler will later read.
-struct DisconnectMonitor {
+/// Watches a query's connection while it computes: raises the query's
+/// cancel flag on client disconnect (peeking a shared-description clone
+/// of the socket, so it consumes nothing the handler will later read)
+/// and, when the query carried a `deadline_ms`, when the deadline
+/// expires — recording which of the two fired.
+///
+/// A failed clone or spawn degrades gracefully: the query runs
+/// unwatched (no cancel-on-disconnect, no deadline) instead of killing
+/// the connection handler.
+struct ConnMonitor {
     stop: Arc<AtomicBool>,
+    deadline_hit: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
-impl DisconnectMonitor {
-    fn spawn(stream: &TcpStream, cancel: Arc<AtomicBool>) -> Self {
+impl ConnMonitor {
+    fn spawn(stream: &TcpStream, cancel: Arc<AtomicBool>, deadline: Option<Duration>) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
-        let handle = stream.try_clone().ok().map(|peek_stream| {
+        let deadline_hit = Arc::new(AtomicBool::new(false));
+        // The clone is optional: without it the watcher still enforces
+        // the deadline, it just cannot see disconnects.
+        let peek_stream = stream.try_clone().ok();
+        let handle = {
             let stop = Arc::clone(&stop);
+            let deadline_hit = Arc::clone(&deadline_hit);
             std::thread::Builder::new()
-                .name("svc-disconnect".into())
+                .name("svc-conn-watch".into())
                 .spawn(move || {
+                    let started = Instant::now();
                     let mut byte = [0u8; 1];
                     while !stop.load(Ordering::Relaxed) {
-                        match peek_stream.peek(&mut byte) {
+                        if deadline.is_some_and(|limit| started.elapsed() >= limit) {
+                            deadline_hit.store(true, Ordering::Relaxed);
+                            cancel.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                        match peek_stream.as_ref().map(|s| s.peek(&mut byte)) {
+                            // No clone: deadline-only watching.
+                            None => std::thread::sleep(IO_TICK),
                             // Orderly shutdown by the peer.
-                            Ok(0) => {
+                            Some(Ok(0)) => {
                                 cancel.store(true, Ordering::Relaxed);
                                 return;
                             }
-                            // Pipelined bytes: the client is alive.
-                            Ok(_) => {}
-                            Err(e) if is_would_block(&e) => {}
+                            // Pipelined bytes: the client is alive. The
+                            // peek itself blocked up to IO_TICK, so no
+                            // extra nap is needed on this arm or the
+                            // timeout arm.
+                            Some(Ok(_)) => std::thread::sleep(IO_TICK),
+                            Some(Err(e)) if is_would_block(&e) => {}
                             // Reset or any hard error: treat as gone.
-                            Err(_) => {
+                            Some(Err(_)) => {
                                 cancel.store(true, Ordering::Relaxed);
                                 return;
                             }
                         }
-                        std::thread::sleep(Duration::from_millis(20));
                     }
                 })
-                .expect("spawning the disconnect watcher")
-        });
-        DisconnectMonitor { stop, handle }
+                .ok()
+        };
+        ConnMonitor {
+            stop,
+            deadline_hit,
+            handle,
+        }
+    }
+
+    /// Whether the watcher cancelled the query because its deadline
+    /// expired (as opposed to a client disconnect).
+    fn deadline_hit(&self) -> bool {
+        self.deadline_hit.load(Ordering::Relaxed)
     }
 }
 
-impl Drop for DisconnectMonitor {
+impl Drop for ConnMonitor {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.handle.take() {
@@ -1468,44 +1817,89 @@ impl Drop for DisconnectMonitor {
 }
 
 fn handle_connection(stream: TcpStream, service: &Arc<SweepService>) {
-    let mut stream = stream;
     let _ = stream.set_nodelay(true);
-    // The whole handler runs nonblocking (the disconnect watcher shares
-    // the socket description, so the flag is process-wide per socket
-    // anyway) with explicit idle naps.
-    if stream.set_nonblocking(true).is_err() {
+    // Blocking IO with a short kernel timeout: the thread parks in the
+    // kernel between bytes (no poll-loop CPU burn) and surfaces every
+    // IO_TICK to check shutdown and frame deadlines.
+    if stream.set_read_timeout(Some(IO_TICK)).is_err()
+        || stream.set_write_timeout(Some(IO_TICK)).is_err()
+    {
         return;
     }
+    // All bytes flow through the chaos layer; without a net plan the
+    // wrapper is a transparent passthrough.
+    let mut stream = ChaosStream::new(stream, NetSite::Server);
+    let read_deadline = service.config().read_deadline;
     loop {
-        let payload = match read_frame_idle(&mut stream, service) {
-            Ok(Some(payload)) => payload,
-            Ok(None) | Err(_) => return,
+        let payload = match read_frame_conn(&mut stream, service, read_deadline) {
+            Ok(FrameIn::Frame(payload)) => payload,
+            Ok(FrameIn::Closed) => return,
+            Ok(FrameIn::Evicted) => {
+                service.note_evicted();
+                return;
+            }
+            // A corrupt or oversized frame gets a best-effort typed
+            // error before the close — the peer learns why instead of
+            // seeing a bare reset. Framing may be desynced, so the
+            // connection cannot be reused either way.
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let _ = send_reply(
+                    &mut stream,
+                    service,
+                    &ServiceReply::Error {
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+            Err(_) => return,
         };
         let request = String::from_utf8(payload)
             .map_err(|_| "request is not UTF-8".to_owned())
             .and_then(|text| ServiceRequest::parse(&text));
         match request {
             Err(message) => {
-                if send_reply(&mut stream, &ServiceReply::Error { message }).is_err() {
+                if send_reply(&mut stream, service, &ServiceReply::Error { message }).is_err() {
                     return;
                 }
             }
-            Ok(ServiceRequest::Query(query)) => {
+            Ok(ServiceRequest::Query { query, deadline_ms }) => {
                 let cancel = Arc::new(AtomicBool::new(false));
-                let monitor = DisconnectMonitor::spawn(&stream, Arc::clone(&cancel));
-                let reply = service.query(&query, &cancel);
+                let started = Instant::now();
+                let monitor = ConnMonitor::spawn(
+                    stream.get_ref(),
+                    Arc::clone(&cancel),
+                    deadline_ms.map(Duration::from_millis),
+                );
+                let mut reply = service.query(&query, &cancel);
+                let deadline_hit = monitor.deadline_hit();
                 drop(monitor);
-                if send_reply(&mut stream, &reply).is_err() {
+                if deadline_hit && reply == ServiceReply::Cancelled {
+                    reply = ServiceReply::Deadline {
+                        elapsed_ms: started.elapsed().as_millis() as u64,
+                    };
+                }
+                if send_reply(&mut stream, service, &reply).is_err() {
                     return;
                 }
             }
             Ok(ServiceRequest::Stats) => {
-                if send_reply(&mut stream, &ServiceReply::Stats(service.stats())).is_err() {
+                if send_reply(&mut stream, service, &ServiceReply::Stats(service.stats())).is_err()
+                {
+                    return;
+                }
+            }
+            Ok(ServiceRequest::Drain) => {
+                service.request_drain();
+                let reply = ServiceReply::Draining {
+                    inflight: service.inflight(),
+                };
+                if send_reply(&mut stream, service, &reply).is_err() {
                     return;
                 }
             }
             Ok(ServiceRequest::Shutdown) => {
-                let _ = send_reply(&mut stream, &ServiceReply::Bye);
+                let _ = send_reply(&mut stream, service, &ServiceReply::Bye);
                 service.request_shutdown();
                 return;
             }
@@ -1513,20 +1907,56 @@ fn handle_connection(stream: TcpStream, service: &Arc<SweepService>) {
     }
 }
 
+/// Tells an over-cap connection it was refused: a best-effort `Busy`
+/// frame under a short write timeout, then the stream drops. Failures
+/// are ignored — the refusal is advisory; the close is the decision.
+fn reject_connection(stream: TcpStream, conns: usize, cap: usize, service: &SweepService) {
+    service.note_rejected();
+    let _ = stream.set_write_timeout(Some(IO_TICK));
+    let mut stream = ChaosStream::new(stream, NetSite::Server);
+    let reply = ServiceReply::Busy {
+        inflight: conns,
+        limit: cap,
+        retry_after_ms: service.config().retry_after_ms,
+    };
+    if let Ok(frame) = frame_bytes(reply.to_json().as_bytes()) {
+        let _ = write_all_deadline(&mut stream, &frame, IO_TICK);
+    }
+}
+
 /// Runs the accept loop until [`SweepService::request_shutdown`] (any
-/// connection's `shutdown` op, or the embedding process). Each
-/// connection gets its own handler thread; all are joined before the
-/// loop returns, so a clean return means no request is still in flight.
+/// connection's `shutdown` op, a completed drain, or the embedding
+/// process). Each connection gets its own handler thread, up to
+/// [`ServiceConfig::max_conns`]; the excess connection is refused with
+/// a best-effort `Busy` frame. All handlers are joined before the loop
+/// returns, so a clean return means no request is still in flight.
+///
+/// The loop parks on the service's condvar between accepts (woken by
+/// shutdown, drain, and freed inflight slots) instead of sleep-polling,
+/// bounded by a 25 ms tick for newly arrived connections.
 ///
 /// # Errors
 ///
 /// Propagates listener errors other than the nonblocking idle signal.
 pub fn serve(listener: &TcpListener, service: &Arc<SweepService>) -> io::Result<()> {
     listener.set_nonblocking(true)?;
+    let cap = service.config().max_conns.max(1);
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !service.shutdown_requested() {
+        // A drain completes once the last in-flight query finishes; any
+        // still-open idle connections see the shutdown flag within one
+        // IO_TICK and wind down before the joins below return.
+        if service.draining() && service.inflight() == 0 {
+            service.request_shutdown();
+            break;
+        }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                handlers.retain(|h| !h.is_finished());
+                if handlers.len() >= cap {
+                    reject_connection(stream, handlers.len(), cap, service);
+                    continue;
+                }
                 let service = Arc::clone(service);
                 handlers.push(
                     std::thread::Builder::new()
@@ -1537,7 +1967,7 @@ pub fn serve(listener: &TcpListener, service: &Arc<SweepService>) -> io::Result<
             }
             Err(e) if is_would_block(&e) => {
                 handlers.retain(|h| !h.is_finished());
-                std::thread::sleep(Duration::from_millis(10));
+                service.park(Duration::from_millis(25));
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
@@ -1558,8 +1988,11 @@ pub fn serve(listener: &TcpListener, service: &Arc<SweepService>) -> io::Result<
 /// Propagates connect/read/write failures; a malformed reply surfaces
 /// as [`io::ErrorKind::InvalidData`].
 pub fn client_request(addr: &str, request: &ServiceRequest) -> io::Result<(ServiceReply, String)> {
-    let mut stream = TcpStream::connect(addr)?;
+    let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true).ok();
+    // Client bytes flow through the chaos layer too, so a torture run
+    // exercises both directions of the wire.
+    let mut stream = ChaosStream::new(stream, NetSite::Client);
     write_frame(&mut stream, request.to_json().as_bytes())?;
     let payload = read_frame(&mut stream)?.ok_or_else(|| {
         io::Error::new(
@@ -1681,12 +2114,19 @@ mod tests {
     #[test]
     fn requests_round_trip_through_wire_json() {
         for request in [
-            ServiceRequest::Query(query()),
-            ServiceRequest::Query(StudyQuery {
-                cpi: None,
-                ..query()
-            }),
+            ServiceRequest::Query {
+                query: query(),
+                deadline_ms: None,
+            },
+            ServiceRequest::Query {
+                query: StudyQuery {
+                    cpi: None,
+                    ..query()
+                },
+                deadline_ms: Some(1500),
+            },
             ServiceRequest::Stats,
+            ServiceRequest::Drain,
             ServiceRequest::Shutdown,
         ] {
             let json = request.to_json();
@@ -1705,7 +2145,10 @@ mod tests {
             ServiceReply::Busy {
                 inflight: 2,
                 limit: 2,
+                retry_after_ms: 350,
             },
+            ServiceReply::Draining { inflight: 1 },
+            ServiceReply::Deadline { elapsed_ms: 420 },
             ServiceReply::Cancelled,
             ServiceReply::Error {
                 message: "shard 3 panicked: \"boom\"".into(),
@@ -1722,12 +2165,29 @@ mod tests {
                 stolen: 5,
                 inflight: 1,
                 limit: 2,
+                evicted: 3,
+                rejected: 6,
+                draining: true,
             }),
             ServiceReply::Bye,
         ] {
             let json = reply.to_json();
             assert_eq!(ServiceReply::parse(&json).unwrap(), reply, "{json}");
         }
+    }
+
+    #[test]
+    fn busy_without_a_hint_assumes_the_default() {
+        let reply =
+            ServiceReply::parse("{\"status\":\"busy\",\"inflight\":2,\"limit\":2}").unwrap();
+        assert_eq!(
+            reply,
+            ServiceReply::Busy {
+                inflight: 2,
+                limit: 2,
+                retry_after_ms: DEFAULT_RETRY_AFTER_MS,
+            }
+        );
     }
 
     #[test]
@@ -1785,6 +2245,30 @@ mod tests {
         assert_eq!(
             read_frame(&mut r).unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn corrupted_frames_fail_their_crc() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"precious payload").unwrap();
+        // Flip one payload bit: CRC-32 detects every single-bit error.
+        for bit in 0..8 {
+            let mut rotted = wire.clone();
+            let last = rotted.len() - 1;
+            rotted[last] ^= 1 << bit;
+            let mut r = io::Cursor::new(rotted);
+            let err = read_frame(&mut r).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "bit {bit}");
+            assert!(err.to_string().contains("CRC"), "bit {bit}: {err}");
+        }
+        // A header CRC flip is caught too.
+        let mut rotted = wire.clone();
+        rotted[5] ^= 0x10;
+        let mut r = io::Cursor::new(rotted);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
         );
     }
 

@@ -1,0 +1,159 @@
+//! The network torture test: a real TCP service under deterministic
+//! wire chaos — partial reads and writes, injected delays, mid-frame
+//! disconnects, byte corruption — hammered by a swarm of resilient
+//! clients. The acceptance property of the whole robustness layer:
+//!
+//! 1. every request ends in a bit-identical result or a *typed* error —
+//!    never a hang (this test completing is the proof), never a
+//!    silently wrong payload;
+//! 2. all `Result` replies for the same key are byte-identical across
+//!    clients, retries and cache hits;
+//! 3. chaos actually bit: faults were injected and at least one retry
+//!    happened;
+//! 4. after a graceful drain the serve loop exits cleanly with zero
+//!    in-flight queries — no admission slot leaks under fire.
+//!
+//! Chaos installation is process-global, so this file holds exactly one
+//! test and lives in its own integration-test binary. The plan never
+//! touches `YAC_CHAOS` (the env override is the binary's concern);
+//! everything here is seeded directly and fully deterministic up to
+//! thread scheduling.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use yac_core::client::{ClientConfig, ResilientClient};
+use yac_core::{
+    chaos, serve, ChaosPlan, ConstraintSpec, ExecutorConfig, PowerDownKind, ServiceConfig,
+    ServiceReply, ServiceRequest, StudyQuery, SweepService,
+};
+use yac_obs::Metric;
+
+const SEED: u64 = 2006;
+const CLIENTS: usize = 3;
+const REQUESTS_PER_CLIENT: usize = 8;
+
+#[test]
+fn chaotic_wire_yields_bit_identical_results_or_typed_errors() {
+    let registry = yac_obs::global();
+    registry.enable();
+    let faults_before = registry.counter(Metric::NetFaultsInjected);
+    let retries_before = registry.counter(Metric::RetryAttempts);
+
+    let plan = ChaosPlan::new(SEED, 0.0)
+        .unwrap()
+        .with_net(0.05, Duration::from_micros(200))
+        .unwrap();
+    chaos::install(plan);
+
+    let mut exec = ExecutorConfig::with_workers(2);
+    exec.shard_chips = 8;
+    let service = Arc::new(SweepService::new(ServiceConfig {
+        exec,
+        max_inflight: 2,
+        cache_bytes: 1 << 20,
+        max_conns: CLIENTS * 2 + 2,
+        read_deadline: Duration::from_millis(300),
+        write_deadline: Duration::from_millis(500),
+        retry_after_ms: 20,
+    }));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || serve(&listener, &service))
+    };
+
+    // The swarm: each client cycles a 3-key query space, so the run
+    // mixes computes, cache hits and busy refusals under chaos.
+    let mut swarm = Vec::new();
+    for client_index in 0..CLIENTS {
+        let addr = addr.clone();
+        swarm.push(std::thread::spawn(move || {
+            let mut client = ResilientClient::new(
+                addr,
+                ClientConfig {
+                    max_attempts: 6,
+                    base_backoff: Duration::from_millis(5),
+                    max_backoff: Duration::from_millis(100),
+                    deadline: Some(Duration::from_secs(30)),
+                    breaker_threshold: 8,
+                    breaker_cooldown: Duration::from_millis(100),
+                    seed: SEED ^ client_index as u64,
+                },
+            );
+            let mut results: Vec<(u64, String)> = Vec::new();
+            let mut typed = 0usize;
+            for i in 0..REQUESTS_PER_CLIENT {
+                let request = ServiceRequest::Query {
+                    query: StudyQuery {
+                        chips: 16,
+                        seed: SEED + (i % 3) as u64,
+                        constraint: ConstraintSpec::NOMINAL,
+                        kind: PowerDownKind::Vertical,
+                        cpi: None,
+                    },
+                    deadline_ms: Some(20_000),
+                };
+                match client.request(&request) {
+                    Ok((ServiceReply::Result { record, key, .. }, _)) => {
+                        results.push((key, record));
+                    }
+                    // Anything else is an acceptable *typed* outcome;
+                    // what is never acceptable is a hang or a panic.
+                    Ok(_) | Err(_) => typed += 1,
+                }
+            }
+            (results, typed)
+        }));
+    }
+
+    let mut by_key: HashMap<u64, String> = HashMap::new();
+    let mut results = 0usize;
+    for handle in swarm {
+        let (client_results, _typed) = handle.join().expect("client thread panicked");
+        for (key, record) in client_results {
+            results += 1;
+            match by_key.get(&key) {
+                None => {
+                    by_key.insert(key, record);
+                }
+                Some(seen) => assert_eq!(
+                    *seen, record,
+                    "two replies for key {key:016x} differ — corruption slipped through"
+                ),
+            }
+        }
+    }
+    assert!(
+        results > 0,
+        "chaos at 5% should not defeat a 6-attempt client on every single request"
+    );
+    assert!(by_key.len() <= 3, "more keys than the query space has");
+
+    // Graceful drain: the serve loop exits by itself, nothing leaks.
+    // The campaign is over, so lift the chaos first — the shutdown
+    // handshake should not be able to strand the test on a corrupted
+    // drain reply after the listener is gone.
+    chaos::clear();
+    let mut drainer = ResilientClient::new(addr, ClientConfig::default());
+    match drainer.request(&ServiceRequest::Drain) {
+        Ok((ServiceReply::Draining { .. }, _)) => {}
+        other => panic!("drain was not acknowledged: {other:?}"),
+    }
+    server.join().unwrap().expect("serve loop failed");
+    assert_eq!(service.inflight(), 0, "an admission slot leaked");
+
+    // Chaos must have actually exercised the resilience path.
+    let faults = registry.counter(Metric::NetFaultsInjected) - faults_before;
+    let retries = registry.counter(Metric::RetryAttempts) - retries_before;
+    assert!(faults > 0, "the chaos plan injected nothing");
+    assert!(
+        retries > 0,
+        "{faults} faults were injected but no client ever retried"
+    );
+
+    Arc::try_unwrap(service)
+        .expect("all connection handlers exited")
+        .shutdown();
+}

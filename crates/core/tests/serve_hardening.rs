@@ -1,0 +1,249 @@
+//! Overload-hardening tests for the TCP serve loop: slowloris eviction,
+//! the connection cap, graceful drain, and client-supplied query
+//! deadlines. All timing-sensitive checks use generous bounds — the
+//! point is "bounded and typed", not "fast".
+//!
+//! Assertions read per-service stats, never the process-global metric
+//! registry — other tests in this binary share that registry.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use yac_core::{
+    client_request, serve, ConstraintSpec, ExecutorConfig, PowerDownKind, ServiceConfig,
+    ServiceReply, ServiceRequest, ShardFaultPlan, StudyQuery, SweepService,
+};
+
+fn small_query(seed: u64) -> StudyQuery {
+    StudyQuery {
+        chips: 16,
+        seed,
+        constraint: ConstraintSpec::NOMINAL,
+        kind: PowerDownKind::Vertical,
+        cpi: None,
+    }
+}
+
+fn fast_exec() -> ExecutorConfig {
+    let mut exec = ExecutorConfig::with_workers(2);
+    exec.shard_chips = 8;
+    exec
+}
+
+/// An executor whose shards fail their first attempts and back off, so
+/// a query reliably takes a while (but still completes).
+fn slow_exec(failing_attempts: u32, backoff_ms: u64) -> ExecutorConfig {
+    let mut exec = fast_exec();
+    exec.max_retries = failing_attempts;
+    exec.backoff = Duration::from_millis(backoff_ms);
+    exec.shard_faults = Some(ShardFaultPlan::always(failing_attempts));
+    exec
+}
+
+struct Harness {
+    addr: String,
+    service: Arc<SweepService>,
+    server: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(config: ServiceConfig) -> Harness {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let service = Arc::new(SweepService::new(config));
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || serve(&listener, &service))
+    };
+    Harness {
+        addr,
+        service,
+        server,
+    }
+}
+
+impl Harness {
+    /// Shuts the server down over the wire and joins it.
+    fn finish(self) {
+        let (bye, _) = client_request(&self.addr, &ServiceRequest::Shutdown).unwrap();
+        assert_eq!(bye, ServiceReply::Bye);
+        self.server.join().unwrap().unwrap();
+    }
+}
+
+/// A client that sends half a frame header and stalls is evicted within
+/// the read deadline (plus slack), not serviced and not hung on — the
+/// slowloris defence.
+#[test]
+fn slow_clients_are_evicted_within_the_read_deadline() {
+    let harness = start(ServiceConfig {
+        exec: fast_exec(),
+        max_inflight: 1,
+        cache_bytes: 1 << 20,
+        read_deadline: Duration::from_millis(100),
+        ..ServiceConfig::default()
+    });
+
+    let mut stream = TcpStream::connect(&harness.addr).unwrap();
+    stream.write_all(&[0, 0, 0, 9]).unwrap(); // half a header, then silence
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let started = Instant::now();
+    let mut byte = [0u8; 1];
+    let evicted = matches!(stream.read(&mut byte), Ok(0) | Err(_));
+    assert!(evicted, "the stalled connection was serviced, not dropped");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "eviction took {:?} — the read deadline did not fire",
+        started.elapsed()
+    );
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while harness.service.stats().evicted == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(harness.service.stats().evicted, 1, "eviction not counted");
+
+    // An idle-but-polite client (connected, no bytes at all) is NOT
+    // evicted: the deadline arms at the first byte of a frame.
+    let idle = TcpStream::connect(&harness.addr).unwrap();
+    std::thread::sleep(Duration::from_millis(250));
+    let (reply, _) = client_request(&harness.addr, &ServiceRequest::Stats).unwrap();
+    match reply {
+        ServiceReply::Stats(stats) => assert_eq!(stats.evicted, 1, "idle client was evicted"),
+        other => panic!("expected stats, got {other:?}"),
+    }
+    drop(idle);
+    harness.finish();
+}
+
+/// Connections beyond `max_conns` receive a typed `Busy` refusal and a
+/// close — accept never stalls and handlers never pile up unbounded.
+#[test]
+fn connections_beyond_the_cap_are_refused_with_busy() {
+    let harness = start(ServiceConfig {
+        exec: fast_exec(),
+        max_inflight: 1,
+        cache_bytes: 1 << 20,
+        max_conns: 1,
+        ..ServiceConfig::default()
+    });
+
+    // Occupy the only slot with an open, idle connection.
+    let held = TcpStream::connect(&harness.addr).unwrap();
+    // The serve loop learns about the held connection asynchronously;
+    // poll until the next connection is refused.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let refusal = loop {
+        assert!(Instant::now() < deadline, "no refusal before the deadline");
+        match client_request(&harness.addr, &ServiceRequest::Stats) {
+            Ok((ServiceReply::Busy { .. }, _)) => break harness.service.stats(),
+            Ok(_) => std::thread::sleep(Duration::from_millis(10)),
+            // The refusal path may also close before the reply lands.
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    };
+    assert!(refusal.rejected >= 1, "refusals must be counted");
+
+    // Releasing the held connection frees the slot.
+    drop(held);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(Instant::now() < deadline, "slot never freed after close");
+        if let Ok((ServiceReply::Stats(_), _)) =
+            client_request(&harness.addr, &ServiceRequest::Stats)
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    harness.finish();
+}
+
+/// Drain: the `drain` op is acknowledged, later queries are refused
+/// with `Draining`, and the serve loop exits on its own once in-flight
+/// work completes — no shutdown op needed, no slot leaked.
+#[test]
+fn drain_refuses_new_queries_and_exits_once_idle() {
+    let harness = start(ServiceConfig {
+        exec: fast_exec(),
+        max_inflight: 2,
+        cache_bytes: 1 << 20,
+        ..ServiceConfig::default()
+    });
+
+    // Prove the service works, then drain it.
+    let request = ServiceRequest::Query {
+        query: small_query(41),
+        deadline_ms: None,
+    };
+    let (reply, _) = client_request(&harness.addr, &request).unwrap();
+    assert!(matches!(reply, ServiceReply::Result { .. }));
+
+    let (reply, _) = client_request(&harness.addr, &ServiceRequest::Drain).unwrap();
+    match reply {
+        ServiceReply::Draining { inflight } => assert_eq!(inflight, 0),
+        other => panic!("expected a draining ack, got {other:?}"),
+    }
+
+    // A query racing the drain is refused with the typed status (the
+    // serve loop may already be gone, which is equally acceptable).
+    if let Ok((reply, _)) = client_request(&harness.addr, &request) {
+        assert!(
+            matches!(reply, ServiceReply::Draining { .. }),
+            "expected a draining refusal, got {reply:?}"
+        );
+    }
+
+    // The loop exits without a shutdown op.
+    harness.server.join().unwrap().unwrap();
+    assert_eq!(harness.service.inflight(), 0, "drain leaked a slot");
+    let stats = harness.service.stats();
+    assert!(stats.draining, "stats must report the draining state");
+}
+
+/// A client-supplied `deadline_ms` cancels a slow query cooperatively:
+/// the reply is the typed `Deadline` status carrying the elapsed time,
+/// and the service stays healthy for the next query.
+#[test]
+fn query_deadlines_cancel_cooperatively_with_a_typed_reply() {
+    let harness = start(ServiceConfig {
+        // Every shard fails twice and backs off 100 ms: the query takes
+        // well over 200 ms unless cancelled.
+        exec: slow_exec(2, 100),
+        max_inflight: 1,
+        cache_bytes: 1 << 20,
+        ..ServiceConfig::default()
+    });
+
+    let request = ServiceRequest::Query {
+        query: small_query(51),
+        deadline_ms: Some(30),
+    };
+    let started = Instant::now();
+    let (reply, _) = client_request(&harness.addr, &request).unwrap();
+    match reply {
+        ServiceReply::Deadline { elapsed_ms } => {
+            assert!(elapsed_ms >= 25, "deadline fired early: {elapsed_ms} ms");
+        }
+        other => panic!("expected a deadline reply, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "deadline reply took {:?}",
+        started.elapsed()
+    );
+    assert_eq!(harness.service.inflight(), 0, "deadline leaked a slot");
+
+    // The same query without a deadline completes normally.
+    let request = ServiceRequest::Query {
+        query: small_query(51),
+        deadline_ms: None,
+    };
+    let (reply, _) = client_request(&harness.addr, &request).unwrap();
+    assert!(
+        matches!(reply, ServiceReply::Result { cached: false, .. }),
+        "service unhealthy after a deadline cancel: {reply:?}"
+    );
+    harness.finish();
+}

@@ -79,6 +79,7 @@ fn repeat_queries_hit_the_cache_bit_identically() {
         exec: fast_exec(),
         max_inflight: 2,
         cache_bytes: 1 << 20,
+        ..ServiceConfig::default()
     });
     let q = query(24, 2006, PowerDownKind::Vertical);
 
@@ -98,6 +99,7 @@ fn repeat_queries_hit_the_cache_bit_identically() {
         exec: ExecutorConfig::with_workers(4),
         max_inflight: 1,
         cache_bytes: 1 << 20,
+        ..ServiceConfig::default()
     });
     let (recomputed, key3, cached3) = expect_result(fresh.query(&q, &no_cancel()));
     assert!(!cached3);
@@ -135,6 +137,7 @@ fn service_records_match_run_sweep_journal_records() {
         exec: fast_exec(),
         max_inflight: 1,
         cache_bytes: 1 << 20,
+        ..ServiceConfig::default()
     });
     let (record, _, cached) =
         expect_result(service.query(&query(24, 11, PowerDownKind::Horizontal), &no_cancel()));
@@ -158,6 +161,7 @@ fn saturated_service_answers_typed_busy_but_still_serves_hits() {
         exec: slow_exec(2, 100),
         max_inflight: 1,
         cache_bytes: 1 << 20,
+        ..ServiceConfig::default()
     }));
 
     // Pre-cache query A (slow, but completes: retries outlast the faults).
@@ -183,9 +187,14 @@ fn saturated_service_answers_typed_busy_but_still_serves_hits() {
     // A miss is refused with typed backpressure...
     let qc = query(16, 9, PowerDownKind::Vertical);
     match service.query(&qc, &no_cancel()) {
-        ServiceReply::Busy { inflight, limit } => {
+        ServiceReply::Busy {
+            inflight,
+            limit,
+            retry_after_ms,
+        } => {
             assert_eq!(inflight, 1);
             assert_eq!(limit, 1);
+            assert_eq!(retry_after_ms, yac_core::service::DEFAULT_RETRY_AFTER_MS);
         }
         other => panic!("saturated service should refuse with Busy, got {other:?}"),
     }
@@ -218,6 +227,7 @@ fn cancelled_queries_release_the_service_cleanly() {
         exec: slow_exec(1, 100),
         max_inflight: 1,
         cache_bytes: 1 << 20,
+        ..ServiceConfig::default()
     });
 
     // Pre-set flag: cancelled before any shard runs.
@@ -281,6 +291,7 @@ fn journal_warm_start_serves_first_queries_from_cache() {
         exec: fast_exec(),
         max_inflight: 1,
         cache_bytes: 1 << 20,
+        ..ServiceConfig::default()
     });
     let warmed = service
         .with_cache(|c| c.warm_from_journal(&grid, &config, &journal))
@@ -322,6 +333,7 @@ fn zero_chip_queries_are_refused_with_an_error() {
         exec: fast_exec(),
         max_inflight: 1,
         cache_bytes: 1 << 20,
+        ..ServiceConfig::default()
     });
     match service.query(&query(0, 1, PowerDownKind::Vertical), &no_cancel()) {
         ServiceReply::Error { message } => assert!(message.contains("chips")),
@@ -341,13 +353,17 @@ fn tcp_round_trip_serves_hits_stats_and_shutdown() {
         exec: fast_exec(),
         max_inflight: 2,
         cache_bytes: 1 << 20,
+        ..ServiceConfig::default()
     }));
     let server = {
         let service = Arc::clone(&service);
         std::thread::spawn(move || serve(&listener, &service))
     };
 
-    let request = ServiceRequest::Query(query(24, 5, PowerDownKind::Vertical));
+    let request = ServiceRequest::Query {
+        query: query(24, 5, PowerDownKind::Vertical),
+        deadline_ms: None,
+    };
     let (first, raw) = client_request(&addr, &request).unwrap();
     assert!(
         raw.starts_with('{') && raw.ends_with('}'),

@@ -79,6 +79,11 @@ fn write_event(out: &mut String, tid: usize, event: &TraceEvent) {
         | TraceEventKind::StudyCompleted
         | TraceEventKind::StudyDegraded
         | TraceEventKind::SweepResumed => "sweep",
+        TraceEventKind::ConnRejected
+        | TraceEventKind::SlowClientEvicted
+        | TraceEventKind::RetryAttempted
+        | TraceEventKind::BreakerOpened
+        | TraceEventKind::BreakerHalfOpen => "net",
         _ => "shard",
     };
     // ts/dur are float microseconds; nanosecond precision survives.

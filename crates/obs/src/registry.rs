@@ -128,6 +128,20 @@ registry_enum! {
         ResultCacheEvictions => "result_cache_evictions",
         /// Tasks moved between work-stealing worker deques by steal-half.
         TasksStolen => "tasks_stolen",
+        /// Connections refused by the serve loop's connection cap.
+        ConnsRejected => "conns_rejected",
+        /// Connections evicted for blowing a per-frame read/write deadline.
+        SlowClientsEvicted => "slow_clients_evicted",
+        /// Resilient-client retries (transient failures and `Busy` replies).
+        RetryAttempts => "retry_attempts",
+        /// Client circuit-breaker trips from closed/half-open to open.
+        BreakerOpens => "breaker_opens",
+        /// Client circuit-breaker probes from open to half-open.
+        BreakerHalfOpens => "breaker_half_opens",
+        /// Faults injected into network streams by the chaos layer.
+        NetFaultsInjected => "net_faults_injected",
+        /// Study queries refused because the service is draining.
+        QueriesDraining => "queries_draining",
     }
 }
 

@@ -103,12 +103,26 @@ pub enum TraceEventKind {
     CacheMiss,
     /// A work-stealing worker stole tasks from another worker's deque.
     TaskStolen,
+    /// The serve loop refused a connection over the connection cap.
+    ConnRejected,
+    /// A connection was evicted for blowing a per-frame read/write
+    /// deadline (slowloris defence).
+    SlowClientEvicted,
+    /// The resilient client retried a request after a transient failure
+    /// or a typed `Busy` reply.
+    RetryAttempted,
+    /// The client's circuit breaker tripped from closed (or half-open)
+    /// to open.
+    BreakerOpened,
+    /// The client's circuit breaker moved from open to half-open to
+    /// probe the server.
+    BreakerHalfOpen,
 }
 
 impl TraceEventKind {
     /// Every kind, with `PhaseSpan` represented once (by `Sample`).
     /// Useful for exhaustive schema tests.
-    pub const ALL: [TraceEventKind; 17] = [
+    pub const ALL: [TraceEventKind; 22] = [
         TraceEventKind::PhaseSpan(Phase::Sample),
         TraceEventKind::ShardDispatched,
         TraceEventKind::ShardCompleted,
@@ -126,6 +140,11 @@ impl TraceEventKind {
         TraceEventKind::CacheHit,
         TraceEventKind::CacheMiss,
         TraceEventKind::TaskStolen,
+        TraceEventKind::ConnRejected,
+        TraceEventKind::SlowClientEvicted,
+        TraceEventKind::RetryAttempted,
+        TraceEventKind::BreakerOpened,
+        TraceEventKind::BreakerHalfOpen,
     ];
 
     /// The stable CamelCase name used in the NDJSON schema.
@@ -149,6 +168,11 @@ impl TraceEventKind {
             TraceEventKind::CacheHit => "CacheHit",
             TraceEventKind::CacheMiss => "CacheMiss",
             TraceEventKind::TaskStolen => "TaskStolen",
+            TraceEventKind::ConnRejected => "ConnRejected",
+            TraceEventKind::SlowClientEvicted => "SlowClientEvicted",
+            TraceEventKind::RetryAttempted => "RetryAttempted",
+            TraceEventKind::BreakerOpened => "BreakerOpened",
+            TraceEventKind::BreakerHalfOpen => "BreakerHalfOpen",
         }
     }
 
@@ -174,6 +198,11 @@ impl TraceEventKind {
             "CacheHit" => TraceEventKind::CacheHit,
             "CacheMiss" => TraceEventKind::CacheMiss,
             "TaskStolen" => TraceEventKind::TaskStolen,
+            "ConnRejected" => TraceEventKind::ConnRejected,
+            "SlowClientEvicted" => TraceEventKind::SlowClientEvicted,
+            "RetryAttempted" => TraceEventKind::RetryAttempted,
+            "BreakerOpened" => TraceEventKind::BreakerOpened,
+            "BreakerHalfOpen" => TraceEventKind::BreakerHalfOpen,
             _ => return None,
         })
     }
@@ -197,6 +226,11 @@ impl TraceEventKind {
             TraceEventKind::CacheHit => 15,
             TraceEventKind::CacheMiss => 16,
             TraceEventKind::TaskStolen => 17,
+            TraceEventKind::ConnRejected => 18,
+            TraceEventKind::SlowClientEvicted => 19,
+            TraceEventKind::RetryAttempted => 20,
+            TraceEventKind::BreakerOpened => 21,
+            TraceEventKind::BreakerHalfOpen => 22,
         }
     }
 
@@ -226,6 +260,11 @@ impl TraceEventKind {
             15 => TraceEventKind::CacheHit,
             16 => TraceEventKind::CacheMiss,
             17 => TraceEventKind::TaskStolen,
+            18 => TraceEventKind::ConnRejected,
+            19 => TraceEventKind::SlowClientEvicted,
+            20 => TraceEventKind::RetryAttempted,
+            21 => TraceEventKind::BreakerOpened,
+            22 => TraceEventKind::BreakerHalfOpen,
             _ => return None,
         })
     }
