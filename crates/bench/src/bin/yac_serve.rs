@@ -10,6 +10,7 @@
 //!                 [--max-inflight N] [--cache-bytes N]
 //!                 [--max-conns N] [--read-deadline-ms N]
 //!                 [--write-deadline-ms N] [--retry-after-ms N]
+//!                 [--heartbeat-ms N] [--scrub-ms N] [--max-reassigns N]
 //!                 [--cache-file PATH] [--warm-journal PATH --chips N --seeds 1,2
 //!                  --constraints nominal,... --schemes regular|horizontal|both
 //!                  [--cpi WARMUP,MEASURE]]
@@ -25,8 +26,18 @@
 //! the cache from a completed sweep journal; the grid flags must
 //! describe that journal's grid, and a fingerprint mismatch is refused
 //! with exit code 4. Serve mode honours `YAC_CHAOS` (including the
-//! `net_rate`/`net_delay_us` wire-fault keys), so a chaos-injected
-//! server can be stood up from the environment alone.
+//! `net_rate`/`net_delay_us` wire-fault keys and the self-healing
+//! drills `mem_rate`/`stall_shard`), so a chaos-injected server can be
+//! stood up from the environment alone.
+//!
+//! The self-healing runtime is on by default: `--heartbeat-ms` sets the
+//! stall sentinel's no-progress budget (0 disables supervision),
+//! `--scrub-ms` the cache scrubber's pass interval (0 disables the
+//! scrubber thread; reads still verify CRCs), and `--max-reassigns` how
+//! many times a stalled shard moves to a fresh worker before the query
+//! completes with that shard honestly degraded. When `--cache-file` is
+//! set the scrubber also re-verifies the persisted snapshot's line CRCs
+//! and rewrites it from memory when a line has rotted.
 //!
 //! Client modes send requests and print the raw reply JSON to stdout
 //! (or `--out PATH`):
@@ -37,9 +48,14 @@
 //!           [--cpi WARMUP,MEASURE] [--deadline-ms N] [--retries N]
 //!           [--out PATH]
 //! yac-serve stats --connect ADDR
+//! yac-serve health --connect ADDR
 //! yac-serve drain --connect ADDR
 //! yac-serve shutdown --connect ADDR
 //! ```
+//!
+//! `health` asks for the liveness report: uptime, in-flight queries,
+//! lane occupancy/stalls, heartbeat misses, reassignments, scrub and
+//! quarantine/repair counters, degraded results and pool restarts.
 //!
 //! Query mode uses the resilient client: transport faults and `busy`
 //! refusals are retried with jittered exponential backoff (honouring
@@ -60,9 +76,9 @@
 //!
 //! | code | meaning |
 //! |------|---------|
-//! | 0    | success (result, stats, bye, or a drain acknowledged) |
+//! | 0    | success (result, stats, health, bye, or a drain acknowledged) |
 //! | 1    | error: bad flags, transport failure, server `error` reply, torture invariant violation |
-//! | 3    | the service answered `busy` after all retries (typed backpressure — retry later) |
+//! | 3    | the service answered `busy` or `retryable` after all retries (typed backpressure — retry later) |
 //! | 4    | warm-journal grid-fingerprint mismatch |
 //! | 5    | the service is draining and refused the query |
 //! | 6    | the query's deadline expired server-side (shards cancelled cooperatively) |
@@ -105,6 +121,11 @@ struct ServeArgs {
     read_deadline_ms: u64,
     write_deadline_ms: u64,
     retry_after_ms: u64,
+    /// Stall-sentinel no-progress budget in ms; 0 disables supervision.
+    heartbeat_ms: u64,
+    /// Cache-scrubber pass interval in ms; 0 disables the thread.
+    scrub_ms: u64,
+    max_reassigns: u32,
     cache_file: Option<String>,
     warm_journal: Option<String>,
     chips: usize,
@@ -163,6 +184,11 @@ fn parse_serve_args(it: &mut impl Iterator<Item = String>) -> Result<ServeArgs, 
         read_deadline_ms: defaults.read_deadline.as_millis() as u64,
         write_deadline_ms: defaults.write_deadline.as_millis() as u64,
         retry_after_ms: defaults.retry_after_ms,
+        heartbeat_ms: defaults
+            .heartbeat_budget
+            .map_or(0, |d| d.as_millis() as u64),
+        scrub_ms: defaults.scrub_interval.map_or(0, |d| d.as_millis() as u64),
+        max_reassigns: defaults.max_reassigns,
         cache_file: None,
         warm_journal: None,
         chips: 200,
@@ -212,6 +238,21 @@ fn parse_serve_args(it: &mut impl Iterator<Item = String>) -> Result<ServeArgs, 
                 args.retry_after_ms = value("--retry-after-ms")?
                     .parse()
                     .map_err(|e| format!("--retry-after-ms: {e}"))?;
+            }
+            "--heartbeat-ms" => {
+                args.heartbeat_ms = value("--heartbeat-ms")?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat-ms: {e}"))?;
+            }
+            "--scrub-ms" => {
+                args.scrub_ms = value("--scrub-ms")?
+                    .parse()
+                    .map_err(|e| format!("--scrub-ms: {e}"))?;
+            }
+            "--max-reassigns" => {
+                args.max_reassigns = value("--max-reassigns")?
+                    .parse()
+                    .map_err(|e| format!("--max-reassigns: {e}"))?;
             }
             "--cache-file" => args.cache_file = Some(value("--cache-file")?),
             "--warm-journal" => args.warm_journal = Some(value("--warm-journal")?),
@@ -417,6 +458,11 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
         read_deadline: Duration::from_millis(args.read_deadline_ms.max(1)),
         write_deadline: Duration::from_millis(args.write_deadline_ms.max(1)),
         retry_after_ms: args.retry_after_ms,
+        heartbeat_budget: (args.heartbeat_ms > 0).then(|| Duration::from_millis(args.heartbeat_ms)),
+        scrub_interval: (args.scrub_ms > 0).then(|| Duration::from_millis(args.scrub_ms)),
+        // The scrubber re-verifies the persisted snapshot too.
+        scrub_file: args.cache_file.as_ref().map(std::path::PathBuf::from),
+        max_reassigns: args.max_reassigns,
     };
     config.exec.shard_chips = config.exec.shard_chips.min(args.chips.max(1));
     let service = Arc::new(SweepService::new(config));
@@ -527,6 +573,15 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
         stats.evicted,
         stats.rejected,
     );
+    eprintln!(
+        "yac-serve: self-healing: {} scrub pass(es), {} entr(ies) quarantined, \
+         {} repaired, {} shard(s) reassigned, {} pool restart(s)",
+        stats.scrub_passes,
+        stats.quarantined,
+        stats.repaired,
+        stats.reassigned,
+        stats.pool_restarts,
+    );
     if let Some(path) = &args.cache_file {
         let saved = service.with_cache(|cache| cache.save(Path::new(path)));
         match saved {
@@ -566,6 +621,32 @@ fn reply_exit(reply: &ServiceReply, drain_mode: bool) -> ExitCode {
             ExitCode::SUCCESS
         }
         ServiceReply::Stats(_) | ServiceReply::Bye => ExitCode::SUCCESS,
+        ServiceReply::Health(report) => {
+            eprintln!(
+                "yac-serve: health: up {} ms, {} inflight, lanes {}/{} busy ({} stalled), \
+                 {} heartbeat(s) missed, {} reassigned, {} scrub pass(es), \
+                 {} quarantined / {} repaired, {} degraded, {} pool restart(s)",
+                report.uptime_ms,
+                report.inflight,
+                report.lanes_busy,
+                report.lanes,
+                report.lanes_stalled,
+                report.heartbeats_missed,
+                report.shards_reassigned,
+                report.scrub_passes,
+                report.quarantined,
+                report.repaired,
+                report.degraded,
+                report.pool_restarts,
+            );
+            ExitCode::SUCCESS
+        }
+        ServiceReply::Retryable { retry_after_ms } => {
+            // The same typed-backpressure exit as `busy`: the failure
+            // was transient (a healed pool); retrying will succeed.
+            eprintln!("yac-serve: transient server fault — retry in {retry_after_ms} ms");
+            ExitCode::from(BUSY_EXIT)
+        }
         ServiceReply::Busy {
             inflight,
             limit,
@@ -722,6 +803,7 @@ fn run_torture(args: &TortureArgs) -> ExitCode {
         read_deadline,
         write_deadline: Duration::from_millis(500),
         retry_after_ms: 25,
+        ..ServiceConfig::default()
     };
     config.exec.shard_chips = config.exec.shard_chips.min(args.chips.max(1));
     let service = Arc::new(SweepService::new(config));
@@ -929,9 +1011,10 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        "stats" | "drain" | "shutdown" => {
+        "stats" | "health" | "drain" | "shutdown" => {
             let request = match mode.as_str() {
                 "stats" => ServiceRequest::Stats,
+                "health" => ServiceRequest::Health,
                 "drain" => ServiceRequest::Drain,
                 _ => ServiceRequest::Shutdown,
             };
@@ -966,13 +1049,13 @@ fn main() -> ExitCode {
         }
         "" => {
             eprintln!(
-                "yac-serve: expected a mode: serve | query | stats | drain | shutdown | torture"
+                "yac-serve: expected a mode: serve | query | stats | health | drain | shutdown | torture"
             );
             ExitCode::FAILURE
         }
         other => {
             eprintln!(
-                "yac-serve: unknown mode {other:?} (serve | query | stats | drain | shutdown | torture)"
+                "yac-serve: unknown mode {other:?} (serve | query | stats | health | drain | shutdown | torture)"
             );
             ExitCode::FAILURE
         }

@@ -157,6 +157,61 @@ impl NetPlan {
     }
 }
 
+/// Salt folded into the memory-corruption draw so it never shares a
+/// stream with disk or network faults of the same seed.
+const MEM_SALT: u64 = 0x006d_656d_5f72_6f74; // "mem_rot"
+
+/// The memory half of a chaos recipe: with probability `rate`, a cache
+/// entry's stored bytes get one bit flipped — keyed by the plan seed and
+/// the entry's cache key, so corruption is order-independent (the same
+/// entries rot no matter when they were inserted) and `rate=1` rots
+/// every entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemPlan {
+    /// Keys every entry's corruption draw.
+    pub seed: u64,
+    /// Probability an entry is corrupted (`0..=1`).
+    pub rate: f64,
+}
+
+impl MemPlan {
+    /// A plan rotting about `rate` of all cache entries, keyed by `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRateError`] unless `rate` is finite and in
+    /// `[0, 1]`.
+    pub fn new(seed: u64, rate: f64) -> Result<Self, InvalidRateError> {
+        // Reuse FaultPlan's rate validation; the draw itself is local.
+        FaultPlan::new(rate, seed)?;
+        Ok(MemPlan { seed, rate })
+    }
+
+    /// The corruption draw for the entry keyed `key`, or `None` when the
+    /// entry is spared. Pure: depends only on `(self, key)`.
+    fn draw_for(&self, key: u64) -> Option<u64> {
+        let draw = mix_seed(self.seed ^ MEM_SALT, key);
+        let unit = (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (unit < self.rate).then_some(draw)
+    }
+
+    /// Flips one deterministic bit of `bytes` when the draw for `key`
+    /// corrupts it; returns whether a bit flipped. Empty payloads are
+    /// never touched.
+    pub fn corrupt(&self, key: u64, bytes: &mut [u8]) -> bool {
+        let Some(draw) = self.draw_for(key) else {
+            return false;
+        };
+        if bytes.is_empty() {
+            return false;
+        }
+        let byte = (draw >> 16) as usize % bytes.len();
+        let bit = (draw >> 40) & 7;
+        bytes[byte] ^= 1 << bit;
+        true
+    }
+}
+
 /// A deterministic chaos recipe: which ops fail and where to crash.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChaosPlan {
@@ -170,6 +225,10 @@ pub struct ChaosPlan {
     faults: Option<FaultPlan>,
     /// Network-stream fault draw; `None` leaves the wire untouched.
     net: Option<NetPlan>,
+    /// Cache-entry bit-rot draw; `None` leaves memory untouched.
+    mem: Option<MemPlan>,
+    /// Hang the *first* attempt of this shard index, once per install.
+    stall_shard: Option<u64>,
 }
 
 impl ChaosPlan {
@@ -195,6 +254,8 @@ impl ChaosPlan {
             torn_crash: false,
             faults,
             net: None,
+            mem: None,
+            stall_shard: None,
         })
     }
 
@@ -219,6 +280,43 @@ impl ChaosPlan {
     #[must_use]
     pub fn net(&self) -> Option<NetPlan> {
         self.net
+    }
+
+    /// Adds a memory fault plan: each cache entry rots with probability
+    /// `rate`, keyed by the plan seed and the entry key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRateError`] unless `rate` is finite and in
+    /// `[0, 1]`.
+    pub fn with_mem(mut self, rate: f64) -> Result<Self, InvalidRateError> {
+        self.mem = if rate > 0.0 {
+            Some(MemPlan::new(self.seed, rate)?)
+        } else {
+            MemPlan::new(self.seed, rate)?;
+            None
+        };
+        Ok(self)
+    }
+
+    /// The plan's memory half, if any.
+    #[must_use]
+    pub fn mem(&self) -> Option<MemPlan> {
+        self.mem
+    }
+
+    /// Sets the stalled shard: the first attempt of shard `shard` hangs
+    /// until cooperatively cancelled (once per [`install`]).
+    #[must_use]
+    pub fn stall(mut self, shard: u64) -> Self {
+        self.stall_shard = Some(shard);
+        self
+    }
+
+    /// The shard index whose first attempt hangs, if any.
+    #[must_use]
+    pub fn stalled_shard(&self) -> Option<u64> {
+        self.stall_shard
     }
 
     /// Sets the crash point: the process aborts at op `op`.
@@ -248,7 +346,7 @@ impl ChaosPlan {
 
     /// Parses a plan from the `YAC_CHAOS` environment variable:
     /// comma-separated `seed=N`, `rate=F`, `crash_at=N`, `torn=0|1`,
-    /// `net_rate=F`, `net_delay_us=N`
+    /// `net_rate=F`, `net_delay_us=N`, `mem_rate=F`, `stall_shard=N`
     /// (e.g. `YAC_CHAOS=seed=7,rate=0,net_rate=0.2,net_delay_us=500`).
     /// Returns `Ok(None)` when the variable is unset.
     ///
@@ -270,6 +368,7 @@ impl ChaosPlan {
     pub fn parse(spec: &str) -> Result<ChaosPlan, String> {
         let (mut seed, mut rate, mut crash_at, mut torn) = (0u64, 0.0f64, None, false);
         let (mut net_rate, mut net_delay_us) = (0.0f64, 500u64);
+        let (mut mem_rate, mut stall_shard) = (0.0f64, None);
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
             let (key, value) = part
                 .split_once('=')
@@ -282,14 +381,19 @@ impl ChaosPlan {
                 "torn" => torn = value.trim() == "1",
                 "net_rate" => net_rate = value.trim().parse().map_err(|_| bad())?,
                 "net_delay_us" => net_delay_us = value.trim().parse().map_err(|_| bad())?,
+                "mem_rate" => mem_rate = value.trim().parse().map_err(|_| bad())?,
+                "stall_shard" => stall_shard = Some(value.trim().parse().map_err(|_| bad())?),
                 other => return Err(format!("chaos spec has unknown key {other:?}")),
             }
         }
         let mut plan = ChaosPlan::new(seed, rate).map_err(|e| format!("chaos spec rate: {e}"))?;
         plan.crash_at = crash_at;
         plan.torn_crash = torn;
+        plan.stall_shard = stall_shard;
         plan.with_net(net_rate, Duration::from_micros(net_delay_us))
-            .map_err(|e| format!("chaos spec net_rate: {e}"))
+            .map_err(|e| format!("chaos spec net_rate: {e}"))?
+            .with_mem(mem_rate)
+            .map_err(|e| format!("chaos spec mem_rate: {e}"))
     }
 }
 
@@ -307,6 +411,7 @@ pub fn install(plan: ChaosPlan) {
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(plan);
     OPS.store(0, Ordering::SeqCst);
+    STALL_TAKEN.store(false, Ordering::SeqCst);
     ENABLED.store(true, Ordering::SeqCst);
 }
 
@@ -378,6 +483,50 @@ pub fn net_plan() -> Option<NetPlan> {
     PLAN.lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .and_then(|plan| plan.net)
+}
+
+/// The installed plan's memory half, or `None` when chaos is off. One
+/// relaxed atomic load on the fast path.
+#[must_use]
+pub fn mem_plan() -> Option<MemPlan> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    PLAN.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .and_then(|plan| plan.mem)
+}
+
+/// Routes a freshly-stored cache entry through the memory chaos layer:
+/// flips one deterministic bit of `bytes` when the installed plan's
+/// `mem_rate` draw corrupts entry `key`. Returns whether a bit flipped.
+#[must_use]
+pub fn corrupt_cache_entry(key: u64, bytes: &mut [u8]) -> bool {
+    mem_plan().is_some_and(|plan| plan.corrupt(key, bytes))
+}
+
+/// Whether the installed plan's stalled shard has been claimed yet. One
+/// claim per [`install`], so the reassigned attempt runs clean.
+static STALL_TAKEN: AtomicBool = AtomicBool::new(false);
+
+/// Claims the hang injection for shard `shard`: returns `true` exactly
+/// once per [`install`], and only when the installed plan names this
+/// shard in `stall_shard`. The caller is expected to busy-wait
+/// *cooperatively* (checking its cancel signal) so the health sentinel
+/// can release it.
+#[must_use]
+pub fn stall_ticket(shard: u64) -> bool {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let stalled = PLAN
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .and_then(|plan| plan.stall_shard);
+    stalled == Some(shard)
+        && STALL_TAKEN
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
 }
 
 /// A deterministic fault-injecting wrapper around any `Read + Write`
@@ -638,6 +787,61 @@ mod tests {
         // Rate 0 never faults.
         let quiet = NetPlan::new(7, 0.0, Duration::ZERO).unwrap();
         assert!((0..1000).all(|op| quiet.fault_for(42, op).is_none()));
+    }
+
+    #[test]
+    fn mem_keys_parse_from_spec_strings() {
+        let plan = ChaosPlan::parse("seed=9,mem_rate=0.5,stall_shard=3").unwrap();
+        let mem = plan.mem().expect("mem plan installed");
+        assert_eq!(mem.seed, 9);
+        assert!((mem.rate - 0.5).abs() < 1e-12);
+        assert_eq!(plan.stalled_shard(), Some(3));
+
+        // mem_rate=0 means no mem plan, and the default spec has none.
+        assert_eq!(ChaosPlan::parse("seed=9,mem_rate=0").unwrap().mem(), None);
+        assert_eq!(ChaosPlan::parse("seed=9,rate=0").unwrap().mem(), None);
+        assert_eq!(
+            ChaosPlan::parse("seed=9,rate=0").unwrap().stalled_shard(),
+            None
+        );
+        assert!(ChaosPlan::parse("mem_rate=2.0").is_err());
+        assert!(ChaosPlan::parse("stall_shard=x").is_err());
+    }
+
+    #[test]
+    fn mem_corruption_is_deterministic_keyed_by_entry_and_one_bit() {
+        let plan = MemPlan::new(7, 1.0).unwrap();
+        let original = b"E 00deadbeef077 result line".to_vec();
+        let mut rotted = original.clone();
+        assert!(plan.corrupt(42, &mut rotted), "rate 1 rots every entry");
+        let flipped: u32 = original
+            .iter()
+            .zip(&rotted)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit must flip");
+        // Same key, same flip — order-independent corruption.
+        let mut again = original.clone();
+        assert!(plan.corrupt(42, &mut again));
+        assert_eq!(again, rotted);
+        // A different key flips a different draw.
+        let mut other = original.clone();
+        assert!(plan.corrupt(43, &mut other));
+        assert_ne!(other, rotted);
+        // Rate 0 never rots; empty payloads are never touched.
+        let quiet = MemPlan::new(7, 0.0).unwrap();
+        let mut untouched = original.clone();
+        assert!(!quiet.corrupt(42, &mut untouched));
+        assert_eq!(untouched, original);
+        assert!(!plan.corrupt(42, &mut []));
+    }
+
+    #[test]
+    fn builder_sets_stall_shard() {
+        let plan = ChaosPlan::new(1, 0.0).unwrap().stall(4);
+        assert_eq!(plan.stalled_shard(), Some(4));
+        // No global plan installed in unit tests, so no ticket.
+        assert!(!stall_ticket(4));
     }
 
     #[test]

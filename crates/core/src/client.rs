@@ -10,7 +10,10 @@
 //! * **Retry with jittered exponential backoff.** Transport errors
 //!   (connect/read/write failures, CRC-corrupt frames, mid-frame
 //!   disconnects) and [`ServiceReply::Busy`] refusals are retried up to
-//!   [`ClientConfig::max_attempts`] times. The backoff doubles per
+//!   [`ClientConfig::max_attempts`] times — as is
+//!   [`ServiceReply::Retryable`], the self-healing server's "I hit a
+//!   fault and already fixed it, come back" reply, which like `Busy`
+//!   never counts against the breaker. The backoff doubles per
 //!   attempt from [`ClientConfig::base_backoff`], capped at
 //!   [`ClientConfig::max_backoff`], with deterministic SplitMix64
 //!   "equal jitter" (half fixed, half drawn) so synchronized clients
@@ -445,6 +448,15 @@ impl ResilientClient {
                 retry_after: Duration::from_millis(retry_after_ms),
             });
         }
+        // `Retryable` is the server saying "I hit a fault and already
+        // healed it" (a mid-query pool rebuild): retry on the hinted
+        // schedule like `Busy` — the service is healthy, so it must not
+        // count against the breaker either.
+        if let ServiceReply::Retryable { retry_after_ms } = reply {
+            return Err(AttemptFailure::Busy {
+                retry_after: Duration::from_millis(retry_after_ms),
+            });
+        }
         // A server-side CRC failure means the wire corrupted our
         // request in flight — transient, so retry it like any other
         // transport fault rather than surfacing it as terminal.
@@ -585,6 +597,24 @@ mod tests {
         let mut client = ResilientClient::new(addr, quick_config());
         let (reply, _) = client.request(&ServiceRequest::Shutdown).unwrap();
         assert_eq!(reply, ServiceReply::Bye);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retryable_replies_are_retried_like_busy_without_breaker_penalty() {
+        let (addr, server) = scripted_server(vec![
+            Some(ServiceReply::Retryable { retry_after_ms: 1 }),
+            Some(ServiceReply::Retryable { retry_after_ms: 1 }),
+            Some(ServiceReply::Bye),
+        ]);
+        let mut config = quick_config();
+        // A breaker that opens on the first failure: if Retryable hit
+        // the breaker, the second attempt would be refused outright.
+        config.breaker_threshold = 1;
+        let mut client = ResilientClient::new(addr, config);
+        let (reply, _) = client.request(&ServiceRequest::Shutdown).unwrap();
+        assert_eq!(reply, ServiceReply::Bye);
+        assert!(!client.breaker().is_open());
         server.join().unwrap();
     }
 

@@ -43,6 +43,7 @@ use crate::chip::{evaluate_isolated, ChipSample, Population, PopulationConfig};
 use crate::classify::classify;
 use crate::confidence::{yield_interval, YieldInterval};
 use crate::constraints::{ConstraintSpec, YieldConstraints};
+use crate::health::HeartbeatLease;
 use crate::quarantine::QuarantineLedger;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -276,14 +277,17 @@ enum ShardAbort {
 
 /// One attempt's cancellation state: the worker's watch, the attempt's
 /// tag (so only a cancel aimed at *this* attempt stops it), its start
-/// time (so the deadline is enforced against the attempt's own clock)
-/// and an optional external abort flag (the sweep service's per-query
-/// cancel, raised when a client disconnects).
+/// time (so the deadline is enforced against the attempt's own clock),
+/// an optional external abort flag (the sweep service's per-query
+/// cancel, raised when a client disconnects) and an optional heartbeat
+/// lease (the stall sentinel's cooperative cancel, raised when the lane
+/// publishes no progress for a full budget).
 struct AttemptGuard<'a> {
     watch: &'a WorkerWatch,
     tag: u64,
     t0: Instant,
     abort: Option<&'a AtomicBool>,
+    lease: Option<&'a HeartbeatLease<'a>>,
 }
 
 impl AttemptGuard<'_> {
@@ -291,6 +295,14 @@ impl AttemptGuard<'_> {
         self.watch.cancel.load(Ordering::Relaxed) == self.tag
             || deadline.is_some_and(|d| self.t0.elapsed() > d)
             || self.abort.is_some_and(|a| a.load(Ordering::Relaxed))
+            || self.lease.is_some_and(HeartbeatLease::is_cancelled)
+    }
+
+    /// Publishes one unit of liveness progress (a no-op without a lease).
+    fn beat(&self) {
+        if let Some(lease) = self.lease {
+            lease.beat();
+        }
     }
 }
 
@@ -336,12 +348,23 @@ fn run_shard_once(
             );
         }
     }
+    if crate::chaos::stall_ticket(spec.index as u64) {
+        // Injected hang: hold the shard without a single heartbeat until
+        // some cancel source (sentinel lease cancel, query abort, shard
+        // deadline or watchdog tag) releases it — this is how the seeded
+        // tests drive every stall-recovery path.
+        while !guard.cancelled(exec.shard_deadline) {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        return Err(ShardAbort::Cancelled);
+    }
     let mut chips = Vec::with_capacity(spec.len);
     let mut quarantine = QuarantineLedger::new();
     for index in spec.start..spec.start + spec.len as u64 {
         if guard.cancelled(exec.shard_deadline) {
             return Err(ShardAbort::Cancelled);
         }
+        guard.beat();
         match mc.sample_one_checked(config.seed, index, config.faults.as_ref()) {
             Ok(die) => match evaluate_isolated(config, &die) {
                 Ok((regular, horizontal)) => chips.push(ChipSample {
@@ -393,6 +416,7 @@ fn run_shard_supervised(
             tag,
             t0: Instant::now(),
             abort: None,
+            lease: None,
         };
         let exec_span = yac_obs::phase_ctx(Phase::ShardExec, ctx(attempt));
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -452,9 +476,12 @@ fn run_shard_supervised(
 ///
 /// Differences from the batch path: the deadline is enforced purely by
 /// the worker's own between-chip clock (the service runs no watchdog
-/// thread), and `abort` — the query's cancel flag, raised when the
-/// client disconnects — stops the shard *without* burning retries:
-/// `None` is returned and the supervisor discards the query.
+/// thread), and two cancel sources stop the shard *without* burning
+/// retries, returning `None`: `abort` — the query's cancel flag, raised
+/// when the client disconnects (the supervisor discards the query) —
+/// and `lease` — the stall sentinel's cooperative cancel, raised when
+/// this lane stops heartbeating (the shard has been reassigned to a
+/// fresh worker; this attempt must neither retry nor degrade).
 pub(crate) fn run_shard_stealing(
     mc: &MonteCarlo,
     config: &PopulationConfig,
@@ -462,6 +489,7 @@ pub(crate) fn run_shard_stealing(
     spec: ShardSpec,
     worker: u32,
     abort: &AtomicBool,
+    lease: Option<&HeartbeatLease<'_>>,
 ) -> Option<ShardMsg> {
     let watch = WorkerWatch::default();
     let mut attempt: u32 = 0;
@@ -476,6 +504,7 @@ pub(crate) fn run_shard_stealing(
             tag: u64::MAX, // No watchdog: the tag can never be matched.
             t0: Instant::now(),
             abort: Some(abort),
+            lease,
         };
         let exec_span = yac_obs::phase_ctx(Phase::ShardExec, ctx(attempt));
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -497,6 +526,12 @@ pub(crate) fn run_shard_stealing(
                 if abort.load(Ordering::Relaxed) {
                     // Query cancelled, not a deadline: no retry, no
                     // degrade — the whole query is being discarded.
+                    return None;
+                }
+                if lease.is_some_and(HeartbeatLease::is_cancelled) {
+                    // Sentinel cancel: the shard was reassigned to a
+                    // fresh worker while this lane stalled. Yield the
+                    // lane; the reassigned attempt reports the shard.
                     return None;
                 }
                 yac_obs::inc(Metric::ShardTimeouts);

@@ -41,6 +41,7 @@ pub mod confidence;
 pub mod constraints;
 pub mod economics;
 pub mod executor;
+pub mod health;
 pub mod perf;
 pub mod quarantine;
 pub mod report;
@@ -56,7 +57,7 @@ pub use analysis::{
     loss_table, saved_config_census, study_from_population, table2, table3, FullStudy,
     InvalidLossReason, LossBreakdown, LossTable, ScatterPoint, SchemeLosses,
 };
-pub use chaos::{ChaosPlan, ChaosStream, IoSite, NetPlan, NetSite};
+pub use chaos::{ChaosPlan, ChaosStream, IoSite, MemPlan, NetPlan, NetSite};
 pub use checkpoint::{
     run_checkpointed, run_checkpointed_budget, CheckpointState, ShardRecord, ShardStatus,
     StudyError,
@@ -71,6 +72,10 @@ pub use executor::{
     run_checkpointed_workers, run_checkpointed_workers_budget, run_supervised, shards_for,
     DegradedShard, ExecutorConfig, ShardFaultPlan, ShardSpec, StudyOutcome,
 };
+pub use health::{
+    HealthConfig, HeartbeatLease, HeartbeatRegistry, LaneState, StallDetector, StallEvent,
+    StallSentinel,
+};
 pub use perf::{
     adaptive_comparison, render_degradation, render_table6, suite_cpis_isolated, suite_degradation,
     table6, AdaptiveComparison, BenchmarkFailure, PerfOptions, SuiteDegradation, Table6, Table6Row,
@@ -82,8 +87,8 @@ pub use schemes::{
     SchemeOutcome, Vaca, Yapd,
 };
 pub use service::{
-    client_request, constraint_by_name, read_frame, serve, write_frame, ResultCache, ServiceConfig,
-    ServiceReply, ServiceRequest, ServiceStats, StudyQuery, SweepService,
+    client_request, constraint_by_name, read_frame, serve, write_frame, HealthReport, ResultCache,
+    ServiceConfig, ServiceReply, ServiceRequest, ServiceStats, StudyQuery, SweepService,
 };
 pub use stealing::{PoolTask, StealPool, WorkDeque};
 pub use sweep::{

@@ -118,8 +118,9 @@ use crate::chip::{ChipSample, Population, PopulationConfig};
 use crate::constraints::ConstraintSpec;
 use crate::executor::{
     finish_outcome, insert_chips_sorted, run_shard_stealing, shards_for, DegradedShard,
-    ExecutorConfig, ShardMsg,
+    ExecutorConfig, ShardMsg, ShardSpec,
 };
+use crate::health::{HealthConfig, HeartbeatRegistry, StallEvent, StallSentinel};
 use crate::quarantine::QuarantineLedger;
 use crate::schemes::PowerDownKind;
 use crate::stealing::StealPool;
@@ -127,12 +128,13 @@ use crate::sweep::{
     check_crc_line, crc_line, parse_journal, parse_result, render_result,
     study_result_from_outcome, CpiOptions, StudySpec, StudyStatus, SweepConfig, SweepGrid,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use yac_obs::{Metric, Phase, TraceCtx, TraceEventKind};
 use yac_variation::MonteCarlo;
@@ -221,13 +223,26 @@ pub const ENTRY_OVERHEAD: usize = 48;
 
 #[derive(Debug, Clone)]
 struct CacheEntry {
-    /// Canonical [`render_result`] text.
-    record: String,
+    /// Canonical [`render_result`] text, stored as bytes: an in-memory
+    /// bit flip (real rot, or the chaos layer's injected `mem_rate`) may
+    /// leave the buffer non-UTF-8, and the scrubber must still be able
+    /// to inspect it.
+    record: Vec<u8>,
+    /// CRC-32 of the record captured at insert, *before* the stored copy
+    /// could rot. Every read and every scrub pass re-verifies it; a
+    /// mismatch quarantines the entry.
+    crc: u32,
     /// Recency: the cache-wide tick of the entry's last touch.
     last_used: u64,
 }
 
-fn entry_bytes(record: &str) -> usize {
+impl CacheEntry {
+    fn intact(&self) -> bool {
+        crc32(&self.record) == self.crc
+    }
+}
+
+fn entry_bytes(record: &[u8]) -> usize {
     record.len() + ENTRY_OVERHEAD
 }
 
@@ -242,11 +257,19 @@ fn entry_bytes(record: &str) -> usize {
 pub struct ResultCache {
     budget: usize,
     entries: HashMap<u64, CacheEntry>,
+    /// Quarantine tombstones: keys whose entry failed its CRC. The next
+    /// insert over a tombstone is a *repair* — by construction
+    /// bit-identical to a cold recompute, because the inserted text is
+    /// the canonical rendering and the rotted copy was never served.
+    quarantined: HashSet<u64>,
     bytes: usize,
     tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
+    quarantined_total: u64,
+    repaired: u64,
+    scrub_passes: u64,
 }
 
 impl ResultCache {
@@ -256,11 +279,15 @@ impl ResultCache {
         ResultCache {
             budget,
             entries: HashMap::new(),
+            quarantined: HashSet::new(),
             bytes: 0,
             tick: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
+            quarantined_total: 0,
+            repaired: 0,
+            scrub_passes: 0,
         }
     }
 
@@ -306,41 +333,153 @@ impl ResultCache {
         self.evictions
     }
 
+    /// Entries quarantined after failing their CRC (on read or during a
+    /// scrub pass).
+    #[must_use]
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined_total
+    }
+
+    /// Quarantined keys later repaired by a fresh insert.
+    #[must_use]
+    pub fn repaired(&self) -> u64 {
+        self.repaired
+    }
+
+    /// Completed scrub passes.
+    #[must_use]
+    pub fn scrub_passes(&self) -> u64 {
+        self.scrub_passes
+    }
+
     /// Looks up `key`, bumping its recency on a hit. Counts the outcome
     /// in the metric registry and trace ring ([`TraceEventKind::CacheHit`]
     /// / [`TraceEventKind::CacheMiss`]).
+    ///
+    /// Every hit re-verifies the entry's CRC first. A rotted entry is
+    /// **never served**: it is quarantined (removed, its key
+    /// tombstoned) and the lookup counts as a miss, so the caller
+    /// recomputes — and the recompute's insert repairs the entry with
+    /// bytes bit-identical to a cold compute.
     pub fn get(&mut self, key: u64) -> Option<String> {
         self.tick += 1;
         match self.entries.get_mut(&key) {
-            Some(entry) => {
+            Some(entry) if entry.intact() => {
                 entry.last_used = self.tick;
                 self.hits += 1;
                 yac_obs::inc(Metric::ResultCacheHits);
                 yac_obs::trace_instant(TraceEventKind::CacheHit, TraceCtx::default());
-                Some(entry.record.clone())
+                return Some(String::from_utf8_lossy(&entry.record).into_owned());
             }
-            None => {
-                self.misses += 1;
-                yac_obs::inc(Metric::ResultCacheMisses);
-                yac_obs::trace_instant(TraceEventKind::CacheMiss, TraceCtx::default());
-                None
+            Some(_) => self.quarantine_entry(key),
+            None => {}
+        }
+        self.misses += 1;
+        yac_obs::inc(Metric::ResultCacheMisses);
+        yac_obs::trace_instant(TraceEventKind::CacheMiss, TraceCtx::default());
+        None
+    }
+
+    /// Removes a CRC-failing entry and tombstones its key (metric
+    /// `entries_quarantined`, trace `EntryQuarantined`).
+    fn quarantine_entry(&mut self, key: u64) {
+        if let Some(old) = self.entries.remove(&key) {
+            self.bytes -= entry_bytes(&old.record);
+            self.quarantined.insert(key);
+            self.quarantined_total += 1;
+            yac_obs::inc(Metric::EntriesQuarantined);
+            yac_obs::trace_instant(TraceEventKind::EntryQuarantined, TraceCtx::default());
+        }
+    }
+
+    /// Re-verifies every entry's CRC, quarantining the failures. Returns
+    /// how many entries were quarantined this pass. Counted in
+    /// `scrub_passes` / [`Metric::ScrubPasses`] and traced as
+    /// [`TraceEventKind::ScrubPass`].
+    pub fn scrub(&mut self) -> usize {
+        let rotted: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, entry)| !entry.intact())
+            .map(|(key, _)| *key)
+            .collect();
+        for key in &rotted {
+            self.quarantine_entry(*key);
+        }
+        self.scrub_passes += 1;
+        yac_obs::inc(Metric::ScrubPasses);
+        yac_obs::trace_instant(TraceEventKind::ScrubPass, TraceCtx::default());
+        rotted.len()
+    }
+
+    /// Re-verifies a persisted `YAC-CACHE` file's line CRCs and, when any
+    /// line has rotted, rewrites the whole file from the in-memory cache
+    /// (whose own rotted entries [`ResultCache::save`] skips). Each
+    /// rotted line counts as one quarantine and — once the rewrite lands
+    /// — one repair. Returns how many lines had rotted.
+    ///
+    /// A missing or unreadable file is left alone: persistence is an
+    /// optimisation, and load-time strictness already refuses corrupt
+    /// files wholesale.
+    pub fn scrub_file(&mut self, path: &Path) -> usize {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return 0;
+        };
+        let rotted = text
+            .lines()
+            .filter(|line| check_crc_line(line).is_none())
+            .count();
+        if rotted == 0 {
+            return 0;
+        }
+        self.quarantined_total += rotted as u64;
+        for _ in 0..rotted {
+            yac_obs::inc(Metric::EntriesQuarantined);
+            yac_obs::trace_instant(TraceEventKind::EntryQuarantined, TraceCtx::default());
+        }
+        if self.save(path).is_ok() {
+            self.repaired += rotted as u64;
+            for _ in 0..rotted {
+                yac_obs::inc(Metric::EntriesRepaired);
+                yac_obs::trace_instant(TraceEventKind::EntryRepaired, TraceCtx::default());
             }
         }
+        rotted
     }
 
     /// Inserts (or refreshes) an entry, evicting least-recently-used
     /// entries until the budget holds. Returns `false` — caching
     /// nothing — when the record alone exceeds the whole budget.
+    ///
+    /// The entry's CRC is captured from `record` *before* the stored
+    /// copy can rot (the chaos layer's `mem_rate` corruption is applied
+    /// to the stored bytes only). An insert over a quarantined key is a
+    /// **repair**: the tombstone clears and the repair is counted
+    /// ([`Metric::EntriesRepaired`], trace `EntryRepaired`) — the new
+    /// text is canonical, so the repaired entry is bit-identical to a
+    /// cold recompute.
     pub fn insert(&mut self, key: u64, record: String) -> bool {
-        let size = entry_bytes(&record);
+        let crc = crc32(record.as_bytes());
+        let mut bytes = record.into_bytes();
+        let size = entry_bytes(&bytes);
         if size > self.budget {
             return false;
         }
+        if self.quarantined.remove(&key) {
+            self.repaired += 1;
+            yac_obs::inc(Metric::EntriesRepaired);
+            yac_obs::trace_instant(TraceEventKind::EntryRepaired, TraceCtx::default());
+        }
+        // Injected memory rot (deterministic, keyed by the entry) lands
+        // on the stored copy only — the CRC above still describes the
+        // canonical bytes, which is exactly what makes the rot visible.
+        let _ = crate::chaos::corrupt_cache_entry(key, &mut bytes);
         self.tick += 1;
         if let Some(old) = self.entries.insert(
             key,
             CacheEntry {
-                record,
+                record: bytes,
+                crc,
                 last_used: self.tick,
             },
         ) {
@@ -384,6 +523,12 @@ impl ResultCache {
     /// order. One full rewrite through the chaos layer
     /// ([`IoSite::CacheFile`]), fsynced file and parent.
     ///
+    /// Entries that fail their own CRC are silently skipped: persisting
+    /// a rotted record would either poison the file's strict load (a
+    /// malformed record refuses the *whole* cache) or — worse — launder
+    /// the rot under a fresh line CRC. The scrubber quarantines them in
+    /// memory on its next pass.
+    ///
     /// # Errors
     ///
     /// Returns [`StudyError::Io`] when the write fails (including
@@ -393,7 +538,11 @@ impl ResultCache {
         ordered.sort_by_key(|(_, e)| e.last_used);
         let mut text = crc_line(CACHE_MAGIC);
         for (key, entry) in ordered {
-            text.push_str(&crc_line(&format!("E {key:016x} {}", entry.record)));
+            if !entry.intact() {
+                continue;
+            }
+            let record = String::from_utf8_lossy(&entry.record);
+            text.push_str(&crc_line(&format!("E {key:016x} {record}")));
         }
         intercept_write(IoSite::CacheFile, path, text.as_bytes(), |bytes| {
             let mut f = std::fs::File::create(path)?;
@@ -541,13 +690,31 @@ pub struct ServiceConfig {
     /// A reply frame must drain to the peer within this window or the
     /// peer is evicted.
     pub write_deadline: Duration,
-    /// The backoff hint carried by every [`ServiceReply::Busy`].
+    /// The backoff hint carried by every [`ServiceReply::Busy`] (and
+    /// [`ServiceReply::Retryable`]).
     pub retry_after_ms: u64,
+    /// How long a pool lane may hold a shard without one heartbeat
+    /// before the stall sentinel escalates (cancel → reassign →
+    /// degrade). `None` disables the sentinel.
+    pub heartbeat_budget: Option<Duration>,
+    /// How often the background scrubber re-verifies cache-entry CRCs.
+    /// `None` disables the scrubber thread (scrubs still happen on every
+    /// read, and [`SweepService::scrub_now`] runs one on demand).
+    pub scrub_interval: Option<Duration>,
+    /// A persisted `YAC-CACHE` file for the scrubber to re-verify (and
+    /// rewrite from memory when a line has rotted). `None` scrubs only
+    /// the in-memory entries.
+    pub scrub_file: Option<PathBuf>,
+    /// How many times a stalled shard is reassigned to a fresh worker
+    /// before the service records it degraded instead.
+    pub max_reassigns: u32,
 }
 
 impl Default for ServiceConfig {
     /// Default executor, two queries in flight, an 8 MiB cache, 64
-    /// connections, two-second frame deadlines, a 200 ms retry hint.
+    /// connections, two-second frame deadlines, a 200 ms retry hint, a
+    /// two-second heartbeat budget, five-second scrub passes, one
+    /// reassignment per stalled shard.
     fn default() -> Self {
         ServiceConfig {
             exec: ExecutorConfig::default(),
@@ -557,6 +724,10 @@ impl Default for ServiceConfig {
             read_deadline: Duration::from_secs(2),
             write_deadline: Duration::from_secs(2),
             retry_after_ms: DEFAULT_RETRY_AFTER_MS,
+            heartbeat_budget: Some(Duration::from_secs(2)),
+            scrub_interval: Some(Duration::from_secs(5)),
+            scrub_file: None,
+            max_reassigns: 1,
         }
     }
 }
@@ -596,6 +767,50 @@ pub struct ServiceStats {
     pub rejected: u64,
     /// Whether the service is draining (refusing new queries).
     pub draining: bool,
+    /// Completed cache scrub passes.
+    pub scrub_passes: u64,
+    /// Cache entries quarantined after failing their CRC.
+    pub quarantined: u64,
+    /// Quarantined entries repaired by a fresh insert.
+    pub repaired: u64,
+    /// Stalled shards reassigned to a fresh worker.
+    pub reassigned: u64,
+    /// Times the worker pool was rebuilt after poisoning.
+    pub pool_restarts: u64,
+}
+
+/// A point-in-time liveness report, answering [`ServiceRequest::Health`].
+///
+/// Where [`ServiceStats`] counts *traffic*, this reports *self-healing*:
+/// lane liveness, the escalation ladder's counters, scrub activity and
+/// pool rebuilds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Milliseconds since the service was built.
+    pub uptime_ms: u64,
+    /// Queries computing right now.
+    pub inflight: usize,
+    /// Heartbeat lanes (one per pool worker).
+    pub lanes: usize,
+    /// Lanes currently holding a shard lease.
+    pub lanes_busy: usize,
+    /// Lanes past a missed heartbeat without recovering (cancelled or
+    /// truly wedged), as of the sentinel's last poll.
+    pub lanes_stalled: u64,
+    /// Lease cancels issued for missed heartbeats.
+    pub heartbeats_missed: u64,
+    /// Stalled shards reassigned to a fresh worker.
+    pub shards_reassigned: u64,
+    /// Completed cache scrub passes.
+    pub scrub_passes: u64,
+    /// Cache entries quarantined after failing their CRC.
+    pub quarantined: u64,
+    /// Quarantined entries repaired by a fresh insert.
+    pub repaired: u64,
+    /// Queries answered with a degraded (shards-missing) result.
+    pub degraded: u64,
+    /// Times the worker pool was rebuilt after poisoning.
+    pub pool_restarts: u64,
 }
 
 /// A request a client can put on the wire.
@@ -614,6 +829,9 @@ pub enum ServiceRequest {
     },
     /// Report service counters.
     Stats,
+    /// Report liveness: uptime, lane health, scrub and self-healing
+    /// counters.
+    Health,
     /// Finish in-flight queries, refuse new ones, then exit the serve
     /// loop.
     Drain,
@@ -659,6 +877,15 @@ pub enum ServiceReply {
     },
     /// The query's client disconnected mid-computation.
     Cancelled,
+    /// The query was lost to a fault the service has already healed
+    /// (worker-pool poisoning mid-computation): the same request will
+    /// succeed on a fresh attempt. Unlike [`ServiceReply::Error`] this
+    /// is explicitly *transient* — resilient clients retry it like
+    /// [`ServiceReply::Busy`], without a breaker penalty.
+    Retryable {
+        /// How long the server suggests waiting before retrying.
+        retry_after_ms: u64,
+    },
     /// The query could not be answered.
     Error {
         /// One-line diagnostic.
@@ -666,16 +893,239 @@ pub enum ServiceReply {
     },
     /// Service counters, answering [`ServiceRequest::Stats`].
     Stats(ServiceStats),
+    /// Liveness report, answering [`ServiceRequest::Health`].
+    Health(HealthReport),
     /// Acknowledges [`ServiceRequest::Shutdown`].
     Bye,
 }
 
 /// Everything one query's shard tasks share.
+#[derive(Debug)]
 struct QueryJob {
     mc: MonteCarlo,
     pop: PopulationConfig,
     exec: ExecutorConfig,
     cancel: Arc<AtomicBool>,
+}
+
+/// A computing query, registered so the stall sentinel's handler can
+/// reassign (or degrade) its stalled shards from outside the collector.
+#[derive(Debug)]
+struct ActiveJob {
+    job: Arc<QueryJob>,
+    specs: Vec<ShardSpec>,
+    /// A clone of the query's result channel. Held here until the
+    /// collector deregisters the job, which also keeps the channel open
+    /// while reassignment is still possible.
+    tx: mpsc::Sender<Option<ShardMsg>>,
+    /// Stalled-shard reassignments already spent on this query.
+    reassigns: u32,
+}
+
+/// The live query table the sentinel handler works against.
+type JobTable = Arc<Mutex<HashMap<u64, ActiveJob>>>;
+
+/// Shard tags pack the owning job and the shard index into the lease's
+/// `shard` word: low 20 bits the shard index, the rest the job id.
+const SHARD_TAG_BITS: u32 = 20;
+
+fn shard_tag(job_id: u64, index: usize) -> u64 {
+    (job_id << SHARD_TAG_BITS) | (index as u64 & ((1 << SHARD_TAG_BITS) - 1))
+}
+
+fn lock_jobs(jobs: &JobTable) -> std::sync::MutexGuard<'_, HashMap<u64, ActiveJob>> {
+    jobs.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_opt<T>(slot: &Mutex<Option<T>>) -> std::sync::MutexGuard<'_, Option<T>> {
+    slot.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Submits one shard of a job to the pool: the task takes a heartbeat
+/// lease tagged with the job+shard, beats once per chip, and reports on
+/// `tx`. Used by the collector for the initial fan-out and by the stall
+/// sentinel's handler for reassignment — both paths are byte-identical
+/// compute.
+fn submit_shard(
+    pool: &RwLock<StealPool>,
+    registry: &Arc<HeartbeatRegistry>,
+    job: Arc<QueryJob>,
+    job_id: u64,
+    spec: ShardSpec,
+    tx: mpsc::Sender<Option<ShardMsg>>,
+) {
+    let registry = Arc::clone(registry);
+    pool.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .submit(Box::new(move |worker| {
+            if job.cancel.load(Ordering::Relaxed) {
+                let _ = tx.send(None);
+                return;
+            }
+            let lease = registry.begin(worker, shard_tag(job_id, spec.index));
+            let msg = run_shard_stealing(
+                &job.mc,
+                &job.pop,
+                &job.exec,
+                spec,
+                worker as u32,
+                &job.cancel,
+                Some(&lease),
+            );
+            match msg {
+                Some(msg) => {
+                    let _ = tx.send(Some(msg));
+                }
+                // `None` with the query's cancel flag up means the query
+                // is being discarded: tell the collector. `None` with a
+                // cancelled *lease* means the sentinel reassigned this
+                // shard to a fresh worker — report nothing; the
+                // reassigned attempt owns the shard now.
+                None => {
+                    if job.cancel.load(Ordering::Relaxed) {
+                        let _ = tx.send(None);
+                    }
+                }
+            }
+        }));
+}
+
+/// Sentinel escalation policy (steps two and three of the ladder —
+/// step one, the cooperative cancel, already ran in the sentinel): move
+/// the stalled shard to a fresh worker while the reassign budget lasts,
+/// then record it honestly degraded.
+fn handle_stall(
+    event: StallEvent,
+    jobs: &JobTable,
+    pool: &RwLock<StealPool>,
+    registry: &Arc<HeartbeatRegistry>,
+    hb_missed: &AtomicU64,
+    reassigned: &AtomicU64,
+    max_reassigns: u32,
+) {
+    let StallEvent::Missed { shard: tag, .. } = event else {
+        return; // Wedged lanes are reported via health, nothing to move.
+    };
+    hb_missed.fetch_add(1, Ordering::Relaxed);
+    let job_id = tag >> SHARD_TAG_BITS;
+    let index = (tag & ((1 << SHARD_TAG_BITS) - 1)) as usize;
+    let mut table = lock_jobs(jobs);
+    let Some(active) = table.get_mut(&job_id) else {
+        return; // The query already finished (or was discarded).
+    };
+    if active.job.cancel.load(Ordering::Relaxed) {
+        return;
+    }
+    let Some(spec) = active.specs.iter().find(|s| s.index == index).copied() else {
+        return;
+    };
+    if active.reassigns >= max_reassigns {
+        // Ladder step three: the reassign budget is spent — report the
+        // shard degraded so the query completes honestly without it.
+        yac_obs::inc(Metric::DegradedShards);
+        yac_obs::trace_instant(
+            TraceEventKind::ShardDegraded,
+            TraceCtx::shard(u32::MAX, spec.index as u32, active.reassigns),
+        );
+        let _ = active.tx.send(Some(ShardMsg::Degraded {
+            spec,
+            attempts: active.reassigns + 1,
+            error: format!(
+                "shard {} stalled (no heartbeat) and exhausted its {} reassignment(s)",
+                spec.index, max_reassigns
+            ),
+        }));
+        return;
+    }
+    active.reassigns += 1;
+    let job = Arc::clone(&active.job);
+    let tx = active.tx.clone();
+    drop(table);
+    reassigned.fetch_add(1, Ordering::Relaxed);
+    yac_obs::inc(Metric::ShardsReassigned);
+    yac_obs::trace_instant(
+        TraceEventKind::ShardReassigned,
+        TraceCtx {
+            shard: Some(spec.index as u32),
+            ..TraceCtx::default()
+        },
+    );
+    submit_shard(pool, registry, job, job_id, spec, tx);
+}
+
+/// The background cache scrubber: a low-priority thread re-verifying
+/// entry CRCs every interval (plus the persisted cache file, when
+/// configured). Stops promptly on signal; also stopped by drop.
+struct Scrubber {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Scrubber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scrubber").finish_non_exhaustive()
+    }
+}
+
+impl Scrubber {
+    fn spawn(cache: Arc<Mutex<ResultCache>>, interval: Duration, file: Option<PathBuf>) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("svc-scrubber".into())
+                .spawn(move || loop {
+                    let (lock, cv) = &*stop;
+                    let guard = lock
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let (guard, _) = cv
+                        .wait_timeout_while(guard, interval.max(Duration::from_millis(1)), |s| !*s)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if *guard {
+                        return;
+                    }
+                    drop(guard);
+                    scrub_pass(&cache, file.as_deref());
+                })
+                .ok()
+        };
+        Scrubber { stop, handle }
+    }
+
+    fn halt(&mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scrubber {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// One scrub pass: in-memory CRC sweep, then the persisted file (two
+/// short lock holds, so queries are never blocked for long).
+fn scrub_pass(cache: &Mutex<ResultCache>, file: Option<&Path>) {
+    cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .scrub();
+    if let Some(path) = file {
+        cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .scrub_file(path);
+    }
 }
 
 /// RAII decrement of the inflight gauge. Dropping also unparks the
@@ -695,14 +1145,27 @@ impl Drop for InflightSlot<'_> {
 #[derive(Debug)]
 pub struct SweepService {
     config: ServiceConfig,
-    pool: StealPool,
-    cache: Mutex<ResultCache>,
+    /// The worker pool, behind a lock so a poisoned pool can be rebuilt
+    /// in place ([`SweepService::heal_pool`]) while queries keep
+    /// submitting through read guards.
+    pool: Arc<RwLock<StealPool>>,
+    registry: Arc<HeartbeatRegistry>,
+    sentinel: Mutex<Option<StallSentinel>>,
+    scrubber: Mutex<Option<Scrubber>>,
+    jobs: JobTable,
+    next_job: AtomicU64,
+    started: Instant,
+    cache: Arc<Mutex<ResultCache>>,
     inflight: AtomicUsize,
     queries: AtomicU64,
     served: AtomicU64,
     busy: AtomicU64,
     evicted: AtomicU64,
     rejected: AtomicU64,
+    hb_missed: Arc<AtomicU64>,
+    reassigned: Arc<AtomicU64>,
+    degraded: AtomicU64,
+    pool_restarts: AtomicU64,
     draining: AtomicBool,
     shutdown: AtomicBool,
     /// Parks the serve loop between accepts. The mutex guards nothing
@@ -714,15 +1177,53 @@ pub struct SweepService {
 }
 
 impl SweepService {
-    /// Builds a service: spawns `config.exec.workers` pool workers and
-    /// an empty cache of `config.cache_bytes`.
+    /// Builds a service: spawns `config.exec.workers` pool workers, an
+    /// empty cache of `config.cache_bytes`, the stall sentinel (when
+    /// `config.heartbeat_budget` is set) and the cache scrubber (when
+    /// `config.scrub_interval` is set).
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
-        let cache = Mutex::new(ResultCache::new(config.cache_bytes));
-        let pool = StealPool::new(config.exec.workers);
+        let cache = Arc::new(Mutex::new(ResultCache::new(config.cache_bytes)));
+        let pool = Arc::new(RwLock::new(StealPool::new(config.exec.workers)));
+        let registry = Arc::new(HeartbeatRegistry::new(config.exec.workers.max(1)));
+        let jobs: JobTable = Arc::new(Mutex::new(HashMap::new()));
+        let hb_missed = Arc::new(AtomicU64::new(0));
+        let reassigned = Arc::new(AtomicU64::new(0));
+        let sentinel = config.heartbeat_budget.map(|budget| {
+            let jobs = Arc::clone(&jobs);
+            let pool = Arc::clone(&pool);
+            let handler_registry = Arc::clone(&registry);
+            let hb_missed = Arc::clone(&hb_missed);
+            let reassigned = Arc::clone(&reassigned);
+            let max_reassigns = config.max_reassigns;
+            StallSentinel::spawn(
+                Arc::clone(&registry),
+                HealthConfig::with_budget(budget),
+                move |event| {
+                    handle_stall(
+                        event,
+                        &jobs,
+                        &pool,
+                        &handler_registry,
+                        &hb_missed,
+                        &reassigned,
+                        max_reassigns,
+                    );
+                },
+            )
+        });
+        let scrubber = config.scrub_interval.map(|interval| {
+            Scrubber::spawn(Arc::clone(&cache), interval, config.scrub_file.clone())
+        });
         SweepService {
             config,
             pool,
+            registry,
+            sentinel: Mutex::new(sentinel),
+            scrubber: Mutex::new(scrubber),
+            jobs,
+            next_job: AtomicU64::new(1),
+            started: Instant::now(),
             cache,
             inflight: AtomicUsize::new(0),
             queries: AtomicU64::new(0),
@@ -730,6 +1231,10 @@ impl SweepService {
             busy: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            hb_missed,
+            reassigned,
+            degraded: AtomicU64::new(0),
+            pool_restarts: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             parker: (Mutex::new(()), Condvar::new()),
@@ -830,14 +1335,74 @@ impl SweepService {
         cv.notify_all();
     }
 
-    /// Joins the worker pool. Call after the serve loop has exited.
+    /// Stops the sentinel and scrubber, then joins the worker pool. Call
+    /// after the serve loop has exited.
     pub fn shutdown(self) {
-        self.pool.shutdown();
+        // Stop the sentinel first: its handler holds pool/jobs clones,
+        // and no reassignment should race the teardown.
+        if let Some(sentinel) = lock_opt(&self.sentinel).take() {
+            sentinel.stop();
+        }
+        if let Some(mut scrubber) = lock_opt(&self.scrubber).take() {
+            scrubber.halt();
+        }
+        if let Ok(pool) = Arc::try_unwrap(self.pool) {
+            pool.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .shutdown();
+        }
+    }
+
+    /// Runs one synchronous scrub pass (in-memory entries plus the
+    /// configured persisted file) — what the background scrubber does
+    /// every [`ServiceConfig::scrub_interval`].
+    pub fn scrub_now(&self) {
+        scrub_pass(&self.cache, self.config.scrub_file.as_deref());
+    }
+
+    /// Rebuilds the worker pool in place when a panicking task has
+    /// killed one of its workers. Queued tasks of *other* queries drain
+    /// onto the old pool's surviving workers before it is torn down;
+    /// tasks lost with the dead worker surface as
+    /// [`ServiceReply::Retryable`] through their collectors. Returns
+    /// whether a rebuild happened (counted in [`Metric::PoolRestarts`],
+    /// traced as [`TraceEventKind::PoolRestarted`]).
+    pub fn heal_pool(&self) -> bool {
+        let dead = self
+            .pool
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .dead_workers();
+        if dead == 0 {
+            return false;
+        }
+        let old = {
+            let mut guard = self
+                .pool
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if guard.dead_workers() == 0 {
+                return false; // Another query healed it first.
+            }
+            std::mem::replace(&mut *guard, StealPool::new(self.config.exec.workers))
+        };
+        // Joined outside the lock so fresh submissions are never blocked
+        // on the old pool draining.
+        old.shutdown();
+        self.pool_restarts.fetch_add(1, Ordering::Relaxed);
+        yac_obs::inc(Metric::PoolRestarts);
+        yac_obs::trace_instant(TraceEventKind::PoolRestarted, TraceCtx::default());
+        true
     }
 
     /// A snapshot of the service counters.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
+        let stolen = self
+            .pool
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .stolen();
         self.with_cache(|cache| ServiceStats {
             queries: self.queries.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
@@ -847,12 +1412,39 @@ impl SweepService {
             cache_evictions: cache.evictions(),
             cache_entries: cache.len(),
             cache_bytes: cache.bytes(),
-            stolen: self.pool.stolen(),
+            stolen,
             inflight: self.inflight.load(Ordering::Acquire),
             limit: self.config.max_inflight.max(1),
             evicted: self.evicted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             draining: self.draining(),
+            scrub_passes: cache.scrub_passes(),
+            quarantined: cache.quarantined(),
+            repaired: cache.repaired(),
+            reassigned: self.reassigned.load(Ordering::Relaxed),
+            pool_restarts: self.pool_restarts.load(Ordering::Relaxed),
+        })
+    }
+
+    /// A point-in-time liveness report (the `health` wire op).
+    #[must_use]
+    pub fn health(&self) -> HealthReport {
+        let lanes_stalled = lock_opt(&self.sentinel)
+            .as_ref()
+            .map_or(0, StallSentinel::stalled_lanes);
+        self.with_cache(|cache| HealthReport {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            inflight: self.inflight.load(Ordering::Acquire),
+            lanes: self.registry.lanes(),
+            lanes_busy: self.registry.busy(),
+            lanes_stalled,
+            heartbeats_missed: self.hb_missed.load(Ordering::Relaxed),
+            shards_reassigned: self.reassigned.load(Ordering::Relaxed),
+            scrub_passes: cache.scrub_passes(),
+            quarantined: cache.quarantined(),
+            repaired: cache.repaired(),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            pool_restarts: self.pool_restarts.load(Ordering::Relaxed),
         })
     }
 
@@ -899,6 +1491,9 @@ impl SweepService {
         }
         let _slot = InflightSlot(self);
         let _span = yac_obs::phase_ctx(Phase::QueryExec, TraceCtx::default());
+        // A pool poisoned by an earlier query is rebuilt before this one
+        // fans out, so the damage never outlives the query that saw it.
+        self.heal_pool();
         let reply = self.compute(query, key, cancel);
         match reply {
             ServiceReply::Result { .. } => self.served(reply),
@@ -954,58 +1549,106 @@ impl SweepService {
             cancel: Arc::clone(cancel),
         });
         let (tx, rx) = mpsc::channel::<Option<ShardMsg>>();
+        let job_id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        lock_jobs(&self.jobs).insert(
+            job_id,
+            ActiveJob {
+                job: Arc::clone(&job),
+                specs: shards.clone(),
+                tx: tx.clone(),
+                reassigns: 0,
+            },
+        );
         for spec in &shards {
-            let job = Arc::clone(&job);
-            let tx = tx.clone();
-            let spec = *spec;
-            self.pool.submit(Box::new(move |worker| {
-                let msg = if job.cancel.load(Ordering::Relaxed) {
-                    None
-                } else {
-                    run_shard_stealing(
-                        &job.mc,
-                        &job.pop,
-                        &job.exec,
-                        spec,
-                        worker as u32,
-                        &job.cancel,
-                    )
-                };
-                let _ = tx.send(msg);
-            }));
+            submit_shard(
+                &self.pool,
+                &self.registry,
+                Arc::clone(&job),
+                job_id,
+                *spec,
+                tx.clone(),
+            );
         }
         drop(tx);
 
+        // The collector: first report per shard wins (a reassigned shard
+        // and its cancelled original may both complete — dedup keeps the
+        // result exactly-once), and a periodic timeout checks pool
+        // health so a task lost inside a dead worker turns into a typed
+        // `Retryable` instead of a hang. The sentinel's reassignments
+        // keep the channel open (the job table holds a sender clone)
+        // until the job is deregistered below.
         let mut completed: Vec<ChipSample> = Vec::with_capacity(query.chips);
         let mut quarantine = QuarantineLedger::new();
         let mut degraded: Vec<DegradedShard> = Vec::new();
+        let mut remaining: HashSet<usize> = shards.iter().map(|s| s.index).collect();
         let mut cancelled = false;
-        for msg in rx {
-            match msg {
-                Some(ShardMsg::Done {
+        let mut retryable = false;
+        while !remaining.is_empty() {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(Some(ShardMsg::Done {
+                    spec,
                     chips,
                     quarantine: q,
-                    ..
-                }) => {
-                    yac_obs::add(Metric::ChipsQuarantined, q.len() as u64);
-                    insert_chips_sorted(&mut completed, chips);
-                    quarantine.absorb(q);
+                })) => {
+                    if remaining.remove(&spec.index) {
+                        yac_obs::add(Metric::ChipsQuarantined, q.len() as u64);
+                        insert_chips_sorted(&mut completed, chips);
+                        quarantine.absorb(q);
+                    }
                 }
-                Some(ShardMsg::Degraded {
+                Ok(Some(ShardMsg::Degraded {
                     spec,
                     attempts,
                     error,
-                }) => degraded.push(DegradedShard {
-                    start: spec.start,
-                    len: spec.len,
-                    attempts,
-                    error,
-                }),
-                None => cancelled = true,
+                })) => {
+                    if remaining.remove(&spec.index) {
+                        degraded.push(DegradedShard {
+                            start: spec.start,
+                            len: spec.len,
+                            attempts,
+                            error,
+                        });
+                    }
+                }
+                Ok(None) => {
+                    cancelled = true;
+                    break;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if cancel.load(Ordering::Relaxed) {
+                        cancelled = true;
+                        break;
+                    }
+                    if self.heal_pool() {
+                        // Shards queued on (or running in) the dead
+                        // worker are gone; the pool is already healthy
+                        // again, so the same request will succeed.
+                        retryable = true;
+                        break;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
+        }
+        lock_jobs(&self.jobs).remove(&job_id);
+        if retryable {
+            yac_obs::inc(Metric::QueriesRetryable);
+            return ServiceReply::Retryable {
+                retry_after_ms: self.config.retry_after_ms,
+            };
         }
         if cancelled || cancel.load(Ordering::Relaxed) {
             return ServiceReply::Cancelled;
+        }
+        if !remaining.is_empty() {
+            // Every sender vanished with shards unreported — possible
+            // only through a fault the ladder did not cover. Transient
+            // by construction: report it as such.
+            yac_obs::inc(Metric::QueriesRetryable);
+            return ServiceReply::Retryable {
+                retry_after_ms: self.config.retry_after_ms,
+            };
         }
         degraded.sort_by_key(|d| d.start);
         let population = Population::from_parts(
@@ -1026,6 +1669,8 @@ impl SweepService {
                 let record = render_result(&result);
                 if result.missing_chips == 0 {
                     self.with_cache(|cache| cache.insert(key, record.clone()));
+                } else {
+                    self.degraded.fetch_add(1, Ordering::Relaxed);
                 }
                 ServiceReply::Result {
                     record,
@@ -1294,6 +1939,7 @@ impl ServiceRequest {
                 out
             }
             ServiceRequest::Stats => "{\"op\":\"stats\"}".to_owned(),
+            ServiceRequest::Health => "{\"op\":\"health\"}".to_owned(),
             ServiceRequest::Drain => "{\"op\":\"drain\"}".to_owned(),
             ServiceRequest::Shutdown => "{\"op\":\"shutdown\"}".to_owned(),
         }
@@ -1309,6 +1955,7 @@ impl ServiceRequest {
         let obj = parse_flat_object(text)?;
         match obj.str("op")? {
             "stats" => Ok(ServiceRequest::Stats),
+            "health" => Ok(ServiceRequest::Health),
             "drain" => Ok(ServiceRequest::Drain),
             "shutdown" => Ok(ServiceRequest::Shutdown),
             "query" => {
@@ -1375,6 +2022,9 @@ impl ServiceReply {
                 format!("{{\"status\":\"deadline\",\"elapsed_ms\":{elapsed_ms}}}")
             }
             ServiceReply::Cancelled => "{\"status\":\"cancelled\"}".to_owned(),
+            ServiceReply::Retryable { retry_after_ms } => {
+                format!("{{\"status\":\"retryable\",\"retry_after_ms\":{retry_after_ms}}}")
+            }
             ServiceReply::Error { message } => {
                 let mut out = "{\"status\":\"error\",".to_owned();
                 push_str_field(&mut out, "message", message);
@@ -1386,7 +2036,8 @@ impl ServiceReply {
                  \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
                  \"cache_entries\":{},\"cache_bytes\":{},\"stolen\":{},\
                  \"inflight\":{},\"limit\":{},\"evicted\":{},\"rejected\":{},\
-                 \"draining\":{}}}",
+                 \"draining\":{},\"scrub_passes\":{},\"quarantined\":{},\
+                 \"repaired\":{},\"reassigned\":{},\"pool_restarts\":{}}}",
                 s.queries,
                 s.served,
                 s.busy,
@@ -1400,7 +2051,31 @@ impl ServiceReply {
                 s.limit,
                 s.evicted,
                 s.rejected,
-                s.draining
+                s.draining,
+                s.scrub_passes,
+                s.quarantined,
+                s.repaired,
+                s.reassigned,
+                s.pool_restarts
+            ),
+            ServiceReply::Health(h) => format!(
+                "{{\"status\":\"health\",\"uptime_ms\":{},\"inflight\":{},\
+                 \"lanes\":{},\"lanes_busy\":{},\"lanes_stalled\":{},\
+                 \"heartbeats_missed\":{},\"shards_reassigned\":{},\
+                 \"scrub_passes\":{},\"quarantined\":{},\"repaired\":{},\
+                 \"degraded\":{},\"pool_restarts\":{}}}",
+                h.uptime_ms,
+                h.inflight,
+                h.lanes,
+                h.lanes_busy,
+                h.lanes_stalled,
+                h.heartbeats_missed,
+                h.shards_reassigned,
+                h.scrub_passes,
+                h.quarantined,
+                h.repaired,
+                h.degraded,
+                h.pool_restarts
             ),
             ServiceReply::Bye => "{\"status\":\"bye\"}".to_owned(),
         }
@@ -1439,6 +2114,11 @@ impl ServiceReply {
                 elapsed_ms: obj.u64("elapsed_ms")?,
             }),
             "cancelled" => Ok(ServiceReply::Cancelled),
+            "retryable" => Ok(ServiceReply::Retryable {
+                retry_after_ms: obj
+                    .opt_u64("retry_after_ms")?
+                    .unwrap_or(DEFAULT_RETRY_AFTER_MS),
+            }),
             "error" => Ok(ServiceReply::Error {
                 message: obj.str("message")?.to_owned(),
             }),
@@ -1458,6 +2138,26 @@ impl ServiceReply {
                 evicted: obj.opt_u64("evicted")?.unwrap_or(0),
                 rejected: obj.opt_u64("rejected")?.unwrap_or(0),
                 draining: obj.opt_bool("draining")?.unwrap_or(false),
+                // Self-healing-era fields; absent from older servers.
+                scrub_passes: obj.opt_u64("scrub_passes")?.unwrap_or(0),
+                quarantined: obj.opt_u64("quarantined")?.unwrap_or(0),
+                repaired: obj.opt_u64("repaired")?.unwrap_or(0),
+                reassigned: obj.opt_u64("reassigned")?.unwrap_or(0),
+                pool_restarts: obj.opt_u64("pool_restarts")?.unwrap_or(0),
+            })),
+            "health" => Ok(ServiceReply::Health(HealthReport {
+                uptime_ms: obj.u64("uptime_ms")?,
+                inflight: obj.usize("inflight")?,
+                lanes: obj.usize("lanes")?,
+                lanes_busy: obj.usize("lanes_busy")?,
+                lanes_stalled: obj.u64("lanes_stalled")?,
+                heartbeats_missed: obj.u64("heartbeats_missed")?,
+                shards_reassigned: obj.u64("shards_reassigned")?,
+                scrub_passes: obj.u64("scrub_passes")?,
+                quarantined: obj.u64("quarantined")?,
+                repaired: obj.u64("repaired")?,
+                degraded: obj.u64("degraded")?,
+                pool_restarts: obj.u64("pool_restarts")?,
             })),
             "bye" => Ok(ServiceReply::Bye),
             other => Err(format!("unknown status {other:?}")),
@@ -1783,6 +2483,10 @@ impl ConnMonitor {
                             // timeout arm.
                             Some(Ok(_)) => std::thread::sleep(IO_TICK),
                             Some(Err(e)) if is_would_block(&e) => {}
+                            // A signal interrupted the peek: the peer is
+                            // not gone, retry. Folding this into the arm
+                            // below would cancel live queries spuriously.
+                            Some(Err(e)) if e.kind() == io::ErrorKind::Interrupted => {}
                             // Reset or any hard error: treat as gone.
                             Some(Err(_)) => {
                                 cancel.store(true, Ordering::Relaxed);
@@ -1886,6 +2590,12 @@ fn handle_connection(stream: TcpStream, service: &Arc<SweepService>) {
             Ok(ServiceRequest::Stats) => {
                 if send_reply(&mut stream, service, &ServiceReply::Stats(service.stats())).is_err()
                 {
+                    return;
+                }
+            }
+            Ok(ServiceRequest::Health) => {
+                let reply = ServiceReply::Health(service.health());
+                if send_reply(&mut stream, service, &reply).is_err() {
                     return;
                 }
             }
@@ -2088,10 +2798,10 @@ mod tests {
     #[test]
     fn cache_serves_lru_under_byte_budget() {
         let record = "x".repeat(52); // 100 bytes with overhead
-        let mut cache = ResultCache::new(2 * entry_bytes(&record));
+        let mut cache = ResultCache::new(2 * entry_bytes(record.as_bytes()));
         assert!(cache.insert(1, record.clone()));
         assert!(cache.insert(2, record.clone()));
-        assert_eq!(cache.bytes(), 2 * entry_bytes(&record));
+        assert_eq!(cache.bytes(), 2 * entry_bytes(record.as_bytes()));
 
         // Touch 1 so 2 becomes the LRU victim.
         assert_eq!(cache.get(1).as_deref(), Some(record.as_str()));
@@ -2108,7 +2818,210 @@ mod tests {
 
         // Reinserting an existing key replaces, not double-counts.
         assert!(cache.insert(1, record.clone()));
-        assert_eq!(cache.bytes(), 2 * entry_bytes(&record));
+        assert_eq!(cache.bytes(), 2 * entry_bytes(record.as_bytes()));
+    }
+
+    #[test]
+    fn rotted_entries_are_quarantined_on_read_and_repaired_on_insert() {
+        let mut cache = ResultCache::new(4096);
+        let record = "total 4 quarantined 0\n".to_string();
+        assert!(cache.insert(7, record.clone()));
+
+        // Rot the stored copy behind the CRC's back.
+        cache.entries.get_mut(&7).unwrap().record[0] ^= 0x40;
+
+        // The rotted entry is never served: the read quarantines it and
+        // reports a miss, so the caller recomputes.
+        assert_eq!(cache.get(7), None);
+        assert_eq!(cache.quarantined(), 1);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes(), 0);
+
+        // The recompute's insert is the repair — and the repaired entry
+        // is bit-identical to a cold compute, because it *is* one.
+        assert!(cache.insert(7, record.clone()));
+        assert_eq!(cache.repaired(), 1);
+        assert_eq!(cache.get(7).as_deref(), Some(record.as_str()));
+
+        // A second insert over the same key is a refresh, not a repair.
+        assert!(cache.insert(7, record));
+        assert_eq!(cache.repaired(), 1);
+    }
+
+    #[test]
+    fn scrub_quarantines_every_rotted_entry_in_one_pass() {
+        let mut cache = ResultCache::new(4096);
+        for key in 0..4u64 {
+            assert!(cache.insert(key, format!("record {key}\n")));
+        }
+        cache.entries.get_mut(&1).unwrap().record[3] ^= 0x01;
+        cache.entries.get_mut(&3).unwrap().record[5] ^= 0x80;
+
+        assert_eq!(cache.scrub(), 2);
+        assert_eq!(cache.scrub_passes(), 1);
+        assert_eq!(cache.quarantined(), 2);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(0).is_some() && cache.get(2).is_some());
+
+        // A clean pass still counts as a pass, quarantines nothing.
+        assert_eq!(cache.scrub(), 0);
+        assert_eq!(cache.scrub_passes(), 2);
+        assert_eq!(cache.quarantined(), 2);
+    }
+
+    /// A canonical record (persistable: [`ResultCache::load`] re-parses
+    /// entries, so arbitrary text won't do). `total` varies the bytes.
+    fn canonical_record(total: usize) -> String {
+        use crate::analysis::{LossBreakdown, LossTable, SchemeLosses};
+        use crate::confidence::YieldInterval;
+        use crate::sweep::StudyResult;
+        use yac_circuit::CacheVariant;
+        render_result(&StudyResult {
+            loss: LossTable {
+                base_variant: CacheVariant::Horizontal,
+                spec_name: "strict".into(),
+                total_chips: total,
+                base: LossBreakdown {
+                    leakage: 2,
+                    delay: vec![1, 0, 0, 0],
+                },
+                schemes: vec![SchemeLosses {
+                    name: "H-YAPD".into(),
+                    losses: LossBreakdown {
+                        leakage: 2,
+                        delay: vec![0, 0, 0, 0],
+                    },
+                }],
+                quarantined: 1,
+            },
+            yield_interval: YieldInterval {
+                estimate: 0.9,
+                lo: 0.85,
+                hi: 0.95,
+            },
+            evaluated_chips: total,
+            missing_chips: 0,
+            degraded_shards: 0,
+            mean_cpi: None,
+        })
+    }
+
+    #[test]
+    fn save_skips_rotted_entries_instead_of_laundering_them() {
+        let path = std::env::temp_dir()
+            .join("yac-service-tests")
+            .join("save-skips-rot.cache");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let keep = canonical_record(100);
+        let mut cache = ResultCache::new(4096);
+        assert!(cache.insert(1, keep.clone()));
+        assert!(cache.insert(2, canonical_record(200)));
+        cache.entries.get_mut(&2).unwrap().record[0] ^= 0x02;
+        cache.save(&path).unwrap();
+
+        // The rotted entry never reaches disk under a fresh line CRC.
+        let mut loaded = ResultCache::load(&path, 4096).unwrap().unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded.get(1).as_deref(), Some(keep.as_str()));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn scrub_file_rewrites_a_file_with_rotted_lines() {
+        let path = std::env::temp_dir()
+            .join("yac-service-tests")
+            .join("scrub-file-repairs.cache");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let (alpha, beta) = (canonical_record(100), canonical_record(200));
+        let mut cache = ResultCache::new(4096);
+        assert!(cache.insert(1, alpha.clone()));
+        assert!(cache.insert(2, beta.clone()));
+        cache.save(&path).unwrap();
+
+        // Rot one persisted line's payload out from under its CRC.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rotted = text.replacen("total 100", "total 101", 1);
+        assert_ne!(text, rotted, "fixture line not found");
+        std::fs::write(&path, rotted).unwrap();
+
+        // The scrubber counts the rot and rewrites from memory.
+        assert_eq!(cache.scrub_file(&path), 1);
+        assert_eq!(cache.quarantined(), 1);
+        assert_eq!(cache.repaired(), 1);
+        let mut reloaded = ResultCache::load(&path, 4096).unwrap().unwrap();
+        assert_eq!(reloaded.get(1).as_deref(), Some(alpha.as_str()));
+        assert_eq!(reloaded.get(2).as_deref(), Some(beta.as_str()));
+
+        // A clean file is left alone.
+        assert_eq!(cache.scrub_file(&path), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn tiny_service() -> SweepService {
+        let mut config = ServiceConfig::default();
+        config.exec.workers = 2;
+        config.exec.shard_chips = 8;
+        // Unit tests drive scrubbing and healing synchronously.
+        config.heartbeat_budget = None;
+        config.scrub_interval = None;
+        SweepService::new(config)
+    }
+
+    #[test]
+    fn a_poisoned_pool_is_healed_before_the_next_query_fans_out() {
+        let service = tiny_service();
+        service
+            .pool
+            .read()
+            .unwrap()
+            .submit_to(0, Box::new(|_| panic!("poison the pool")));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while service.pool.read().unwrap().dead_workers() == 0 {
+            assert!(Instant::now() < deadline, "worker death never observed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // The next query heals in place and then computes normally.
+        let q = StudyQuery {
+            chips: 16,
+            seed: 3,
+            constraint: ConstraintSpec::NOMINAL,
+            kind: PowerDownKind::Horizontal,
+            cpi: None,
+        };
+        let reply = service.query(&q, &Arc::new(AtomicBool::new(false)));
+        assert!(
+            matches!(reply, ServiceReply::Result { cached: false, .. }),
+            "{reply:?}"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.pool_restarts, 1);
+        assert_eq!(service.pool.read().unwrap().dead_workers(), 0);
+
+        // Healing is idempotent: a healthy pool is left alone.
+        assert!(!service.heal_pool());
+        assert_eq!(service.stats().pool_restarts, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn health_report_tracks_lanes_scrubs_and_inflight() {
+        let service = tiny_service();
+        let report = service.health();
+        assert_eq!(report.lanes, 2);
+        assert_eq!(report.lanes_busy, 0);
+        assert_eq!(report.inflight, 0);
+        assert_eq!(report.scrub_passes, 0);
+
+        service.with_cache(|cache| {
+            assert!(cache.insert(9, "healthy record\n".into()));
+        });
+        service.scrub_now();
+        let report = service.health();
+        assert_eq!(report.scrub_passes, 1);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(report.degraded, 0);
+        service.shutdown();
     }
 
     #[test]
@@ -2126,6 +3039,7 @@ mod tests {
                 deadline_ms: Some(1500),
             },
             ServiceRequest::Stats,
+            ServiceRequest::Health,
             ServiceRequest::Drain,
             ServiceRequest::Shutdown,
         ] {
@@ -2168,6 +3082,26 @@ mod tests {
                 evicted: 3,
                 rejected: 6,
                 draining: true,
+                scrub_passes: 11,
+                quarantined: 2,
+                repaired: 1,
+                reassigned: 4,
+                pool_restarts: 1,
+            }),
+            ServiceReply::Retryable { retry_after_ms: 75 },
+            ServiceReply::Health(HealthReport {
+                uptime_ms: 120_500,
+                inflight: 1,
+                lanes: 4,
+                lanes_busy: 2,
+                lanes_stalled: 1,
+                heartbeats_missed: 3,
+                shards_reassigned: 2,
+                scrub_passes: 9,
+                quarantined: 1,
+                repaired: 1,
+                degraded: 0,
+                pool_restarts: 0,
             }),
             ServiceReply::Bye,
         ] {

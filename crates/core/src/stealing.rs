@@ -116,6 +116,11 @@ struct PoolShared {
     /// Tasks moved by steal-half since the pool started (also mirrored
     /// into [`Metric::TasksStolen`]).
     stolen: AtomicU64,
+    /// Workers that died to a panicking task. Tasks run *without* a
+    /// `catch_unwind` wrapper — a panic kills its worker thread — so a
+    /// poisoned pool is visible here and the sweep service rebuilds it
+    /// in place rather than limping on with fewer lanes.
+    deaths: AtomicUsize,
     /// Wakeup channel: bumped on every submit and on shutdown.
     wake: Mutex<u64>,
     wake_cv: Condvar,
@@ -180,6 +185,7 @@ impl StealPool {
             next: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             stolen: AtomicU64::new(0),
+            deaths: AtomicUsize::new(0),
             wake: Mutex::new(0),
             wake_cv: Condvar::new(),
         });
@@ -205,6 +211,16 @@ impl StealPool {
     #[must_use]
     pub fn stolen(&self) -> u64 {
         self.shared.stolen.load(Ordering::Relaxed)
+    }
+
+    /// Workers killed by a panicking task since the pool started. A
+    /// non-zero count means the pool is poisoned — short of lanes, with
+    /// the dead worker's backlog rescued only as long as live peers
+    /// remain to steal it. The sweep service polls this and rebuilds the
+    /// pool in place when it goes positive.
+    #[must_use]
+    pub fn dead_workers(&self) -> usize {
+        self.shared.deaths.load(Ordering::Relaxed)
     }
 
     /// Submits a task, injecting round-robin across the worker deques so
@@ -247,10 +263,29 @@ impl Drop for StealPool {
     }
 }
 
+/// Publishes a worker's death-by-panic as it unwinds: tasks run without
+/// `catch_unwind`, so a panicking task kills its worker thread — this
+/// guard's `Drop` runs during the unwind, bumps the shared death count
+/// and wakes the surviving workers so they steal the dead lane's
+/// backlog instead of staying parked.
+struct DeathWatch<'a> {
+    shared: &'a PoolShared,
+}
+
+impl Drop for DeathWatch<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.deaths.fetch_add(1, Ordering::Release);
+            self.shared.wake_all();
+        }
+    }
+}
+
 /// One worker: drain own deque, steal from the most loaded victim when
 /// empty, park when there is nothing to steal.
 fn worker_loop(shared: &PoolShared, me: usize) {
     yac_obs::trace_label_thread(&format!("svc-worker-{me}"));
+    let _death_watch = DeathWatch { shared };
     loop {
         // Read the wake version *before* looking for work: a submit that
         // lands after the look bumps the version, so the park below
@@ -373,6 +408,33 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(done.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn a_panicking_task_kills_its_worker_and_is_counted() {
+        let pool = StealPool::new(2);
+        assert_eq!(pool.dead_workers(), 0);
+        pool.submit_to(0, Box::new(|_| panic!("injected pool poisoning")));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            pool.submit_to(
+                1,
+                Box::new(move |_| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        for _ in 0..2500 {
+            if pool.dead_workers() == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(pool.dead_workers(), 1);
+        // The survivor still drains everything on shutdown.
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 8);
     }
 
     #[test]

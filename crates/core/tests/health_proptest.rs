@@ -1,0 +1,167 @@
+//! Property tests for the stall detector — the pure state machine at
+//! the heart of the self-healing runtime. Detection must be correct at
+//! the edges a wall-clock integration test can't pin down: a zero
+//! budget, progress-tick wraparound, a heartbeat racing the cancel, and
+//! every lane stalled at once.
+
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+use yac_core::{LaneState, StallDetector, StallEvent};
+
+fn busy(shard: u64, gen: u64, tick: u64) -> LaneState {
+    LaneState {
+        shard: Some(shard),
+        gen,
+        tick,
+    }
+}
+
+const IDLE: LaneState = LaneState {
+    shard: None,
+    gen: 0,
+    tick: 0,
+};
+
+proptest! {
+    /// Zero budget is the degenerate fast path: a busy lane that shows
+    /// the same `(gen, tick)` twice is `Missed` on its second
+    /// observation and `Wedged` on its third — never on the first
+    /// sighting (a lane must be *observed* stalled, not presumed), and
+    /// never a fourth event for the same lease.
+    #[test]
+    fn zero_budget_escalates_on_the_second_observation(
+        shard in 0u64..1 << 20,
+        gen in 1u64..u64::MAX,
+        tick in any::<u64>(),
+    ) {
+        let t0 = Instant::now();
+        let mut d = StallDetector::new(1, Duration::ZERO);
+        let state = [busy(shard, gen, tick)];
+        prop_assert!(d.observe(&state, t0).is_empty());
+        prop_assert_eq!(
+            d.observe(&state, t0),
+            vec![StallEvent::Missed { lane: 0, shard, gen }]
+        );
+        prop_assert_eq!(
+            d.observe(&state, t0),
+            vec![StallEvent::Wedged { lane: 0, shard, gen }]
+        );
+        prop_assert!(d.observe(&state, t0).is_empty(), "wedged fires once");
+        prop_assert_eq!(d.stalled(), 1);
+    }
+
+    /// *Any* change of the `(gen, tick)` pair is progress — including
+    /// the tick wrapping `u64::MAX → 0` and a generation change with the
+    /// tick unchanged. A lane that keeps changing is never reported, no
+    /// matter how much time passes.
+    #[test]
+    fn tick_wraparound_and_any_change_count_as_progress(
+        shard in 0u64..1 << 20,
+        budget_ms in 1u64..100,
+        steps in 2usize..40,
+    ) {
+        let budget = Duration::from_millis(budget_ms);
+        let t0 = Instant::now();
+        let mut d = StallDetector::new(1, budget);
+        // Walk the tick straight through the wraparound boundary, each
+        // observation spaced *past* the budget: only change keeps the
+        // lane alive.
+        let mut tick = u64::MAX - (steps as u64) / 2;
+        for step in 0..steps {
+            let now = t0 + budget * (step as u32 + 1) * 2;
+            let events = d.observe(&[busy(shard, 1, tick)], now);
+            if step == 0 {
+                prop_assert!(events.is_empty(), "first sighting");
+            } else {
+                prop_assert!(events.is_empty(), "tick changed: progress");
+            }
+            tick = tick.wrapping_add(1);
+        }
+        prop_assert_eq!(d.stalled(), 0);
+        // Now hold the tick still for one budget: the stall is real.
+        let t_stall = t0 + budget * (steps as u32 + 1) * 2;
+        prop_assert!(d.observe(&[busy(shard, 1, tick)], t_stall).is_empty());
+        let events = d.observe(&[busy(shard, 1, tick)], t_stall + budget);
+        prop_assert_eq!(
+            events,
+            vec![StallEvent::Missed { lane: 0, shard, gen: 1 }]
+        );
+    }
+
+    /// A heartbeat that races the cancel (progress observed *after*
+    /// `Missed` fired) resets the ladder: the lane is alive after all,
+    /// so it must not be reported `Wedged`, and `stalled()` drops back
+    /// to zero. Only another full budget of silence may re-escalate.
+    #[test]
+    fn a_heartbeat_racing_the_cancel_resets_the_ladder(
+        shard in 0u64..1 << 20,
+        gen in 1u64..u64::MAX,
+        tick in 0u64..u64::MAX - 1,
+        budget_ms in 1u64..100,
+    ) {
+        let budget = Duration::from_millis(budget_ms);
+        let t0 = Instant::now();
+        let mut d = StallDetector::new(1, budget);
+        let _ = d.observe(&[busy(shard, gen, tick)], t0);
+        prop_assert_eq!(
+            d.observe(&[busy(shard, gen, tick)], t0 + budget),
+            vec![StallEvent::Missed { lane: 0, shard, gen }]
+        );
+        prop_assert_eq!(d.stalled(), 1);
+        // The racing beat lands before the wedge deadline.
+        let t_beat = t0 + budget + budget / 2;
+        prop_assert!(d.observe(&[busy(shard, gen, tick + 1)], t_beat).is_empty());
+        prop_assert_eq!(d.stalled(), 0, "the lane recovered");
+        // Even two budgets after the *original* stall, no Wedged: the
+        // budget restarted at the beat. Silence from the beat on may
+        // only re-report Missed, never skip straight to Wedged.
+        let events = d.observe(&[busy(shard, gen, tick + 1)], t_beat + budget);
+        prop_assert_eq!(
+            events,
+            vec![StallEvent::Missed { lane: 0, shard, gen }]
+        );
+    }
+
+    /// Every stalled lane reports — independently, in one observation,
+    /// with its own shard and generation. Idle lanes mixed in are never
+    /// blamed, and `stalled()` counts exactly the stalled ones.
+    #[test]
+    fn all_stalled_lanes_report_at_once(
+        lanes in 1usize..24,
+        idle_mask in any::<u32>(),
+        budget_ms in 1u64..100,
+    ) {
+        let budget = Duration::from_millis(budget_ms);
+        let t0 = Instant::now();
+        let mut d = StallDetector::new(lanes, budget);
+        let states: Vec<LaneState> = (0..lanes)
+            .map(|i| {
+                if idle_mask >> (i % 32) & 1 == 1 {
+                    IDLE
+                } else {
+                    busy(100 + i as u64, 1 + i as u64, 7)
+                }
+            })
+            .collect();
+        let stalled: Vec<usize> = (0..lanes)
+            .filter(|i| states[*i].shard.is_some())
+            .collect();
+        prop_assert!(d.observe(&states, t0).is_empty());
+        let events = d.observe(&states, t0 + budget);
+        let expected: Vec<StallEvent> = stalled
+            .iter()
+            .map(|&i| StallEvent::Missed {
+                lane: i,
+                shard: 100 + i as u64,
+                gen: 1 + i as u64,
+            })
+            .collect();
+        prop_assert_eq!(events, expected, "one Missed per busy lane");
+        prop_assert_eq!(d.stalled(), stalled.len());
+        // And the whole fleet wedges together when the cancels are
+        // ignored for another budget.
+        let events = d.observe(&states, t0 + budget * 2);
+        prop_assert_eq!(events.len(), stalled.len());
+        prop_assert!(events.iter().all(|e| matches!(e, StallEvent::Wedged { .. })));
+    }
+}

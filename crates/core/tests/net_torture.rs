@@ -56,6 +56,7 @@ fn chaotic_wire_yields_bit_identical_results_or_typed_errors() {
         read_deadline: Duration::from_millis(300),
         write_deadline: Duration::from_millis(500),
         retry_after_ms: 20,
+        ..ServiceConfig::default()
     }));
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap().to_string();

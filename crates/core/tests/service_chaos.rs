@@ -32,6 +32,7 @@ fn chaos_faults_on_cache_persistence_surface_and_clear() {
         exec,
         max_inflight: 1,
         cache_bytes: 1 << 20,
+        ..ServiceConfig::default()
     });
     let cancel = Arc::new(AtomicBool::new(false));
     let query = |seed: u64| StudyQuery {

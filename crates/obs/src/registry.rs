@@ -142,6 +142,24 @@ registry_enum! {
         NetFaultsInjected => "net_faults_injected",
         /// Study queries refused because the service is draining.
         QueriesDraining => "queries_draining",
+        /// Heartbeat budgets blown: a busy lane published no progress
+        /// tick within the stall budget.
+        HeartbeatsMissed => "heartbeats_missed",
+        /// Stalled shard attempts abandoned and resubmitted to a fresh
+        /// worker by the health sentinel.
+        ShardsReassigned => "shards_reassigned",
+        /// Completed background scrub passes over the result cache.
+        ScrubPasses => "scrub_passes",
+        /// Cache entries whose stored CRC no longer matched their bytes
+        /// and were quarantined (served as a miss until repaired).
+        EntriesQuarantined => "entries_quarantined",
+        /// Quarantined cache entries overwritten by a fresh recompute.
+        EntriesRepaired => "entries_repaired",
+        /// Worker pools rebuilt in place after losing worker threads.
+        PoolRestarts => "pool_restarts",
+        /// Queries answered with a typed `Retryable` because the pool
+        /// was rebuilt underneath them.
+        QueriesRetryable => "queries_retryable",
     }
 }
 

@@ -117,12 +117,29 @@ pub enum TraceEventKind {
     /// The client's circuit breaker moved from open to half-open to
     /// probe the server.
     BreakerHalfOpen,
+    /// The background scrubber finished one verify pass over the result
+    /// cache.
+    ScrubPass,
+    /// A cache entry failed its CRC re-check and was quarantined (it
+    /// will be served as a miss until recomputed).
+    EntryQuarantined,
+    /// A quarantined cache entry was overwritten by a fresh, verified
+    /// recompute.
+    EntryRepaired,
+    /// A busy lane published no heartbeat tick within the stall budget;
+    /// the sentinel escalated (cooperative cancel).
+    HeartbeatMissed,
+    /// The sentinel abandoned a stalled shard attempt and resubmitted
+    /// the shard to a fresh worker.
+    ShardReassigned,
+    /// A worker pool lost threads to panics and was rebuilt in place.
+    PoolRestarted,
 }
 
 impl TraceEventKind {
     /// Every kind, with `PhaseSpan` represented once (by `Sample`).
     /// Useful for exhaustive schema tests.
-    pub const ALL: [TraceEventKind; 22] = [
+    pub const ALL: [TraceEventKind; 28] = [
         TraceEventKind::PhaseSpan(Phase::Sample),
         TraceEventKind::ShardDispatched,
         TraceEventKind::ShardCompleted,
@@ -145,6 +162,12 @@ impl TraceEventKind {
         TraceEventKind::RetryAttempted,
         TraceEventKind::BreakerOpened,
         TraceEventKind::BreakerHalfOpen,
+        TraceEventKind::ScrubPass,
+        TraceEventKind::EntryQuarantined,
+        TraceEventKind::EntryRepaired,
+        TraceEventKind::HeartbeatMissed,
+        TraceEventKind::ShardReassigned,
+        TraceEventKind::PoolRestarted,
     ];
 
     /// The stable CamelCase name used in the NDJSON schema.
@@ -173,6 +196,12 @@ impl TraceEventKind {
             TraceEventKind::RetryAttempted => "RetryAttempted",
             TraceEventKind::BreakerOpened => "BreakerOpened",
             TraceEventKind::BreakerHalfOpen => "BreakerHalfOpen",
+            TraceEventKind::ScrubPass => "ScrubPass",
+            TraceEventKind::EntryQuarantined => "EntryQuarantined",
+            TraceEventKind::EntryRepaired => "EntryRepaired",
+            TraceEventKind::HeartbeatMissed => "HeartbeatMissed",
+            TraceEventKind::ShardReassigned => "ShardReassigned",
+            TraceEventKind::PoolRestarted => "PoolRestarted",
         }
     }
 
@@ -203,6 +232,12 @@ impl TraceEventKind {
             "RetryAttempted" => TraceEventKind::RetryAttempted,
             "BreakerOpened" => TraceEventKind::BreakerOpened,
             "BreakerHalfOpen" => TraceEventKind::BreakerHalfOpen,
+            "ScrubPass" => TraceEventKind::ScrubPass,
+            "EntryQuarantined" => TraceEventKind::EntryQuarantined,
+            "EntryRepaired" => TraceEventKind::EntryRepaired,
+            "HeartbeatMissed" => TraceEventKind::HeartbeatMissed,
+            "ShardReassigned" => TraceEventKind::ShardReassigned,
+            "PoolRestarted" => TraceEventKind::PoolRestarted,
             _ => return None,
         })
     }
@@ -231,6 +266,12 @@ impl TraceEventKind {
             TraceEventKind::RetryAttempted => 20,
             TraceEventKind::BreakerOpened => 21,
             TraceEventKind::BreakerHalfOpen => 22,
+            TraceEventKind::ScrubPass => 23,
+            TraceEventKind::EntryQuarantined => 24,
+            TraceEventKind::EntryRepaired => 25,
+            TraceEventKind::HeartbeatMissed => 26,
+            TraceEventKind::ShardReassigned => 27,
+            TraceEventKind::PoolRestarted => 28,
         }
     }
 
@@ -265,6 +306,12 @@ impl TraceEventKind {
             20 => TraceEventKind::RetryAttempted,
             21 => TraceEventKind::BreakerOpened,
             22 => TraceEventKind::BreakerHalfOpen,
+            23 => TraceEventKind::ScrubPass,
+            24 => TraceEventKind::EntryQuarantined,
+            25 => TraceEventKind::EntryRepaired,
+            26 => TraceEventKind::HeartbeatMissed,
+            27 => TraceEventKind::ShardReassigned,
+            28 => TraceEventKind::PoolRestarted,
             _ => return None,
         })
     }
